@@ -1,0 +1,79 @@
+"""A1 (ablation) — impact of the page allocation strategy.
+
+The paper attributes BSFS's sustained throughput "mainly to the
+load-balancing strategy BlobSeer applies when distributing the pages to
+providers".  This ablation isolates that claim: the same simulated write
+workload runs with BlobSeer's load-balanced strategy, with uniformly random
+placement, and with an HDFS-like local-first strategy, and reports both the
+per-client throughput and the resulting storage imbalance.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport
+from repro.core.provider_manager import (
+    LoadBalancedStrategy,
+    LocalFirstStrategy,
+    RandomStrategy,
+)
+from repro.simulation import SimulatedBSFS, grid5000_like, run_write_different_files
+
+EXPERIMENT = "A1"
+
+STRATEGIES = {
+    "load_balanced (BlobSeer)": LoadBalancedStrategy,
+    "random": RandomStrategy,
+    "local_first (HDFS-like)": LocalFirstStrategy,
+}
+
+
+def _imbalance(distribution: dict[int, int]) -> float:
+    loads = [v for v in distribution.values() if v > 0] or [0]
+    mean = sum(distribution.values()) / max(len(distribution), 1)
+    return max(loads) / mean if mean else 1.0
+
+
+def _run(scale):
+    topology = grid5000_like(num_nodes=scale.num_nodes, num_racks=scale.num_racks)
+    num_clients = max(scale.client_counts)
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"Allocation-strategy ablation, {num_clients} concurrent writers — {scale.label}",
+    )
+    throughputs = {}
+    for label, strategy_cls in STRATEGIES.items():
+        storage = SimulatedBSFS(
+            topology,
+            block_size=scale.block_size,
+            replication=scale.replication,
+            strategy=strategy_cls(seed=1),
+        )
+        result = run_write_different_files(
+            topology,
+            storage,
+            num_clients=num_clients,
+            bytes_per_client=scale.bytes_per_client,
+        )
+        throughputs[label] = result.mean_client_throughput_mbps
+        report.add_row(
+            {
+                "strategy": label,
+                "clients": num_clients,
+                "per_client_MBps": round(result.mean_client_throughput_mbps, 2),
+                "aggregate_MBps": round(result.aggregate_throughput_mbps, 2),
+                "storage_imbalance": round(_imbalance(storage.storage_distribution()), 2),
+            }
+        )
+    return report, throughputs
+
+
+def test_bench_ablation_allocation(benchmark, scale):
+    report, throughputs = run_once(benchmark, _run, scale)
+    report.print()
+    # The load-balanced strategy must not lose to the local-first one.
+    assert (
+        throughputs["load_balanced (BlobSeer)"]
+        >= throughputs["local_first (HDFS-like)"]
+    )

@@ -1,0 +1,60 @@
+"""E6 (extension, §V) — concurrent appends to the same file.
+
+Section V proposes concurrent appends to one file as a storage-layer
+feature for MapReduce (e.g. all reducers appending to a single output
+file).  BlobSeer supports it natively (the version manager hands each
+appender a disjoint range), while HDFS cannot append at all.  This bench
+measures how BSFS's concurrent-append throughput scales with the number of
+appenders — the expected shape is the same as E3 (appends are writes whose
+offsets are assigned by the version manager) — and records HDFS as
+unsupported.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport
+from repro.simulation import SimulatedBSFS, grid5000_like, run_append_same_file
+
+EXPERIMENT = "E6"
+
+
+def _run(scale):
+    topology = grid5000_like(num_nodes=scale.num_nodes, num_racks=scale.num_racks)
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"Concurrent appends to one shared file (BSFS only) — {scale.label}",
+    )
+    results = []
+    for num_clients in scale.client_counts:
+        storage = SimulatedBSFS(
+            topology, block_size=scale.block_size, replication=scale.replication
+        )
+        result = run_append_same_file(
+            topology,
+            storage,
+            num_clients=num_clients,
+            bytes_per_client=scale.bytes_per_client,
+        )
+        results.append(result)
+        report.add_row(result.as_row())
+    report.add_row(
+        {
+            "system": "hdfs",
+            "pattern": "append_same_file",
+            "clients": "-",
+            "per_client_MBps": "unsupported",
+            "aggregate_MBps": "unsupported",
+            "makespan_s": "-",
+        }
+    )
+    report.note("HDFS does not support appends; the paper lists this as BSFS-only.")
+    return report, results
+
+
+def test_bench_concurrent_append(benchmark, scale):
+    report, results = run_once(benchmark, _run, scale)
+    report.print()
+    # Aggregate append throughput must grow with the number of appenders.
+    assert results[-1].aggregate_throughput_mbps > results[0].aggregate_throughput_mbps

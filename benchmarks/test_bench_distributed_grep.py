@@ -1,0 +1,62 @@
+"""E5 — application benchmark: Distributed Grep job completion time.
+
+Regenerates the second application comparison of Section IV.C: the
+completion time of the Distributed Grep MapReduce job (map tasks scan
+disjoint chunks of one huge input file, a small reduce phase aggregates the
+matches) when Hadoop runs over BSFS versus over HDFS.
+
+Expected shape (paper): BSFS finishes the job faster than HDFS, consistent
+with the shared-file read microbenchmark (E2) — HDFS's copy of the huge
+input is concentrated on the node that wrote it, so its map tasks contend
+for that node's disk and NIC.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport
+from repro.simulation import (
+    SimulatedBSFS,
+    SimulatedHDFS,
+    distributed_grep_spec,
+    grid5000_like,
+    simulate_job,
+)
+
+EXPERIMENT = "E5"
+
+
+def _run(scale):
+    topology = grid5000_like(num_nodes=scale.num_nodes, num_racks=scale.num_racks)
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"Distributed Grep job completion time — {scale.label}",
+    )
+    results = {}
+    for storage_cls in (SimulatedBSFS, SimulatedHDFS):
+        storage = storage_cls(
+            topology, block_size=scale.block_size, replication=scale.replication
+        )
+        spec = distributed_grep_spec(
+            storage,
+            input_file="grep-input",
+            input_bytes=scale.grep_input_bytes,
+            writer_node=0,
+            num_reduce_tasks=1,
+            compute_seconds_per_map=1.0,
+        )
+        result = simulate_job(topology, storage, spec)
+        results[storage.name] = result
+        report.add_row(result.as_row())
+    report.note(
+        "HDFS / BSFS completion-time ratio: "
+        f"{results['hdfs'].completion_time / results['bsfs'].completion_time:.2f}x"
+    )
+    return report, results
+
+
+def test_bench_distributed_grep(benchmark, scale):
+    report, results = run_once(benchmark, _run, scale)
+    report.print()
+    assert results["bsfs"].completion_time < results["hdfs"].completion_time

@@ -1,0 +1,85 @@
+"""F1 — functional (in-process) concurrent I/O of the real implementations.
+
+Unlike E1–E5, which replay the paper's cluster-scale experiments on the
+simulator, this benchmark exercises the *functional* Python implementations
+of BSFS and HDFS with real bytes and real threads: the three access
+patterns of Section IV.B at laptop scale.  It demonstrates that the
+implementations are correct and remain functional under concurrency; the
+absolute MB/s numbers characterise the Python prototype, not the paper's
+testbed.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport
+from repro.bsfs import BSFS
+from repro.core import KB, BlobSeerConfig
+from repro.hdfs import HDFS
+from repro.workloads import (
+    concurrent_appends_same_file,
+    concurrent_reads_different_files,
+    concurrent_reads_same_file,
+    concurrent_writes_different_files,
+)
+
+EXPERIMENT = "F1"
+
+
+def _make_filesystems():
+    bsfs = BSFS(
+        config=BlobSeerConfig(page_size=64 * KB, num_providers=16, rng_seed=23),
+        default_block_size=256 * KB,
+    )
+    hdfs = HDFS(num_datanodes=16, racks=4, default_block_size=256 * KB, default_replication=1)
+    return [bsfs, hdfs]
+
+
+def _run(scale):
+    report = ExperimentReport(
+        EXPERIMENT,
+        "Functional concurrent I/O (real bytes, one thread per client)",
+    )
+    runs = []
+    for fs in _make_filesystems():
+        for pattern in (
+            concurrent_writes_different_files,
+            concurrent_reads_different_files,
+            concurrent_reads_same_file,
+        ):
+            for num_clients in scale.functional_clients:
+                result = pattern(
+                    fs,
+                    num_clients=num_clients,
+                    bytes_per_client=scale.functional_bytes_per_client,
+                )
+                runs.append(result)
+                report.add_row(result.as_row())
+        if hasattr(fs, "concurrent_append"):
+            result = concurrent_appends_same_file(
+                fs,
+                num_clients=max(scale.functional_clients),
+                appends_per_client=8,
+                append_size=16 * KB,
+            )
+            runs.append(result)
+            report.add_row(result.as_row())
+        else:
+            report.add_row(
+                {
+                    "system": fs.scheme,
+                    "pattern": "append_same_file",
+                    "clients": "-",
+                    "MB_per_client": "-",
+                    "elapsed_s": "-",
+                    "aggregate_MBps": "unsupported",
+                }
+            )
+    return report, runs
+
+
+def test_bench_functional_io(benchmark, scale):
+    report, runs = run_once(benchmark, _run, scale)
+    report.print()
+    assert all(run.succeeded for run in runs)

@@ -1,0 +1,57 @@
+"""E4 — application benchmark: Random Text Writer job completion time.
+
+Regenerates the first application comparison of Section IV.C: the
+completion time of the Random Text Writer MapReduce job (map-only, every
+map task writes a large file of random sentences) when Hadoop runs over
+BSFS versus over HDFS.
+
+Expected shape (paper): BSFS finishes the job faster than HDFS, consistent
+with the concurrent-write microbenchmark (E3).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport
+from repro.simulation import (
+    SimulatedBSFS,
+    SimulatedHDFS,
+    grid5000_like,
+    random_text_writer_spec,
+    simulate_job,
+)
+
+EXPERIMENT = "E4"
+
+
+def _run(scale):
+    topology = grid5000_like(num_nodes=scale.num_nodes, num_racks=scale.num_racks)
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"Random Text Writer job completion time — {scale.label}",
+    )
+    results = {}
+    for storage_cls in (SimulatedBSFS, SimulatedHDFS):
+        storage = storage_cls(
+            topology, block_size=scale.block_size, replication=scale.replication
+        )
+        spec = random_text_writer_spec(
+            num_map_tasks=scale.rtw_map_tasks,
+            bytes_per_map=scale.rtw_bytes_per_map,
+            compute_seconds_per_map=2.0,
+        )
+        result = simulate_job(topology, storage, spec)
+        results[storage.name] = result
+        report.add_row(result.as_row())
+    report.note(
+        "HDFS / BSFS completion-time ratio: "
+        f"{results['hdfs'].completion_time / results['bsfs'].completion_time:.2f}x"
+    )
+    return report, results
+
+
+def test_bench_random_text_writer(benchmark, scale):
+    report, results = run_once(benchmark, _run, scale)
+    report.print()
+    assert results["bsfs"].completion_time < results["hdfs"].completion_time

@@ -1,0 +1,65 @@
+"""E2 — microbenchmark: clients reading non-overlapping parts of one huge file.
+
+Regenerates the second throughput figure of Section IV.B: per-client and
+aggregate throughput versus the number of concurrent clients when all
+clients read disjoint 1 GB ranges of a single shared file (the Map phase of
+a job over one huge input).
+
+Expected shape (paper): this is where the gap is widest — BSFS sustains its
+throughput because the file's pages are spread over all providers by the
+load-balancing allocation, while HDFS collapses because the file's blocks
+are concentrated on the datanode that wrote it (local-first placement).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport, compare_systems, format_table
+from repro.simulation import (
+    SimulatedBSFS,
+    SimulatedHDFS,
+    grid5000_like,
+    run_read_same_file,
+)
+
+EXPERIMENT = "E2"
+
+
+def _run(scale):
+    topology = grid5000_like(num_nodes=scale.num_nodes, num_racks=scale.num_racks)
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"Concurrent reads of one shared file — {scale.label}",
+    )
+    for num_clients in scale.client_counts:
+        for storage_cls in (SimulatedBSFS, SimulatedHDFS):
+            storage = storage_cls(
+                topology, block_size=scale.block_size, replication=scale.replication
+            )
+            result = run_read_same_file(
+                topology,
+                storage,
+                num_clients=num_clients,
+                bytes_per_client=scale.bytes_per_client,
+            )
+            report.add_row(result.as_row())
+    return report
+
+
+def test_bench_read_same_file(benchmark, scale):
+    report = run_once(benchmark, _run, scale)
+    report.print()
+    comparison = compare_systems(
+        report.rows, key_column="clients", value_column="per_client_MBps"
+    )
+    print()
+    print(format_table(comparison, title=f"{EXPERIMENT}: BSFS / HDFS per-client ratio"))
+    top = max(scale.client_counts)
+    by_system = {
+        row["system"]: row["per_client_MBps"]
+        for row in report.rows
+        if row["clients"] == top
+    }
+    # BSFS sustains, HDFS collapses on its single-writer hotspot.
+    assert by_system["bsfs"] > 2 * by_system["hdfs"]

@@ -1,0 +1,63 @@
+"""E3 — microbenchmark: clients concurrently writing to different files.
+
+Regenerates the third throughput figure of Section IV.B: per-client and
+aggregate throughput versus the number of concurrent clients when every
+client writes its own file — the access pattern of the Reduce phase, where
+every reducer writes its own output file.
+
+Expected shape (paper): BSFS's load-balanced page striping outperforms
+HDFS's local-first block placement, whose per-client throughput is capped
+by the single local disk.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport, compare_systems, format_table
+from repro.simulation import (
+    SimulatedBSFS,
+    SimulatedHDFS,
+    grid5000_like,
+    run_write_different_files,
+)
+
+EXPERIMENT = "E3"
+
+
+def _run(scale):
+    topology = grid5000_like(num_nodes=scale.num_nodes, num_racks=scale.num_racks)
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"Concurrent writes to different files — {scale.label}",
+    )
+    for num_clients in scale.client_counts:
+        for storage_cls in (SimulatedBSFS, SimulatedHDFS):
+            storage = storage_cls(
+                topology, block_size=scale.block_size, replication=scale.replication
+            )
+            result = run_write_different_files(
+                topology,
+                storage,
+                num_clients=num_clients,
+                bytes_per_client=scale.bytes_per_client,
+            )
+            report.add_row(result.as_row())
+    return report
+
+
+def test_bench_write_different_files(benchmark, scale):
+    report = run_once(benchmark, _run, scale)
+    report.print()
+    comparison = compare_systems(
+        report.rows, key_column="clients", value_column="per_client_MBps"
+    )
+    print()
+    print(format_table(comparison, title=f"{EXPERIMENT}: BSFS / HDFS per-client ratio"))
+    top = max(scale.client_counts)
+    by_system = {
+        row["system"]: row["per_client_MBps"]
+        for row in report.rows
+        if row["clients"] == top
+    }
+    assert by_system["bsfs"] > by_system["hdfs"]

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Replay the paper's Grid'5000 microbenchmarks on the cluster simulator.
+
+Run with::
+
+    python examples/grid5000_simulation.py            # quick, scaled-down sweep
+    REPRO_PAPER_SCALE=1 python examples/grid5000_simulation.py   # 270 nodes, 1 GB/client
+
+For each of the paper's three access patterns the script sweeps the number
+of concurrent clients and prints per-client and aggregate throughput for
+BSFS and for the HDFS baseline — the series behind the figures of
+Section IV.B.  The expected shape: BSFS sustains a high per-client
+throughput as concurrency grows, while HDFS is bounded by its local-first
+placement (writes) and collapses on the shared-file read pattern because
+the file's blocks are concentrated on the node that wrote it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import ExperimentReport, compare_systems, format_table
+from repro.core import GB, MB
+from repro.simulation import (
+    SimulatedBSFS,
+    SimulatedHDFS,
+    grid5000_like,
+    run_read_different_files,
+    run_read_same_file,
+    run_write_different_files,
+)
+
+PAPER_SCALE = bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+if PAPER_SCALE:
+    NUM_NODES = 270
+    CLIENT_COUNTS = [1, 25, 50, 100, 150, 200, 250]
+    BYTES_PER_CLIENT = 1 * GB
+else:
+    NUM_NODES = 90
+    CLIENT_COUNTS = [1, 10, 25, 50, 80]
+    BYTES_PER_CLIENT = 256 * MB
+
+PATTERNS = {
+    "read_different_files": run_read_different_files,
+    "read_same_file": run_read_same_file,
+    "write_different_files": run_write_different_files,
+}
+
+
+def main() -> None:
+    topology = grid5000_like(num_nodes=NUM_NODES, num_racks=9)
+    print(
+        f"Simulated cluster: {NUM_NODES} nodes / 9 racks, "
+        f"{BYTES_PER_CLIENT // MB} MB per client"
+    )
+    for pattern_name, runner in PATTERNS.items():
+        report = ExperimentReport(
+            experiment_id=pattern_name,
+            title=f"{pattern_name} — per-client throughput vs. concurrency",
+        )
+        for num_clients in CLIENT_COUNTS:
+            for storage_cls in (SimulatedBSFS, SimulatedHDFS):
+                storage = storage_cls(topology, replication=1)
+                result = runner(
+                    topology,
+                    storage,
+                    num_clients=num_clients,
+                    bytes_per_client=BYTES_PER_CLIENT,
+                )
+                report.add_row(result.as_row())
+        report.print()
+        comparison = compare_systems(
+            report.rows,
+            key_column="clients",
+            value_column="per_client_MBps",
+        )
+        print()
+        print(
+            format_table(
+                comparison,
+                title=f"{pattern_name}: BSFS / HDFS per-client throughput ratio",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Result aggregation, statistics and report formatting for the experiments."""
+
+from .report import ExperimentReport, compare_systems, format_table, speedup
+from .stats import coefficient_of_variation, mean, percentile, stddev, summarize
+
+__all__ = [
+    "ExperimentReport",
+    "format_table",
+    "compare_systems",
+    "speedup",
+    "mean",
+    "stddev",
+    "percentile",
+    "coefficient_of_variation",
+    "summarize",
+]

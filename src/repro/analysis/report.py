@@ -1,0 +1,156 @@
+"""Result aggregation and report formatting for experiments.
+
+Every benchmark in ``benchmarks/`` produces rows (dictionaries) describing
+one measurement — one point of a paper figure or one line of a paper table.
+This module turns those rows into aligned text tables and simple series
+summaries so the benchmark output printed to the terminal has the same
+structure as the paper's evaluation section, and EXPERIMENTS.md can be
+filled by copy-pasting the harness output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "ExperimentReport", "compare_systems", "speedup"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table.
+
+    Column order follows ``columns`` when given, otherwise the key order of
+    the first row.  Floats are rendered with two decimals.
+    """
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for line in table:
+        lines.append(" | ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Return how many times faster/higher ``improved`` is versus ``baseline``.
+
+    For throughput-style metrics pass them as-is; for completion times pass
+    ``speedup(time_improved, time_baseline)`` is *not* what you want — use
+    ``speedup(baseline=improved_time, improved=baseline_time)`` or simply
+    divide — this helper guards against division by zero only.
+    """
+    if baseline <= 0:
+        return float("inf") if improved > 0 else 1.0
+    return improved / baseline
+
+
+def compare_systems(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    key_column: str,
+    system_column: str = "system",
+    value_column: str,
+    baseline: str = "hdfs",
+    challenger: str = "bsfs",
+) -> list[dict[str, Any]]:
+    """Join per-system rows on ``key_column`` and compute the challenger/baseline ratio.
+
+    Returns one row per key with the two systems' values and their ratio —
+    the "who wins, by what factor" summary DESIGN.md asks every experiment
+    to report.
+    """
+    by_key: dict[Any, dict[str, float]] = {}
+    for row in rows:
+        key = row[key_column]
+        by_key.setdefault(key, {})[str(row[system_column])] = float(row[value_column])
+    comparison: list[dict[str, Any]] = []
+    for key in sorted(by_key):
+        values = by_key[key]
+        base = values.get(baseline)
+        chal = values.get(challenger)
+        entry: dict[str, Any] = {key_column: key}
+        if base is not None:
+            entry[f"{baseline}_{value_column}"] = round(base, 2)
+        if chal is not None:
+            entry[f"{challenger}_{value_column}"] = round(chal, 2)
+        if base and chal is not None:
+            entry["ratio"] = round(chal / base, 2) if base else float("inf")
+        comparison.append(entry)
+    return comparison
+
+
+@dataclass
+class ExperimentReport:
+    """Accumulates the rows of one experiment and renders/prints/saves them."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, row: Mapping[str, Any]) -> None:
+        """Record one measurement row."""
+        self.rows.append(dict(row))
+
+    def add_rows(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Record several measurement rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note (e.g. the observed speedup)."""
+        self.notes.append(text)
+
+    def to_text(self, *, columns: Sequence[str] | None = None) -> str:
+        """Render the report as the text block printed by the benchmarks."""
+        parts = [
+            format_table(
+                self.rows,
+                columns=columns,
+                title=f"[{self.experiment_id}] {self.title}",
+            )
+        ]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Serialise the report (rows and notes) as JSON."""
+        return json.dumps(
+            {
+                "experiment": self.experiment_id,
+                "title": self.title,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+    def print(self, *, columns: Sequence[str] | None = None) -> None:
+        """Print the text rendering (used by the benchmark harness)."""
+        print()  # noqa: T201 - benchmark harness output
+        print(self.to_text(columns=columns))  # noqa: T201

@@ -1,0 +1,26 @@
+"""BSFS: the BlobSeer File System — the paper's primary contribution.
+
+A Hadoop-compatible file system layered on top of :mod:`repro.core`
+(BlobSeer), adding a centralized namespace manager, client-side
+prefetch/write-aggregation caching, and data-layout exposure for the
+MapReduce scheduler.
+"""
+
+from .cache import BlockReadCache, CacheStats, WriteAggregator
+from .file import BSFSInputStream, BSFSOutputStream
+from .filesystem import DEFAULT_BLOCK_SIZE, BSFS
+from .locality import block_locations_for_blob
+from .namespace import BSFSFileRecord, NamespaceManager
+
+__all__ = [
+    "BSFS",
+    "DEFAULT_BLOCK_SIZE",
+    "NamespaceManager",
+    "BSFSFileRecord",
+    "BSFSInputStream",
+    "BSFSOutputStream",
+    "BlockReadCache",
+    "WriteAggregator",
+    "CacheStats",
+    "block_locations_for_blob",
+]

@@ -1,0 +1,207 @@
+"""Client-side caching for BSFS: whole-block prefetching and write aggregation.
+
+MapReduce applications "usually process data in small records (4 KB, whereas
+Hadoop is concerned)"; issuing a BlobSeer operation per record would be
+prohibitively chatty.  The paper therefore adds a caching layer that
+
+* *prefetches a whole block* when a read misses the cache, so subsequent
+  small sequential reads are served locally, and
+* *delays committing writes* until a whole block has accumulated, so the
+  blob receives large, page-aligned appends.
+
+Both sides are implemented here, independent from the stream classes so
+they can be unit- and property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["CacheStats", "BlockReadCache", "WriteAggregator"]
+
+
+class CacheStats:
+    """Mutable counters describing cache effectiveness."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.prefetched_blocks = 0
+        self.flushed_blocks = 0
+        self.flushed_bytes = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of block accesses served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-friendly snapshot of the counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "prefetched_blocks": self.prefetched_blocks,
+            "flushed_blocks": self.flushed_blocks,
+            "flushed_bytes": self.flushed_bytes,
+        }
+
+
+class BlockReadCache:
+    """LRU cache of whole blocks with miss-triggered prefetching.
+
+    Parameters
+    ----------
+    block_size:
+        Size of one cached block in bytes.
+    fetch_block:
+        Callback ``fetch_block(block_index) -> bytes`` returning the block's
+        content (possibly shorter than ``block_size`` for the file's last
+        block).
+    capacity_blocks:
+        Maximum number of blocks kept (LRU eviction).
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        fetch_block: Callable[[int], bytes],
+        *,
+        capacity_blocks: int = 4,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be at least 1")
+        self._block_size = block_size
+        self._fetch_block = fetch_block
+        self._capacity = capacity_blocks
+        self._blocks: OrderedDict[int, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    @property
+    def block_size(self) -> int:
+        """Size of one cached block."""
+        return self._block_size
+
+    def _get_block(self, block_index: int) -> bytes:
+        with self._lock:
+            if block_index in self._blocks:
+                self._blocks.move_to_end(block_index)
+                self.stats.hits += 1
+                return self._blocks[block_index]
+            self.stats.misses += 1
+        # Fetch outside the lock: the fetch may be slow (a real BlobSeer read).
+        data = self._fetch_block(block_index)
+        with self._lock:
+            self._blocks[block_index] = data
+            self._blocks.move_to_end(block_index)
+            self.stats.prefetched_blocks += 1
+            while len(self._blocks) > self._capacity:
+                self._blocks.popitem(last=False)
+        return data
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset``, prefetching whole blocks on miss."""
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        if size == 0:
+            return b""
+        result = bytearray()
+        position = offset
+        end = offset + size
+        while position < end:
+            block_index = position // self._block_size
+            block_start = block_index * self._block_size
+            block = self._get_block(block_index)
+            start_in_block = position - block_start
+            if start_in_block >= len(block):
+                break  # reading past the end of the file
+            take = min(end - position, len(block) - start_in_block)
+            result += block[start_in_block : start_in_block + take]
+            position += take
+        return bytes(result)
+
+    def invalidate(self, block_index: int | None = None) -> None:
+        """Drop one block (or the whole cache when ``block_index`` is ``None``)."""
+        with self._lock:
+            if block_index is None:
+                self._blocks.clear()
+            else:
+                self._blocks.pop(block_index, None)
+
+    def cached_blocks(self) -> list[int]:
+        """Indices of the blocks currently cached (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._blocks.keys())
+
+
+class WriteAggregator:
+    """Accumulates sequential writes and flushes them block by block.
+
+    ``flush_block(data)`` is invoked with exactly ``block_size`` bytes for
+    every full block, and once more with the remainder when :meth:`close`
+    is called.  The aggregator never reorders or drops bytes — a property
+    the test suite checks with Hypothesis.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        flush_block: Callable[[bytes], None],
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self._block_size = block_size
+        self._flush_block = flush_block
+        self._buffer = bytearray()
+        self._closed = False
+        self.stats = CacheStats()
+
+    @property
+    def block_size(self) -> int:
+        """Size of one aggregated block."""
+        return self._block_size
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered and not yet flushed."""
+        return len(self._buffer)
+
+    def write(self, data: bytes) -> None:
+        """Buffer ``data``, flushing every complete block."""
+        if self._closed:
+            raise ValueError("write on a closed aggregator")
+        self._buffer += data
+        while len(self._buffer) >= self._block_size:
+            block = bytes(self._buffer[: self._block_size])
+            del self._buffer[: self._block_size]
+            self._flush_block(block)
+            self.stats.flushed_blocks += 1
+            self.stats.flushed_bytes += len(block)
+
+    def flush(self) -> None:
+        """Flush any buffered partial block immediately.
+
+        Used by callers that need durability before the block fills (e.g. a
+        file being closed, or an application calling ``flush()``); flushing
+        a partial block means the next flush starts a new blob write, so the
+        aggregator is normally left to its own pacing.
+        """
+        if self._buffer:
+            block = bytes(self._buffer)
+            self._buffer.clear()
+            self._flush_block(block)
+            self.stats.flushed_blocks += 1
+            self.stats.flushed_bytes += len(block)
+
+    def close(self) -> None:
+        """Flush the remaining bytes and refuse further writes."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True

@@ -1,0 +1,106 @@
+"""BSFS file streams: cached readers and block-aggregating writers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.client import BlobSeer
+from ..fs.interface import InputStream, OutputStream
+from .cache import BlockReadCache, WriteAggregator
+
+__all__ = ["BSFSInputStream", "BSFSOutputStream"]
+
+
+class BSFSInputStream(InputStream):
+    """Reader for a BSFS file, prefetching whole blocks through the client cache."""
+
+    def __init__(
+        self,
+        blobseer: BlobSeer,
+        blob_id: int,
+        *,
+        size: int,
+        block_size: int,
+        version: int | None = None,
+        cache_blocks: int = 4,
+    ) -> None:
+        super().__init__(size)
+        self._blobseer = blobseer
+        self._blob_id = blob_id
+        self._version = version
+        self._cache = BlockReadCache(
+            block_size,
+            self._fetch_block,
+            capacity_blocks=cache_blocks,
+        )
+
+    @property
+    def cache(self) -> BlockReadCache:
+        """The stream's block cache (exposed for tests and metrics)."""
+        return self._cache
+
+    def _fetch_block(self, block_index: int) -> bytes:
+        block_size = self._cache.block_size
+        start = block_index * block_size
+        if start >= self._size:
+            return b""
+        length = min(block_size, self._size - start)
+        return self._blobseer.read(
+            self._blob_id, start, length, version=self._version
+        )
+
+    def _pread(self, offset: int, size: int) -> bytes:
+        return self._cache.read(offset, size)
+
+
+class BSFSOutputStream(OutputStream):
+    """Writer for a BSFS file: aggregates small writes into block-sized appends.
+
+    Every full block (and the final partial one at close time) is committed
+    as a BlobSeer *append*, which creates a new published version of the
+    backing blob.  ``on_close`` receives the final file size so the
+    namespace manager can record it and release the write lease.
+    """
+
+    def __init__(
+        self,
+        blobseer: BlobSeer,
+        blob_id: int,
+        *,
+        block_size: int,
+        initial_size: int = 0,
+        on_close: Callable[[int], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self._blobseer = blobseer
+        self._blob_id = blob_id
+        self._initial_size = initial_size
+        self._on_close = on_close
+        self._aggregator = WriteAggregator(block_size, self._flush_block)
+        self._committed = 0
+
+    @property
+    def aggregator(self) -> WriteAggregator:
+        """The stream's write aggregator (exposed for tests and metrics)."""
+        return self._aggregator
+
+    def _flush_block(self, block: bytes) -> None:
+        self._blobseer.append(self._blob_id, block)
+        self._committed += len(block)
+
+    def _write(self, data: bytes) -> None:
+        self._aggregator.write(data)
+
+    def flush(self) -> None:
+        """Force buffered bytes into the blob (ends the current block early)."""
+        self._aggregator.flush()
+
+    @property
+    def file_size(self) -> int:
+        """Size the file will have once the stream is closed."""
+        return self._initial_size + self._committed + self._aggregator.pending_bytes
+
+    def _close(self) -> None:
+        self._aggregator.close()
+        if self._on_close is not None:
+            self._on_close(self._initial_size + self._committed)

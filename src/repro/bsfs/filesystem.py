@@ -1,0 +1,260 @@
+"""BSFS: the BlobSeer File System, a Hadoop-compatible storage backend.
+
+This is the paper's primary contribution: a file-system layer on top of the
+BlobSeer service so that the Hadoop framework can use it in place of HDFS.
+It combines
+
+* the centralized :class:`~repro.bsfs.namespace.NamespaceManager` (file →
+  BLOB mapping, directory tree, single-writer leases),
+* the client-side cache (whole-block read prefetching and write
+  aggregation, see :mod:`repro.bsfs.cache`),
+* the data-layout exposure primitive (:mod:`repro.bsfs.locality`), and
+* BlobSeer versioning, surfaced through ``open(version=...)`` and
+  ``snapshot()`` — the capability §V of the paper identifies as enabling
+  concurrent workflows over different snapshots of the same data.
+
+Unlike HDFS, BSFS supports appending to an existing file and — through
+:meth:`BSFS.concurrent_append` — concurrent appends by multiple clients to
+the *same* file, which the paper lists as future work enabled by BlobSeer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from ..core.client import BlobSeer
+from ..core.config import MB, BlobSeerConfig
+from ..fs import path as fspath
+from ..fs.errors import NoSuchPathError
+from ..fs.interface import BlockLocation, FileStatus, FileSystem
+from .file import BSFSInputStream, BSFSOutputStream
+from .locality import block_locations_for_blob
+from .namespace import NamespaceManager
+
+__all__ = ["BSFS"]
+
+#: Default Hadoop-style block size used by BSFS files (the paper uses 64 MB).
+DEFAULT_BLOCK_SIZE = 64 * MB
+
+
+class BSFS(FileSystem):
+    """BlobSeer File System facade implementing the shared FileSystem API."""
+
+    scheme = "bsfs"
+
+    def __init__(
+        self,
+        blobseer: BlobSeer | None = None,
+        *,
+        config: BlobSeerConfig | None = None,
+        default_block_size: int = DEFAULT_BLOCK_SIZE,
+        cache_blocks: int = 4,
+    ) -> None:
+        """Create a BSFS instance.
+
+        Parameters
+        ----------
+        blobseer:
+            An existing BlobSeer deployment to build on; a fresh in-process
+            deployment is created from ``config`` when omitted.
+        config:
+            Configuration for the implicit deployment (ignored when
+            ``blobseer`` is given).
+        default_block_size:
+            Block size used for files that do not specify one.
+        cache_blocks:
+            Number of blocks each input stream caches (LRU).
+        """
+        self.blobseer = blobseer if blobseer is not None else BlobSeer(config)
+        self.namespace = NamespaceManager()
+        self._default_block_size = default_block_size
+        self._cache_blocks = cache_blocks
+        self._client_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ creation
+    def _next_client(self, client_host: str | None) -> str:
+        with self._lock:
+            return f"{client_host or 'client'}-{next(self._client_ids)}"
+
+    @property
+    def default_block_size(self) -> int:
+        """Block size applied to files created without an explicit one."""
+        return self._default_block_size
+
+    def create(
+        self,
+        path: str,
+        *,
+        overwrite: bool = False,
+        block_size: int | None = None,
+        replication: int | None = None,
+        client_host: str | None = None,
+    ) -> BSFSOutputStream:
+        """Create a file backed by a fresh BLOB and return its output stream."""
+        norm = fspath.normalize(path)
+        block_size = block_size or self._default_block_size
+        replication = replication or self.blobseer.config.replication
+        holder = self._next_client(client_host)
+        blob_id = self.blobseer.create_blob(replication=replication)
+
+        def _release_overwritten(entry) -> None:
+            try:
+                self.blobseer.delete_blob(entry.payload)
+            except Exception:
+                pass
+
+        self.namespace.register_file(
+            norm,
+            blob_id,
+            block_size=block_size,
+            replication=replication,
+            overwrite=overwrite,
+            lease_holder=holder,
+            on_overwrite=_release_overwritten,
+        )
+
+        def _on_close(final_size: int) -> None:
+            self.namespace.update_size(norm, final_size)
+            self.namespace.tree.release_lease(norm, holder)
+
+        return BSFSOutputStream(
+            self.blobseer,
+            blob_id,
+            block_size=block_size,
+            initial_size=0,
+            on_close=_on_close,
+        )
+
+    def append(
+        self, path: str, *, client_host: str | None = None
+    ) -> BSFSOutputStream:
+        """Re-open an existing file for appending (supported, unlike HDFS)."""
+        norm = fspath.normalize(path)
+        record = self.namespace.record(norm)
+        holder = self._next_client(client_host)
+        self.namespace.tree.acquire_lease(norm, holder)
+
+        def _on_close(final_size: int) -> None:
+            self.namespace.update_size(norm, final_size)
+            self.namespace.tree.release_lease(norm, holder)
+
+        return BSFSOutputStream(
+            self.blobseer,
+            record.blob_id,
+            block_size=record.block_size,
+            initial_size=record.size,
+            on_close=_on_close,
+        )
+
+    def concurrent_append(self, path: str, data: bytes) -> int:
+        """Append ``data`` to ``path`` without taking the write lease.
+
+        Multiple clients may call this concurrently on the same file: each
+        append becomes a new version of the backing blob with a disjoint
+        byte range assigned by the version manager, exactly the §V "future
+        work" scenario (e.g. all reducers writing to a single output file).
+        Returns the byte offset at which ``data`` landed.
+        """
+        norm = fspath.normalize(path)
+        record = self.namespace.record(norm)
+        version = self.blobseer.append(record.blob_id, data)
+        info = self.blobseer.version_manager.version_info(record.blob_id, version)
+        new_size = self.blobseer.get_size(record.blob_id)
+        # Keep the namespace size monotonically up to date.
+        current = self.namespace.record(norm).size
+        if new_size > current:
+            self.namespace.update_size(norm, new_size)
+        return info.write_offset
+
+    # ------------------------------------------------------------------- reading
+    def open(
+        self,
+        path: str,
+        *,
+        client_host: str | None = None,
+        version: int | None = None,
+    ) -> BSFSInputStream:
+        """Open a file for reading; ``version`` selects an older blob snapshot."""
+        record = self.namespace.record(path)
+        if version is None:
+            size = record.size
+        else:
+            size = self.blobseer.get_size(record.blob_id, version)
+        return BSFSInputStream(
+            self.blobseer,
+            record.blob_id,
+            size=size,
+            block_size=record.block_size,
+            version=version,
+            cache_blocks=self._cache_blocks,
+        )
+
+    # ----------------------------------------------------------------- namespace
+    def mkdirs(self, path: str) -> None:
+        self.namespace.tree.mkdirs(path)
+
+    def delete(self, path: str, *, recursive: bool = False) -> None:
+        def _release(file_path: str, entry) -> None:
+            try:
+                self.blobseer.delete_blob(entry.payload)
+            except Exception:
+                pass
+
+        self.namespace.tree.delete(path, recursive=recursive, on_delete_file=_release)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.namespace.tree.rename(src, dst)
+
+    def exists(self, path: str) -> bool:
+        return self.namespace.tree.exists(path)
+
+    def status(self, path: str) -> FileStatus:
+        if not self.exists(path):
+            raise NoSuchPathError(fspath.normalize(path))
+        return self.namespace.status_of(path)
+
+    def list_dir(self, path: str) -> list[FileStatus]:
+        return self.namespace.list_status(path)
+
+    # ------------------------------------------------------------------ locality
+    def block_locations(
+        self, path: str, offset: int = 0, length: int | None = None
+    ) -> list[BlockLocation]:
+        record = self.namespace.record(path)
+        if length is None:
+            length = record.size - offset
+        return block_locations_for_blob(
+            self.blobseer,
+            record.blob_id,
+            offset=offset,
+            length=length,
+            block_size=record.block_size,
+            file_size=record.size,
+        )
+
+    # ----------------------------------------------------------------- versioning
+    def file_versions(self, path: str) -> list[int]:
+        """Published versions of the blob backing ``path`` (oldest first)."""
+        record = self.namespace.record(path)
+        return self.blobseer.versions(record.blob_id)
+
+    def snapshot(self, path: str) -> int:
+        """Return a version number capturing the file's current content.
+
+        Because BlobSeer versions are immutable snapshots, "taking" a
+        snapshot is free: the latest published version *is* the snapshot.
+        The returned number can be passed to ``open(path, version=...)`` at
+        any later time, even after further appends.
+        """
+        record = self.namespace.record(path)
+        return self.blobseer.latest_version(record.blob_id)
+
+    # ----------------------------------------------------------------- monitoring
+    def stats(self) -> dict:
+        """Aggregate statistics of the file system and its BlobSeer deployment."""
+        stats = self.blobseer.stats()
+        stats["files"] = self.namespace.tree.count_files()
+        stats["scheme"] = self.scheme
+        return stats

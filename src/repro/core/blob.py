@@ -1,0 +1,124 @@
+"""File-like convenience wrapper around a single blob.
+
+:class:`BlobHandle` offers a cursor-based ``read``/``write``/``append``/
+``seek`` interface on top of the :class:`~repro.core.client.BlobSeer`
+facade.  It is a convenience for examples and applications that want to
+treat one blob like a local file while retaining access to versioning
+(every mutation still produces a new published snapshot and old snapshots
+remain readable through ``read(version=...)``).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterator
+
+from .client import BlobSeer
+from .errors import InvalidRangeError
+
+__all__ = ["BlobHandle"]
+
+
+class BlobHandle:
+    """Cursor-based accessor for one blob of a :class:`BlobSeer` deployment."""
+
+    def __init__(self, service: BlobSeer, blob_id: int) -> None:
+        self._service = service
+        self._blob_id = blob_id
+        self._position = 0
+
+    # ------------------------------------------------------------------ metadata
+    @property
+    def blob_id(self) -> int:
+        """Identifier of the wrapped blob."""
+        return self._blob_id
+
+    @property
+    def page_size(self) -> int:
+        """Page size the blob was created with."""
+        return self._service.blob_info(self._blob_id).page_size
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of the latest published version."""
+        return self._service.get_size(self._blob_id)
+
+    @property
+    def latest_version(self) -> int:
+        """Latest published version number."""
+        return self._service.latest_version(self._blob_id)
+
+    def versions(self) -> list[int]:
+        """All published versions (including the empty version 0)."""
+        return self._service.versions(self._blob_id)
+
+    # -------------------------------------------------------------------- cursor
+    def tell(self) -> int:
+        """Current cursor position."""
+        return self._position
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        """Move the cursor; supports the standard ``io`` whence values."""
+        if whence == io.SEEK_SET:
+            target = offset
+        elif whence == io.SEEK_CUR:
+            target = self._position + offset
+        elif whence == io.SEEK_END:
+            target = self.size + offset
+        else:
+            raise ValueError(f"unsupported whence value {whence!r}")
+        if target < 0:
+            raise InvalidRangeError("cannot seek before the start of the blob")
+        self._position = target
+        return self._position
+
+    # ----------------------------------------------------------------------- I/O
+    def read(self, size: int = -1, *, version: int | None = None) -> bytes:
+        """Read ``size`` bytes at the cursor (all remaining bytes when negative)."""
+        total = self._service.get_size(self._blob_id, version)
+        if self._position >= total:
+            return b""
+        if size < 0:
+            size = total - self._position
+        size = min(size, total - self._position)
+        data = self._service.read(
+            self._blob_id, self._position, size, version=version
+        )
+        self._position += len(data)
+        return data
+
+    def pread(self, offset: int, size: int, *, version: int | None = None) -> bytes:
+        """Positional read that does not move the cursor."""
+        return self._service.read(self._blob_id, offset, size, version=version)
+
+    def write(self, data: bytes) -> int:
+        """Write at the cursor (must be page aligned); returns the new version."""
+        version = self._service.write(self._blob_id, self._position, data)
+        self._position += len(data)
+        return version
+
+    def append(self, data: bytes) -> int:
+        """Append to the blob and move the cursor to the new end."""
+        version = self._service.append(self._blob_id, data)
+        self._position = self._service.get_size(self._blob_id)
+        return version
+
+    def readall(self, *, version: int | None = None) -> bytes:
+        """Read the whole blob content of a version (cursor unchanged)."""
+        return self._service.read_all(self._blob_id, version=version)
+
+    def iter_pages(self, *, version: int | None = None) -> Iterator[bytes]:
+        """Yield the blob's content page by page (useful for streaming)."""
+        total = self._service.get_size(self._blob_id, version)
+        page_size = self.page_size
+        offset = 0
+        while offset < total:
+            chunk = min(page_size, total - offset)
+            yield self._service.read(self._blob_id, offset, chunk, version=version)
+            offset += chunk
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlobHandle(blob_id={self._blob_id}, size={self.size}, "
+            f"version={self.latest_version})"
+        )

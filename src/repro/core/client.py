@@ -1,0 +1,555 @@
+"""BlobSeer client facade: the public entry point of the storage core.
+
+:class:`BlobSeer` wires together all the entities of a deployment — data
+providers, the provider manager, the metadata DHT, the metadata manager and
+the version manager — and exposes the blob access interface the paper
+describes:
+
+* ``create_blob`` — register a new blob with a page size and replication
+  level;
+* ``write(blob, offset, data)`` / ``append(blob, data)`` — publish a new
+  version; data is never overwritten in place;
+* ``read(blob, offset, size, version=None)`` — read a byte range from any
+  published snapshot;
+* ``page_locations`` — the data-layout exposure primitive added for the
+  Hadoop integration, so the MapReduce scheduler can co-locate computation
+  with data.
+
+The facade is thread-safe: any number of threads may read and write
+concurrently, which is exactly the scenario the paper's microbenchmarks
+exercise.
+
+Write protocol (mirrors the paper's description of BlobSeer):
+
+1. obtain a write ticket (version number + resolved offset) from the
+   version manager — the only serialized step;
+2. push the interior, page-aligned data to the data providers chosen by the
+   provider manager's load-balancing strategy — fully concurrent across
+   writers;
+3. wait for the base version to be published, merge boundary pages if the
+   write was not page-aligned, and build the new metadata tree (sharing
+   every untouched subtree with the base version);
+4. report the new root to the version manager, which publishes versions in
+   ticket order.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+from .config import BlobSeerConfig
+from .dht import MetadataDHT, MetadataProvider
+from .errors import (
+    AlignmentError,
+    InvalidRangeError,
+    PageNotFoundError,
+)
+from .metadata import MetadataManager, NodeKey, next_power_of_two
+from .pages import PageDescriptor, PageKey, page_range_for_bytes
+from .persistence import LogStructuredStore, MemoryStore
+from .provider import DataProvider
+from .provider_manager import ProviderManager
+from .replication import ReplicationManager, read_page, write_replicas
+from .version_manager import BlobInfo, VersionManager, WriteTicket
+
+__all__ = ["PageLocation", "BlobSeer"]
+
+
+@dataclass(frozen=True, slots=True)
+class PageLocation:
+    """Location record returned by the data-layout exposure primitive."""
+
+    page_index: int
+    offset: int
+    size: int
+    providers: tuple[int, ...]
+    hosts: tuple[str, ...]
+
+
+class BlobSeer:
+    """An in-process BlobSeer deployment and its client interface."""
+
+    def __init__(
+        self,
+        config: BlobSeerConfig | None = None,
+        *,
+        providers: Sequence[DataProvider] | None = None,
+        metadata_providers: Sequence[MetadataProvider] | None = None,
+        storage_dir: str | os.PathLike[str] | None = None,
+    ) -> None:
+        """Create a deployment.
+
+        Parameters
+        ----------
+        config:
+            Deployment configuration; defaults to :class:`BlobSeerConfig()`.
+        providers:
+            Pre-built data providers.  When omitted, ``config.num_providers``
+            providers are created, volatile by default or backed by
+            log-structured stores under ``storage_dir`` when given.
+        metadata_providers:
+            Pre-built metadata providers (defaults to
+            ``config.num_metadata_providers`` fresh ones).
+        storage_dir:
+            Directory for persistent page stores.  Ignored when explicit
+            ``providers`` are passed.
+        """
+        self.config = config or BlobSeerConfig()
+        if providers is None:
+            providers = []
+            for i in range(self.config.num_providers):
+                if storage_dir is not None:
+                    store = LogStructuredStore(
+                        os.path.join(os.fspath(storage_dir), f"provider-{i}.log")
+                    )
+                else:
+                    store = MemoryStore()
+                providers.append(DataProvider(i, store=store))
+        if metadata_providers is None:
+            metadata_providers = [
+                MetadataProvider(i)
+                for i in range(self.config.num_metadata_providers)
+            ]
+        self.provider_manager = ProviderManager(
+            providers,
+            strategy=self.config.allocation_strategy,
+            seed=self.config.rng_seed,
+        )
+        self.dht = MetadataDHT(
+            metadata_providers,
+            virtual_nodes=self.config.virtual_nodes_per_metadata_provider,
+        )
+        self.metadata_manager = MetadataManager(self.dht)
+        self.version_manager = VersionManager(self.config)
+        self.replication_manager = ReplicationManager(
+            self.provider_manager, seed=self.config.rng_seed
+        )
+        self._rng = random.Random(self.config.rng_seed)
+        self._rng_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ lifecycle
+    def create_blob(
+        self,
+        *,
+        page_size: int | None = None,
+        replication: int | None = None,
+    ) -> int:
+        """Create a new empty blob and return its id."""
+        info = self.version_manager.create_blob(
+            page_size=page_size, replication=replication
+        )
+        return info.blob_id
+
+    def blob_info(self, blob_id: int) -> BlobInfo:
+        """Static properties (page size, replication) of a blob."""
+        return self.version_manager.blob_info(blob_id)
+
+    def delete_blob(self, blob_id: int) -> None:
+        """Drop a blob from the version manager and release its pages."""
+        # Collect pages of every published version before forgetting the blob.
+        roots = self.version_manager.snapshot_roots(blob_id)
+        page_size = self.blob_info(blob_id).page_size
+        keys: set[PageKey] = set()
+        for version, root in roots.items():
+            size = self.version_manager.size(blob_id, version)
+            total_pages = (size + page_size - 1) // page_size
+            for descriptor in self.metadata_manager.lookup(
+                root, 0, total_pages
+            ).values():
+                keys.add(descriptor.key)
+        self.version_manager.delete_blob(blob_id)
+        for key in keys:
+            for provider in self.provider_manager.providers:
+                try:
+                    if provider.has_page(key):
+                        provider.remove_page(key)
+                except Exception:
+                    continue
+
+    def close(self) -> None:
+        """Flush and close every data provider's backing store."""
+        for provider in self.provider_manager.providers:
+            provider.close()
+
+    def __enter__(self) -> "BlobSeer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- queries
+    def latest_version(self, blob_id: int) -> int:
+        """Highest published version of ``blob_id`` (0 when empty)."""
+        return self.version_manager.latest_version(blob_id)
+
+    def versions(self, blob_id: int) -> list[int]:
+        """All published versions of ``blob_id`` (including the empty 0)."""
+        return self.version_manager.published_versions(blob_id)
+
+    def get_size(self, blob_id: int, version: int | None = None) -> int:
+        """Size in bytes of a published version (default: latest)."""
+        return self.version_manager.size(blob_id, version)
+
+    # -------------------------------------------------------------------- writes
+    def write(
+        self,
+        blob_id: int,
+        offset: int,
+        data: bytes,
+        *,
+        client_hint: int | None = None,
+    ) -> int:
+        """Write ``data`` at ``offset``, producing and returning a new version.
+
+        ``offset`` must be aligned to the blob's page size (the BSFS cache
+        guarantees this for file workloads); the data length is arbitrary.
+        """
+        if not data:
+            raise InvalidRangeError("writes must carry at least one byte")
+        if offset < 0:
+            raise InvalidRangeError("offset cannot be negative")
+        page_size = self.blob_info(blob_id).page_size
+        if offset % page_size != 0:
+            raise AlignmentError(
+                f"write offset {offset} is not aligned to the page size {page_size}"
+            )
+        ticket = self.version_manager.assign_ticket(
+            blob_id, offset=offset, size=len(data), append=False
+        )
+        return self._complete_write(ticket, data, client_hint)
+
+    def append(
+        self,
+        blob_id: int,
+        data: bytes,
+        *,
+        client_hint: int | None = None,
+    ) -> int:
+        """Append ``data`` to the blob, producing and returning a new version.
+
+        The offset is assigned by the version manager from the blob's
+        assigned size, so concurrent appenders obtain disjoint contiguous
+        ranges without coordinating with each other.
+        """
+        if not data:
+            raise InvalidRangeError("appends must carry at least one byte")
+        ticket = self.version_manager.assign_ticket(
+            blob_id, offset=None, size=len(data), append=True
+        )
+        return self._complete_write(ticket, data, client_hint)
+
+    def _complete_write(
+        self,
+        ticket: WriteTicket,
+        data: bytes,
+        client_hint: int | None,
+    ) -> int:
+        blob_id = ticket.blob_id
+        info = self.blob_info(blob_id)
+        page_size = info.page_size
+        try:
+            written = self._transfer_pages(ticket, data, page_size, info, client_hint)
+            root = self._build_metadata(ticket, written, page_size)
+        except Exception:
+            self.version_manager.abort(ticket)
+            raise
+        self.version_manager.publish(ticket, root)
+        return ticket.version
+
+    def _transfer_pages(
+        self,
+        ticket: WriteTicket,
+        data: bytes,
+        page_size: int,
+        info: BlobInfo,
+        client_hint: int | None,
+    ) -> dict[int, PageDescriptor]:
+        """Push the write's pages to providers; returns index -> descriptor."""
+        offset = ticket.offset
+        end = offset + len(data)
+        page_range = page_range_for_bytes(offset, len(data), page_size)
+        first_page, last_page = page_range.first, page_range.last
+        head_unaligned = offset % page_size != 0
+        tail_unaligned = end % page_size != 0 and end < ticket.new_size
+
+        allocation = self.provider_manager.allocate(
+            len(page_range), info.replication, client_hint=client_hint
+        )
+        written: dict[int, PageDescriptor] = {}
+        boundary_indices: list[int] = []
+        if head_unaligned:
+            boundary_indices.append(first_page)
+        if tail_unaligned and (last_page - 1) not in boundary_indices:
+            boundary_indices.append(last_page - 1)
+
+        # Interior (fully covered) pages can be transferred immediately,
+        # concurrently with other writers.
+        for slot, page_index in enumerate(page_range):
+            if page_index in boundary_indices:
+                continue
+            page_start = page_index * page_size
+            page_end = min(page_start + page_size, ticket.new_size)
+            chunk = data[page_start - offset : page_end - offset]
+            key = PageKey(blob_id=ticket.blob_id, version=ticket.version, index=page_index)
+            stored = write_replicas(
+                self.provider_manager, key, chunk, allocation[slot]
+            )
+            written[page_index] = PageDescriptor(key=key, providers=stored, size=len(chunk))
+
+        if boundary_indices:
+            # Boundary pages need the base version's bytes: wait for it.
+            self._wait_for_base(ticket)
+            base_info = self.version_manager.version_info(
+                ticket.blob_id, ticket.base_version
+            )
+            for page_index in boundary_indices:
+                slot = page_index - first_page
+                chunk = self._merge_boundary_page(
+                    ticket, data, page_index, page_size, base_info.root, base_info.size
+                )
+                key = PageKey(
+                    blob_id=ticket.blob_id, version=ticket.version, index=page_index
+                )
+                stored = write_replicas(
+                    self.provider_manager, key, chunk, allocation[slot]
+                )
+                written[page_index] = PageDescriptor(
+                    key=key, providers=stored, size=len(chunk)
+                )
+        return written
+
+    def _wait_for_base(self, ticket: WriteTicket) -> None:
+        if ticket.base_version > 0:
+            self.version_manager.wait_for_publication(
+                ticket.blob_id, ticket.base_version
+            )
+
+    def _merge_boundary_page(
+        self,
+        ticket: WriteTicket,
+        data: bytes,
+        page_index: int,
+        page_size: int,
+        base_root: NodeKey | None,
+        base_size: int,
+    ) -> bytes:
+        """Combine the new bytes of a partially covered page with the base bytes."""
+        offset, end = ticket.offset, ticket.offset + len(data)
+        page_start = page_index * page_size
+        page_end = min(page_start + page_size, max(ticket.new_size, base_size))
+        page_len = page_end - page_start
+        # Existing content of this page in the base version (zero-filled holes).
+        existing = bytearray(page_len)
+        if base_root is not None and page_start < base_size:
+            base_descriptors = self.metadata_manager.lookup(
+                base_root, page_index, page_index + 1
+            )
+            descriptor = base_descriptors.get(page_index)
+            if descriptor is not None:
+                with self._rng_lock:
+                    rng = random.Random(self._rng.random())
+                old = read_page(
+                    self.provider_manager,
+                    descriptor,
+                    policy=self.config.read_replica_policy,
+                    rng=rng,
+                )
+                existing[: len(old)] = old
+        # Overlay the new bytes.
+        new_lo = max(offset, page_start)
+        new_hi = min(end, page_end)
+        existing[new_lo - page_start : new_hi - page_start] = data[
+            new_lo - offset : new_hi - offset
+        ]
+        # Trim to the page's actual length within the new blob size.
+        actual_len = min(page_size, ticket.new_size - page_start)
+        return bytes(existing[:actual_len])
+
+    def _build_metadata(
+        self,
+        ticket: WriteTicket,
+        written: dict[int, PageDescriptor],
+        page_size: int,
+    ) -> NodeKey | None:
+        """Wait for the base version and derive the new metadata tree from it."""
+        self._wait_for_base(ticket)
+        base_info = self.version_manager.version_info(
+            ticket.blob_id, ticket.base_version
+        )
+        base_pages = (base_info.size + page_size - 1) // page_size
+        base_capacity = next_power_of_two(base_pages) if base_pages else 1
+        total_pages = (ticket.new_size + page_size - 1) // page_size
+        return self.metadata_manager.build_version(
+            ticket.blob_id,
+            ticket.version,
+            written,
+            total_pages,
+            base_root=base_info.root,
+            base_capacity=base_capacity,
+        )
+
+    # --------------------------------------------------------------------- reads
+    def read(
+        self,
+        blob_id: int,
+        offset: int,
+        size: int,
+        *,
+        version: int | None = None,
+    ) -> bytes:
+        """Read ``size`` bytes at ``offset`` from a published version.
+
+        ``version=None`` reads the latest published snapshot.  Byte ranges
+        must lie within the version's size.  Ranges that were reserved by an
+        aborted writer (holes) read as zero bytes.
+        """
+        info = self.version_manager.version_info(blob_id, version)
+        if offset < 0 or size < 0:
+            raise InvalidRangeError("offset and size must be non-negative")
+        if offset + size > info.size:
+            raise InvalidRangeError(
+                f"range [{offset}, {offset + size}) exceeds version "
+                f"{info.version} size {info.size}"
+            )
+        if size == 0:
+            return b""
+        page_size = self.blob_info(blob_id).page_size
+        page_range = page_range_for_bytes(offset, size, page_size)
+        descriptors = self.metadata_manager.lookup(
+            info.root, page_range.first, page_range.last
+        )
+        buffer = bytearray((len(page_range)) * page_size)
+        with self._rng_lock:
+            rng = random.Random(self._rng.random())
+        for page_index in page_range:
+            descriptor = descriptors.get(page_index)
+            if descriptor is None:
+                continue  # hole: keep zero bytes
+            data = read_page(
+                self.provider_manager,
+                descriptor,
+                policy=self.config.read_replica_policy,
+                rng=rng,
+            )
+            start = (page_index - page_range.first) * page_size
+            buffer[start : start + len(data)] = data
+        skip = offset - page_range.first * page_size
+        return bytes(buffer[skip : skip + size])
+
+    def read_all(self, blob_id: int, *, version: int | None = None) -> bytes:
+        """Read the entire content of a published version."""
+        size = self.get_size(blob_id, version)
+        return self.read(blob_id, 0, size, version=version)
+
+    # ------------------------------------------------------------------ locality
+    def page_locations(
+        self,
+        blob_id: int,
+        offset: int,
+        size: int,
+        *,
+        version: int | None = None,
+    ) -> list[PageLocation]:
+        """Expose the page-to-provider distribution of a byte range.
+
+        This is the primitive the paper adds to BlobSeer so the Hadoop
+        jobtracker can schedule map tasks close to their input data.
+        """
+        info = self.version_manager.version_info(blob_id, version)
+        if offset < 0 or size < 0:
+            raise InvalidRangeError("offset and size must be non-negative")
+        size = min(size, max(info.size - offset, 0))
+        page_size = self.blob_info(blob_id).page_size
+        page_range = page_range_for_bytes(offset, size, page_size)
+        descriptors = self.metadata_manager.lookup(
+            info.root, page_range.first, page_range.last
+        )
+        locations: list[PageLocation] = []
+        for page_index in page_range:
+            descriptor = descriptors.get(page_index)
+            if descriptor is None:
+                continue
+            hosts = []
+            for provider_id in descriptor.providers:
+                try:
+                    hosts.append(self.provider_manager.get(provider_id).host)
+                except Exception:
+                    hosts.append(f"provider-{provider_id}")
+            locations.append(
+                PageLocation(
+                    page_index=page_index,
+                    offset=page_index * page_size,
+                    size=descriptor.size,
+                    providers=descriptor.providers,
+                    hosts=tuple(hosts),
+                )
+            )
+        return locations
+
+    # ------------------------------------------------------------ fault tolerance
+    def scrub(self, blob_id: int, *, version: int | None = None):
+        """Scrub a version's pages; see :class:`ReplicationManager.scrub`."""
+        info = self.version_manager.version_info(blob_id, version)
+        page_size = self.blob_info(blob_id).page_size
+        total_pages = (info.size + page_size - 1) // page_size
+        descriptors = self.metadata_manager.lookup(info.root, 0, total_pages)
+        return self.replication_manager.scrub(
+            descriptors.values(),
+            target_replication=self.blob_info(blob_id).replication,
+        )
+
+    def repair(self, blob_id: int, *, version: int | None = None) -> int:
+        """Re-replicate under-replicated pages and publish a repaired version.
+
+        The repaired version has identical content but updated page
+        placement; it becomes the new latest version.  Returns the new
+        version number (or the current one when nothing needed healing).
+        """
+        info = self.version_manager.version_info(blob_id, version)
+        blob = self.blob_info(blob_id)
+        page_size = blob.page_size
+        total_pages = (info.size + page_size - 1) // page_size
+        descriptors = self.metadata_manager.lookup(info.root, 0, total_pages)
+        report = self.replication_manager.scrub(
+            descriptors.values(), target_replication=blob.replication
+        )
+        if report.is_healthy:
+            return info.version
+        healed = self.replication_manager.heal_all(
+            list(report.under_replicated) + list(report.lost),
+            target_replication=blob.replication,
+        )
+        if not healed:
+            raise PageNotFoundError(
+                f"blob {blob_id}: some pages lost all replicas and cannot be healed"
+            )
+        # Publish a metadata-only version carrying the new placement.
+        ticket = self.version_manager.assign_ticket(
+            blob_id, offset=0, size=0, append=False
+        )
+        try:
+            root = self._build_metadata(ticket, healed, page_size)
+        except Exception:
+            self.version_manager.abort(ticket)
+            raise
+        self.version_manager.publish(ticket, root)
+        return ticket.version
+
+    # ----------------------------------------------------------------- monitoring
+    def stats(self) -> dict:
+        """Aggregate statistics of the deployment (for reports and tests)."""
+        provider_stats = [p.stats() for p in self.provider_manager.providers]
+        return {
+            "providers": len(provider_stats),
+            "pages_stored": sum(s.pages_stored for s in provider_stats),
+            "bytes_stored": sum(s.bytes_stored for s in provider_stats),
+            "bytes_read": sum(s.bytes_read for s in provider_stats),
+            "bytes_written": sum(s.bytes_written for s in provider_stats),
+            "imbalance": self.provider_manager.imbalance(),
+            "metadata_distribution": self.dht.distribution(),
+            "blobs": self.version_manager.describe(),
+        }

@@ -1,0 +1,125 @@
+"""Configuration objects for a BlobSeer deployment.
+
+The defaults mirror the deployment the paper evaluates on Grid'5000: 64 KiB
+pages inside 64 MiB Hadoop-sized blocks, a handful of metadata providers, and
+a provider per node.  Everything is overridable; the configuration object is
+shared by the functional (in-process) deployment and by the cluster
+simulator so that both layers take identical policy decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = ["KB", "MB", "GB", "BlobSeerConfig"]
+
+#: Binary kilobyte (kibibyte), used throughout the code base for sizes.
+KB = 1024
+#: Binary megabyte (mebibyte).
+MB = 1024 * KB
+#: Binary gigabyte (gibibyte).
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class BlobSeerConfig:
+    """Static configuration of a BlobSeer service instance.
+
+    Parameters
+    ----------
+    page_size:
+        Default size in bytes of a page (BlobSeer's unit of data
+        management).  Individual blobs may override it at creation time.
+    replication:
+        Default number of replicas kept for every page.
+    num_providers:
+        Number of data providers started by the in-process deployment
+        helper (:class:`repro.core.client.BlobSeer`).
+    num_metadata_providers:
+        Number of metadata providers forming the DHT.
+    allocation_strategy:
+        Name of the page-to-provider allocation strategy
+        (``"load_balanced"``, ``"random"`` or ``"local_first"``).
+    virtual_nodes_per_metadata_provider:
+        Number of virtual nodes each metadata provider contributes to the
+        consistent-hashing ring; more virtual nodes means a smoother key
+        distribution.
+    max_versions_kept:
+        If not ``None``, old published versions beyond this count become
+        eligible for garbage collection (not reclaimed automatically).
+    read_replica_policy:
+        How a reader chooses among page replicas: ``"least_loaded"``,
+        ``"random"`` or ``"first"``.
+    rng_seed:
+        Seed for the deterministic pseudo-random choices made by the
+        service (random allocation strategy, replica selection).  Keeping
+        this fixed makes experiments reproducible.
+    """
+
+    page_size: int = 64 * KB
+    replication: int = 1
+    num_providers: int = 16
+    num_metadata_providers: int = 4
+    allocation_strategy: str = "load_balanced"
+    virtual_nodes_per_metadata_provider: int = 64
+    max_versions_kept: int | None = None
+    read_replica_policy: str = "least_loaded"
+    rng_seed: int = 0xB10B5EE
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.replication <= 0:
+            raise ValueError("replication must be at least 1")
+        if self.num_providers <= 0:
+            raise ValueError("num_providers must be at least 1")
+        if self.num_metadata_providers <= 0:
+            raise ValueError("num_metadata_providers must be at least 1")
+        if self.replication > self.num_providers:
+            raise ValueError(
+                "replication cannot exceed the number of data providers "
+                f"({self.replication} > {self.num_providers})"
+            )
+        if self.allocation_strategy not in (
+            "load_balanced",
+            "random",
+            "local_first",
+        ):
+            raise ValueError(
+                f"unknown allocation strategy {self.allocation_strategy!r}"
+            )
+        if self.read_replica_policy not in ("least_loaded", "random", "first"):
+            raise ValueError(
+                f"unknown read replica policy {self.read_replica_policy!r}"
+            )
+        if self.virtual_nodes_per_metadata_provider <= 0:
+            raise ValueError("virtual_nodes_per_metadata_provider must be >= 1")
+        if self.max_versions_kept is not None and self.max_versions_kept < 1:
+            raise ValueError("max_versions_kept must be None or >= 1")
+
+    def with_overrides(self, **overrides: Any) -> "BlobSeerConfig":
+        """Return a copy of the configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "BlobSeerConfig":
+        """Build a configuration from a plain mapping, ignoring unknown keys."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in mapping.items() if k in known})
+
+    def describe(self) -> dict[str, Any]:
+        """Return a JSON-friendly description of this configuration."""
+        return {
+            "page_size": self.page_size,
+            "replication": self.replication,
+            "num_providers": self.num_providers,
+            "num_metadata_providers": self.num_metadata_providers,
+            "allocation_strategy": self.allocation_strategy,
+            "virtual_nodes_per_metadata_provider": (
+                self.virtual_nodes_per_metadata_provider
+            ),
+            "max_versions_kept": self.max_versions_kept,
+            "read_replica_policy": self.read_replica_policy,
+            "rng_seed": self.rng_seed,
+        }

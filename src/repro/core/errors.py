@@ -1,0 +1,106 @@
+"""Exception hierarchy for the BlobSeer core.
+
+Every error raised by :mod:`repro.core` derives from :class:`BlobSeerError` so
+callers (the BSFS layer, the MapReduce engine, tests) can catch storage-layer
+failures with a single ``except`` clause while still being able to
+discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BlobSeerError",
+    "BlobNotFoundError",
+    "VersionNotFoundError",
+    "VersionNotPublishedError",
+    "PageNotFoundError",
+    "ProviderUnavailableError",
+    "NoProvidersError",
+    "AllocationError",
+    "InvalidRangeError",
+    "AlignmentError",
+    "MetadataCorruptionError",
+    "PersistenceError",
+    "TicketError",
+]
+
+
+class BlobSeerError(Exception):
+    """Base class for all BlobSeer storage errors."""
+
+
+class BlobNotFoundError(BlobSeerError):
+    """Raised when an operation references a blob id that was never created."""
+
+    def __init__(self, blob_id: int) -> None:
+        super().__init__(f"blob {blob_id!r} does not exist")
+        self.blob_id = blob_id
+
+
+class VersionNotFoundError(BlobSeerError):
+    """Raised when a requested blob version does not exist."""
+
+    def __init__(self, blob_id: int, version: int) -> None:
+        super().__init__(f"blob {blob_id!r} has no version {version!r}")
+        self.blob_id = blob_id
+        self.version = version
+
+
+class VersionNotPublishedError(BlobSeerError):
+    """Raised when reading a version that was assigned but never published.
+
+    A writer that obtained a ticket but crashed before publishing leaves a
+    gap in the version sequence; readers asking for that exact version get
+    this error rather than silently observing partial data.
+    """
+
+    def __init__(self, blob_id: int, version: int) -> None:
+        super().__init__(
+            f"version {version!r} of blob {blob_id!r} has not been published"
+        )
+        self.blob_id = blob_id
+        self.version = version
+
+
+class PageNotFoundError(BlobSeerError):
+    """Raised when a page referenced by metadata is missing from providers."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"page {key!r} could not be located on any provider")
+        self.key = key
+
+
+class ProviderUnavailableError(BlobSeerError):
+    """Raised when a data or metadata provider is offline."""
+
+    def __init__(self, provider_id: object) -> None:
+        super().__init__(f"provider {provider_id!r} is unavailable")
+        self.provider_id = provider_id
+
+
+class NoProvidersError(BlobSeerError):
+    """Raised when an operation requires providers but none are registered."""
+
+
+class AllocationError(BlobSeerError):
+    """Raised when the provider manager cannot satisfy an allocation request."""
+
+
+class InvalidRangeError(BlobSeerError):
+    """Raised for byte ranges that fall outside the blob or are malformed."""
+
+
+class AlignmentError(BlobSeerError):
+    """Raised for writes whose offset is not aligned to the blob page size."""
+
+
+class MetadataCorruptionError(BlobSeerError):
+    """Raised when the versioned metadata tree is internally inconsistent."""
+
+
+class PersistenceError(BlobSeerError):
+    """Raised by the persistence layer on I/O or recovery failures."""
+
+
+class TicketError(BlobSeerError):
+    """Raised when a write ticket is used incorrectly (reuse, wrong blob...)."""

@@ -1,0 +1,352 @@
+"""Versioned, structurally-shared segment-tree metadata.
+
+BlobSeer never overwrites data: every write or append produces a new blob
+*version* (snapshot).  The mapping from a version's byte ranges to the pages
+holding the bytes is a binary segment tree over page indices.  A new version
+builds a fresh path of tree nodes only for the ranges its write touched and
+*shares* every untouched subtree with the version it was based on — this is
+what makes snapshots cheap and lets an arbitrary number of readers traverse
+old versions while writers publish new ones.
+
+Tree nodes are immutable and are stored in the metadata DHT
+(:class:`repro.core.dht.MetadataDHT`), keyed by ``(blob, version, lo, hi)``
+where ``[lo, hi)`` is the page-index range the node covers and ``version`` is
+the version whose write *created* the node (shared nodes keep the key of the
+version that created them).
+
+The public entry point is :class:`MetadataManager` with two operations:
+
+* :meth:`MetadataManager.build_version` — given the descriptors of the pages
+  a write produced and the root of the version it was based on, create the
+  new version's tree and return its root key.
+* :meth:`MetadataManager.lookup` — given a version's root key and a page
+  range, return the page descriptors covering it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .dht import MetadataDHT
+from .errors import MetadataCorruptionError
+from .pages import PageDescriptor
+
+__all__ = ["NodeKey", "TreeNode", "MetadataManager", "next_power_of_two"]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two greater than or equal to ``max(n, 1)``."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+@dataclass(frozen=True, slots=True)
+class NodeKey:
+    """Identity of a tree node in the metadata DHT."""
+
+    blob_id: int
+    version: int
+    lo: int
+    hi: int
+
+    def dht_key(self) -> str:
+        """String key under which the node is stored in the DHT."""
+        return f"meta:{self.blob_id}:{self.version}:{self.lo}:{self.hi}"
+
+    @property
+    def span(self) -> int:
+        """Number of page indices covered by the node."""
+        return self.hi - self.lo
+
+    @property
+    def is_leaf_key(self) -> bool:
+        """Whether the key covers a single page (a leaf position)."""
+        return self.span == 1
+
+
+@dataclass(frozen=True, slots=True)
+class TreeNode:
+    """Immutable segment-tree node.
+
+    Interior nodes carry the keys of their two children (either may be
+    ``None`` for a hole, i.e. a range never written).  Leaves carry the
+    descriptor of the page covering their single index.
+    """
+
+    key: NodeKey
+    left: NodeKey | None = None
+    right: NodeKey | None = None
+    page: PageDescriptor | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf (covers exactly one page index)."""
+        return self.key.span == 1
+
+
+class MetadataManager:
+    """Builds and traverses the versioned metadata trees of one deployment.
+
+    The manager is stateless apart from the DHT handle, so a single instance
+    can be shared by any number of concurrent writers and readers.
+    """
+
+    def __init__(self, dht: MetadataDHT) -> None:
+        self._dht = dht
+
+    # -- storage helpers ----------------------------------------------------------
+    def _store(self, node: TreeNode) -> NodeKey:
+        self._dht.put(node.key.dht_key(), node)
+        return node.key
+
+    def fetch(self, key: NodeKey) -> TreeNode:
+        """Fetch a node from the DHT, raising on dangling references."""
+        try:
+            node = self._dht.get(key.dht_key())
+        except KeyError:
+            raise MetadataCorruptionError(
+                f"metadata node {key!r} is referenced but missing from the DHT"
+            ) from None
+        if not isinstance(node, TreeNode):
+            raise MetadataCorruptionError(
+                f"DHT entry for {key!r} is not a TreeNode"
+            )
+        return node
+
+    # -- version construction -----------------------------------------------------
+    def build_version(
+        self,
+        blob_id: int,
+        version: int,
+        written: Mapping[int, PageDescriptor],
+        total_pages: int,
+        *,
+        base_root: NodeKey | None,
+        base_capacity: int,
+    ) -> NodeKey | None:
+        """Create the tree for ``version`` and return its root key.
+
+        Parameters
+        ----------
+        blob_id, version:
+            Identity of the version being published.
+        written:
+            Page index -> descriptor for every page the write materialised.
+        total_pages:
+            Total number of pages of the blob *after* this write (determines
+            the capacity of the new tree).
+        base_root:
+            Root key of the version this write was based on (``None`` for
+            the first write to the blob).
+        base_capacity:
+            Page capacity (power of two) of the base version's tree.
+
+        Returns
+        -------
+        The root :class:`NodeKey` of the new version, or ``None`` when the
+        blob is still empty (zero pages and nothing written).
+        """
+        if total_pages < 0:
+            raise ValueError("total_pages cannot be negative")
+        if total_pages == 0 and not written:
+            return None
+        capacity = next_power_of_two(total_pages)
+        if base_root is not None and base_capacity > capacity:
+            # A blob never shrinks; keep the larger capacity to preserve sharing.
+            capacity = base_capacity
+        indices = sorted(written.keys())
+        if indices and (indices[0] < 0 or indices[-1] >= capacity):
+            raise ValueError(
+                f"written page indices {indices[0]}..{indices[-1]} fall outside "
+                f"capacity {capacity}"
+            )
+        node_cache: dict[str, TreeNode] = {}
+        root = self._build_range(
+            blob_id,
+            version,
+            0,
+            capacity,
+            written,
+            indices,
+            base_root,
+            base_capacity,
+            node_cache,
+        )
+        return root
+
+    def _range_touched(self, indices: list[int], lo: int, hi: int) -> bool:
+        """Whether any written page index falls inside ``[lo, hi)``."""
+        import bisect
+
+        pos = bisect.bisect_left(indices, lo)
+        return pos < len(indices) and indices[pos] < hi
+
+    def _find_base_node_key(
+        self,
+        base_root: NodeKey | None,
+        base_capacity: int,
+        lo: int,
+        hi: int,
+        cache: dict[str, TreeNode],
+    ) -> NodeKey | None:
+        """Key of the base-version node covering exactly ``[lo, hi)``, if any.
+
+        Walks down from the base root; returns ``None`` when the range is a
+        hole in the base version (never written) or lies beyond its capacity.
+        """
+        if base_root is None or lo >= base_capacity:
+            return None
+        if hi > base_capacity:
+            raise MetadataCorruptionError(
+                f"range [{lo}, {hi}) straddles the base capacity {base_capacity}"
+            )
+        current = base_root
+        cur_lo, cur_hi = 0, base_capacity
+        while (cur_lo, cur_hi) != (lo, hi):
+            node = self._fetch_cached(current, cache)
+            mid = (cur_lo + cur_hi) // 2
+            if hi <= mid:
+                child = node.left
+                cur_hi = mid
+            elif lo >= mid:
+                child = node.right
+                cur_lo = mid
+            else:
+                raise MetadataCorruptionError(
+                    f"range [{lo}, {hi}) is not aligned with the base tree"
+                )
+            if child is None:
+                return None
+            current = child
+        return current
+
+    def _fetch_cached(self, key: NodeKey, cache: dict[str, TreeNode]) -> TreeNode:
+        dht_key = key.dht_key()
+        if dht_key not in cache:
+            cache[dht_key] = self.fetch(key)
+        return cache[dht_key]
+
+    def _build_range(
+        self,
+        blob_id: int,
+        version: int,
+        lo: int,
+        hi: int,
+        written: Mapping[int, PageDescriptor],
+        indices: list[int],
+        base_root: NodeKey | None,
+        base_capacity: int,
+        cache: dict[str, TreeNode],
+    ) -> NodeKey | None:
+        touched = self._range_touched(indices, lo, hi)
+        if not touched:
+            if lo >= base_capacity or base_root is None:
+                return None  # hole
+            if hi <= base_capacity:
+                # Untouched range entirely inside the base tree: share it.
+                return self._find_base_node_key(
+                    base_root, base_capacity, lo, hi, cache
+                )
+            # Untouched range straddling the base capacity (only possible for
+            # prefixes of an expanded tree): recurse so the left part can be
+            # shared and the right part becomes a hole.
+        if hi - lo == 1:
+            descriptor = written.get(lo)
+            if descriptor is None:
+                # Reached only if a touched ancestor narrowed to an untouched
+                # leaf inside the base capacity, which the sharing branch
+                # should have handled.
+                return self._find_base_node_key(
+                    base_root, base_capacity, lo, hi, cache
+                )
+            node = TreeNode(
+                key=NodeKey(blob_id, version, lo, hi), page=descriptor
+            )
+            return self._store(node)
+        mid = (lo + hi) // 2
+        left = self._build_range(
+            blob_id, version, lo, mid, written, indices, base_root, base_capacity, cache
+        )
+        right = self._build_range(
+            blob_id, version, mid, hi, written, indices, base_root, base_capacity, cache
+        )
+        node = TreeNode(key=NodeKey(blob_id, version, lo, hi), left=left, right=right)
+        return self._store(node)
+
+    # -- lookups ------------------------------------------------------------------
+    def lookup(
+        self,
+        root: NodeKey | None,
+        first_page: int,
+        last_page: int,
+    ) -> dict[int, PageDescriptor]:
+        """Return descriptors for the page indices in ``[first_page, last_page)``.
+
+        Indices that were never written (holes) are absent from the result;
+        callers decide whether holes are an error (reads) or expected
+        (sparse blobs).
+        """
+        if first_page < 0 or last_page < first_page:
+            raise ValueError(
+                f"invalid page lookup range [{first_page}, {last_page})"
+            )
+        result: dict[int, PageDescriptor] = {}
+        if root is None or first_page == last_page:
+            return result
+        self._collect(root, first_page, last_page, result)
+        return result
+
+    def _collect(
+        self,
+        key: NodeKey,
+        first: int,
+        last: int,
+        out: dict[int, PageDescriptor],
+    ) -> None:
+        if key.hi <= first or key.lo >= last:
+            return
+        node = self.fetch(key)
+        if node.is_leaf:
+            if node.page is None:
+                raise MetadataCorruptionError(f"leaf {key!r} carries no page")
+            out[key.lo] = node.page
+            return
+        if node.left is not None:
+            self._collect(node.left, first, last, out)
+        if node.right is not None:
+            self._collect(node.right, first, last, out)
+
+    # -- introspection ------------------------------------------------------------
+    def count_nodes(self, root: NodeKey | None) -> int:
+        """Number of reachable nodes from ``root`` (shared nodes counted once)."""
+        if root is None:
+            return 0
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            key = stack.pop()
+            dht_key = key.dht_key()
+            if dht_key in seen:
+                continue
+            seen.add(dht_key)
+            node = self.fetch(key)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return len(seen)
+
+    def nodes_created_by(self, blob_id: int, version: int) -> int:
+        """Number of DHT-stored tree nodes whose key carries ``version``.
+
+        Because shared nodes keep the key of the version that created them,
+        this measures the metadata cost of one write — the quantity the
+        metadata ablation benchmark (A3 in DESIGN.md) reports.
+        """
+        prefix = f"meta:{blob_id}:{version}:"
+        count = 0
+        for provider in self._dht.providers:
+            count += sum(1 for k in provider.keys() if k.startswith(prefix))
+        return count

@@ -1,0 +1,288 @@
+"""Provider manager: allocation of pages to data providers.
+
+The provider manager is the BlobSeer entity that decides, for every page of
+an incoming write, which providers will store its replicas.  The paper
+attributes BSFS's sustained throughput under concurrency primarily to this
+component's *load-balancing* strategy, in contrast to HDFS's local-first
+chunk placement — so the strategies here are deliberately pluggable and the
+same classes are reused by the cluster simulator.
+
+Three strategies are provided:
+
+* :class:`LoadBalancedStrategy` — the BlobSeer default: each page replica
+  goes to the least-loaded available provider (pages stored, then pages
+  written, then a round-robin tiebreak), skipping providers already used
+  for the same page.
+* :class:`RandomStrategy` — uniform random placement (ablation baseline).
+* :class:`LocalFirstStrategy` — always places the first replica on the
+  writer's "local" provider, mimicking the HDFS policy the paper contrasts
+  against (ablation baseline).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from .errors import AllocationError, NoProvidersError
+from .provider import DataProvider, ProviderStats
+
+__all__ = [
+    "AllocationStrategy",
+    "LoadBalancedStrategy",
+    "RandomStrategy",
+    "LocalFirstStrategy",
+    "make_strategy",
+    "ProviderManager",
+]
+
+
+class AllocationStrategy(ABC):
+    """Strategy interface: choose providers for the replicas of one page."""
+
+    @abstractmethod
+    def select(
+        self,
+        stats: Sequence[ProviderStats],
+        replication: int,
+        *,
+        client_hint: int | None = None,
+        pending: dict[int, int] | None = None,
+    ) -> list[int]:
+        """Return ``replication`` distinct provider ids for one page.
+
+        Parameters
+        ----------
+        stats:
+            Current statistics of every *available* provider.
+        replication:
+            Number of distinct providers to choose.
+        client_hint:
+            Provider id co-located with the writing client (may be ``None``).
+        pending:
+            Pages already allocated to each provider within the current
+            allocation batch but not yet written; strategies should count
+            these as load so a large write spreads evenly.
+        """
+
+
+class LoadBalancedStrategy(AllocationStrategy):
+    """BlobSeer's default: replicas go to the least-loaded providers."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._round_robin = 0
+
+    def select(
+        self,
+        stats: Sequence[ProviderStats],
+        replication: int,
+        *,
+        client_hint: int | None = None,
+        pending: dict[int, int] | None = None,
+    ) -> list[int]:
+        pending = pending or {}
+        self._round_robin += 1
+        ranked = sorted(
+            stats,
+            key=lambda s: (
+                s.pages_stored + pending.get(s.provider_id, 0),
+                s.pages_written,
+                (s.provider_id + self._round_robin) % max(len(stats), 1),
+            ),
+        )
+        return [s.provider_id for s in ranked[:replication]]
+
+
+class RandomStrategy(AllocationStrategy):
+    """Uniform random placement, used as an ablation baseline."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(
+        self,
+        stats: Sequence[ProviderStats],
+        replication: int,
+        *,
+        client_hint: int | None = None,
+        pending: dict[int, int] | None = None,
+    ) -> list[int]:
+        ids = [s.provider_id for s in stats]
+        return self._rng.sample(ids, replication)
+
+
+class LocalFirstStrategy(AllocationStrategy):
+    """HDFS-like placement: first replica on the writer's local provider.
+
+    Remaining replicas are chosen like :class:`RandomStrategy`.  When the
+    client has no co-located provider the strategy degrades to random
+    placement.  This strategy exists to let the ablation benchmarks isolate
+    the effect of placement policy from everything else.
+    """
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(
+        self,
+        stats: Sequence[ProviderStats],
+        replication: int,
+        *,
+        client_hint: int | None = None,
+        pending: dict[int, int] | None = None,
+    ) -> list[int]:
+        ids = [s.provider_id for s in stats]
+        chosen: list[int] = []
+        if client_hint is not None and client_hint in ids:
+            chosen.append(client_hint)
+        remaining = [i for i in ids if i not in chosen]
+        extra = self._rng.sample(remaining, replication - len(chosen))
+        return chosen + extra
+
+
+_STRATEGIES = {
+    "load_balanced": LoadBalancedStrategy,
+    "random": RandomStrategy,
+    "local_first": LocalFirstStrategy,
+}
+
+
+def make_strategy(name: str, *, seed: int = 0) -> AllocationStrategy:
+    """Instantiate an allocation strategy by configuration name."""
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        raise AllocationError(f"unknown allocation strategy {name!r}") from None
+    return factory(seed=seed)
+
+
+class ProviderManager:
+    """Registry of data providers plus the page allocation service."""
+
+    def __init__(
+        self,
+        providers: Sequence[DataProvider] | None = None,
+        *,
+        strategy: AllocationStrategy | str = "load_balanced",
+        seed: int = 0,
+    ) -> None:
+        self._providers: dict[int, DataProvider] = {}
+        self._lock = threading.Lock()
+        if isinstance(strategy, str):
+            strategy = make_strategy(strategy, seed=seed)
+        self._strategy = strategy
+        for provider in providers or []:
+            self.register(provider)
+
+    # -- registry -----------------------------------------------------------------
+    def register(self, provider: DataProvider) -> None:
+        """Add a provider to the pool; its id must be unique."""
+        with self._lock:
+            if provider.provider_id in self._providers:
+                raise AllocationError(
+                    f"provider id {provider.provider_id} already registered"
+                )
+            self._providers[provider.provider_id] = provider
+
+    def unregister(self, provider_id: int) -> DataProvider:
+        """Remove and return a provider from the pool."""
+        with self._lock:
+            try:
+                return self._providers.pop(provider_id)
+            except KeyError:
+                raise AllocationError(
+                    f"provider id {provider_id} is not registered"
+                ) from None
+
+    def get(self, provider_id: int) -> DataProvider:
+        """Return the provider registered under ``provider_id``."""
+        with self._lock:
+            try:
+                return self._providers[provider_id]
+            except KeyError:
+                raise AllocationError(
+                    f"provider id {provider_id} is not registered"
+                ) from None
+
+    @property
+    def providers(self) -> list[DataProvider]:
+        """All registered providers (including failed ones)."""
+        with self._lock:
+            return list(self._providers.values())
+
+    @property
+    def provider_ids(self) -> list[int]:
+        """Ids of all registered providers."""
+        with self._lock:
+            return list(self._providers.keys())
+
+    def available_stats(self) -> list[ProviderStats]:
+        """Statistics snapshots of the providers currently accepting requests."""
+        return [p.stats() for p in self.providers if p.available]
+
+    # -- allocation ---------------------------------------------------------------
+    def allocate(
+        self,
+        num_pages: int,
+        replication: int,
+        *,
+        client_hint: int | None = None,
+    ) -> list[tuple[int, ...]]:
+        """Choose providers for ``num_pages`` pages with ``replication`` replicas each.
+
+        Returns one tuple of distinct provider ids per page.  The allocation
+        for the whole batch is computed under a single lock so concurrent
+        writers see a consistent view of provider load, and intra-batch
+        allocations are themselves counted as load (``pending``) so a single
+        large write stripes evenly across the pool.
+        """
+        if num_pages < 0:
+            raise AllocationError("cannot allocate a negative number of pages")
+        if replication < 1:
+            raise AllocationError("replication must be at least 1")
+        with self._lock:
+            available = [p for p in self._providers.values() if p.available]
+            if not available:
+                raise NoProvidersError("no data providers are available")
+            if replication > len(available):
+                raise AllocationError(
+                    f"replication {replication} exceeds available providers "
+                    f"({len(available)})"
+                )
+            stats = [p.stats() for p in available]
+            pending: dict[int, int] = {}
+            allocation: list[tuple[int, ...]] = []
+            for _ in range(num_pages):
+                chosen = self._strategy.select(
+                    stats, replication, client_hint=client_hint, pending=pending
+                )
+                if len(set(chosen)) != replication:
+                    raise AllocationError(
+                        "allocation strategy returned duplicate providers"
+                    )
+                for provider_id in chosen:
+                    pending[provider_id] = pending.get(provider_id, 0) + 1
+                allocation.append(tuple(chosen))
+            return allocation
+
+    # -- monitoring ---------------------------------------------------------------
+    def distribution(self) -> dict[int, int]:
+        """Map provider id -> number of pages stored (load-balance metric)."""
+        return {p.provider_id: p.stats().pages_stored for p in self.providers}
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of pages stored across available providers.
+
+        A perfectly balanced pool has imbalance 1.0; the metric is used by
+        ablation benchmarks to compare allocation strategies.
+        """
+        counts = [
+            p.stats().pages_stored for p in self.providers if p.available
+        ]
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean

@@ -1,0 +1,233 @@
+"""Page replication: writing replicas, replica selection, scrubbing and repair.
+
+BlobSeer tolerates data-provider failures through page-level replication.
+This module concentrates the replica-handling logic used by the client:
+
+* :func:`write_replicas` — push one page to each provider of its replica
+  set, tolerating individual provider failures as long as at least one
+  replica lands.
+* :func:`read_page` — fetch a page from one of its replicas, choosing the
+  replica according to the configured policy and failing over to the next
+  one on provider failure.
+* :class:`ReplicationManager` — scrubbing (detecting under-replicated
+  pages) and healing (copying surviving replicas onto additional providers)
+  so that a blob can be brought back to its target replication level after
+  provider crashes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .errors import PageNotFoundError, ProviderUnavailableError
+from .pages import PageDescriptor, PageKey
+from .provider_manager import ProviderManager
+
+__all__ = [
+    "write_replicas",
+    "read_page",
+    "ScrubReport",
+    "ReplicationManager",
+]
+
+
+def write_replicas(
+    provider_manager: ProviderManager,
+    key: PageKey,
+    data: bytes,
+    provider_ids: Sequence[int],
+) -> tuple[int, ...]:
+    """Write ``data`` under ``key`` on every provider in ``provider_ids``.
+
+    Returns the ids of the providers that actually stored a replica.  At
+    least one replica must succeed, otherwise the page would be lost and a
+    :class:`~repro.core.errors.ProviderUnavailableError` is raised.
+    """
+    stored: list[int] = []
+    last_error: Exception | None = None
+    for provider_id in provider_ids:
+        provider = provider_manager.get(provider_id)
+        try:
+            provider.put_page(key, data)
+            stored.append(provider_id)
+        except ProviderUnavailableError as exc:
+            last_error = exc
+    if not stored:
+        raise last_error if last_error else ProviderUnavailableError(provider_ids)
+    return tuple(stored)
+
+
+def _order_replicas(
+    provider_manager: ProviderManager,
+    descriptor: PageDescriptor,
+    policy: str,
+    rng: random.Random,
+) -> list[int]:
+    """Return the descriptor's providers ordered by the replica-selection policy."""
+    providers = list(descriptor.providers)
+    if policy == "first" or len(providers) == 1:
+        return providers
+    if policy == "random":
+        rng.shuffle(providers)
+        return providers
+    if policy == "least_loaded":
+        def load(provider_id: int) -> tuple[int, int]:
+            try:
+                stats = provider_manager.get(provider_id).stats()
+            except Exception:  # unregistered provider: try it last
+                return (1 << 62, 1 << 62)
+            return (stats.pages_read, stats.bytes_read)
+
+        return sorted(providers, key=load)
+    raise ValueError(f"unknown read replica policy {policy!r}")
+
+
+def read_page(
+    provider_manager: ProviderManager,
+    descriptor: PageDescriptor,
+    *,
+    policy: str = "least_loaded",
+    rng: random.Random | None = None,
+) -> bytes:
+    """Fetch the page described by ``descriptor`` from one of its replicas.
+
+    Replicas are tried in policy order; provider failures and missing
+    replicas trigger failover to the next replica.  If every replica is
+    unreachable a :class:`~repro.core.errors.PageNotFoundError` is raised.
+    """
+    rng = rng or random.Random(descriptor.key.index)
+    for provider_id in _order_replicas(provider_manager, descriptor, policy, rng):
+        try:
+            provider = provider_manager.get(provider_id)
+            return provider.get_page(descriptor.key)
+        except (ProviderUnavailableError, KeyError):
+            continue
+        except Exception:
+            continue
+    raise PageNotFoundError(descriptor.key)
+
+
+@dataclass(frozen=True, slots=True)
+class ScrubReport:
+    """Result of scrubbing a set of page descriptors."""
+
+    total_pages: int
+    healthy_pages: int
+    under_replicated: tuple[PageDescriptor, ...]
+    lost: tuple[PageDescriptor, ...]
+
+    @property
+    def is_healthy(self) -> bool:
+        """True when every page has its full replica set available."""
+        return not self.under_replicated and not self.lost
+
+
+class ReplicationManager:
+    """Scrub and heal the replicas of a set of pages."""
+
+    def __init__(self, provider_manager: ProviderManager, *, seed: int = 0) -> None:
+        self._pm = provider_manager
+        self._rng = random.Random(seed)
+
+    def live_replicas(self, descriptor: PageDescriptor) -> list[int]:
+        """Provider ids of the descriptor's replicas that are currently readable."""
+        live: list[int] = []
+        for provider_id in descriptor.providers:
+            try:
+                provider = self._pm.get(provider_id)
+            except Exception:
+                continue
+            if provider.available and provider.has_page(descriptor.key):
+                live.append(provider_id)
+        return live
+
+    def scrub(
+        self, descriptors: Iterable[PageDescriptor], *, target_replication: int
+    ) -> ScrubReport:
+        """Classify pages as healthy, under-replicated or lost."""
+        total = 0
+        healthy = 0
+        under: list[PageDescriptor] = []
+        lost: list[PageDescriptor] = []
+        for descriptor in descriptors:
+            total += 1
+            live = self.live_replicas(descriptor)
+            if not live:
+                lost.append(descriptor)
+            elif len(live) < target_replication:
+                under.append(descriptor)
+            else:
+                healthy += 1
+        return ScrubReport(
+            total_pages=total,
+            healthy_pages=healthy,
+            under_replicated=tuple(under),
+            lost=tuple(lost),
+        )
+
+    def heal(
+        self,
+        descriptor: PageDescriptor,
+        *,
+        target_replication: int,
+    ) -> PageDescriptor:
+        """Copy a surviving replica onto fresh providers until the target is met.
+
+        Returns a new descriptor whose provider list reflects the healed
+        placement (the original descriptor is immutable).  Raises
+        :class:`~repro.core.errors.PageNotFoundError` when no replica
+        survives.
+        """
+        live = self.live_replicas(descriptor)
+        if not live:
+            raise PageNotFoundError(descriptor.key)
+        if len(live) >= target_replication:
+            return PageDescriptor(
+                key=descriptor.key, providers=tuple(live), size=descriptor.size
+            )
+        data = read_page(
+            self._pm,
+            PageDescriptor(descriptor.key, tuple(live), descriptor.size),
+            policy="first",
+        )
+        candidates = [
+            p.provider_id
+            for p in self._pm.providers
+            if p.available and p.provider_id not in live
+        ]
+        self._rng.shuffle(candidates)
+        needed = target_replication - len(live)
+        new_homes = candidates[:needed]
+        stored = list(live)
+        for provider_id in new_homes:
+            try:
+                self._pm.get(provider_id).put_page(descriptor.key, data)
+                stored.append(provider_id)
+            except ProviderUnavailableError:
+                continue
+        return PageDescriptor(
+            key=descriptor.key, providers=tuple(stored), size=descriptor.size
+        )
+
+    def heal_all(
+        self,
+        descriptors: Iterable[PageDescriptor],
+        *,
+        target_replication: int,
+    ) -> dict[int, PageDescriptor]:
+        """Heal every under-replicated page; returns ``{page index: new descriptor}``.
+
+        Pages whose replicas all vanished are skipped (they cannot be
+        healed); callers can detect them through :meth:`scrub`.
+        """
+        healed: dict[int, PageDescriptor] = {}
+        for descriptor in descriptors:
+            try:
+                healed[descriptor.index] = self.heal(
+                    descriptor, target_replication=target_replication
+                )
+            except PageNotFoundError:
+                continue
+        return healed

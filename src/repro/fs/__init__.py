@@ -1,0 +1,43 @@
+"""Shared file-system abstractions: paths, errors and the Hadoop-style API."""
+
+from .errors import (
+    DirectoryNotEmptyError,
+    FileSystemError,
+    InvalidPathError,
+    IsADirectoryError,
+    LeaseConflictError,
+    NoSuchPathError,
+    NotADirectoryError,
+    PathExistsError,
+    StreamClosedError,
+    UnsupportedOperationError,
+)
+from .interface import (
+    BlockLocation,
+    FileStatus,
+    FileSystem,
+    InputStream,
+    OutputStream,
+    copy_path,
+)
+from . import path
+
+__all__ = [
+    "path",
+    "FileSystem",
+    "InputStream",
+    "OutputStream",
+    "BlockLocation",
+    "FileStatus",
+    "copy_path",
+    "FileSystemError",
+    "InvalidPathError",
+    "NoSuchPathError",
+    "PathExistsError",
+    "NotADirectoryError",
+    "IsADirectoryError",
+    "DirectoryNotEmptyError",
+    "LeaseConflictError",
+    "StreamClosedError",
+    "UnsupportedOperationError",
+]

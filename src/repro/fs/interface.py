@@ -1,0 +1,333 @@
+"""Abstract file-system interface shared by BSFS, HDFS and MapReduce.
+
+The MapReduce engine (and the examples and benchmarks) only talk to storage
+through this interface, exactly as Hadoop talks to any of its pluggable
+``FileSystem`` implementations.  Swapping HDFS for BSFS — the paper's whole
+point — is therefore a one-line change in application code.
+
+The interface follows Hadoop's semantics rather than POSIX:
+
+* files are written sequentially through an :class:`OutputStream` obtained
+  from :meth:`FileSystem.create` (or :meth:`FileSystem.append` where
+  supported);
+* reads go through an :class:`InputStream` supporting positional reads;
+* :meth:`FileSystem.block_locations` exposes the data layout so a scheduler
+  can place computation close to the data.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .errors import StreamClosedError
+
+__all__ = [
+    "BlockLocation",
+    "FileStatus",
+    "OutputStream",
+    "InputStream",
+    "FileSystem",
+    "copy_path",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockLocation:
+    """Location of one block (or block-sized region) of a file."""
+
+    offset: int
+    length: int
+    hosts: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ValueError("block offset and length must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class FileStatus:
+    """Metadata describing one namespace entry."""
+
+    path: str
+    is_dir: bool
+    size: int
+    block_size: int
+    replication: int
+    modification_time: float = field(default_factory=time.time)
+
+    @property
+    def is_file(self) -> bool:
+        """Whether the entry is a regular file."""
+        return not self.is_dir
+
+
+class OutputStream(ABC):
+    """Sequential writer for one file."""
+
+    def __init__(self) -> None:
+        self._closed = False
+        self._written = 0
+
+    @property
+    def closed(self) -> bool:
+        """Whether the stream has been closed."""
+        return self._closed
+
+    @property
+    def bytes_written(self) -> int:
+        """Total number of bytes accepted by :meth:`write` so far."""
+        return self._written
+
+    def write(self, data: bytes) -> int:
+        """Append ``data`` to the file; returns the number of bytes written."""
+        if self._closed:
+            raise StreamClosedError("write on a closed output stream")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("output streams accept bytes-like objects only")
+        data = bytes(data)
+        if data:
+            self._write(data)
+            self._written += len(data)
+        return len(data)
+
+    @abstractmethod
+    def _write(self, data: bytes) -> None:
+        """Implementation hook performing the actual write."""
+
+    def flush(self) -> None:
+        """Push buffered data towards storage (best effort; may be a no-op)."""
+
+    def close(self) -> None:
+        """Flush outstanding data and seal the file."""
+        if self._closed:
+            return
+        self._close()
+        self._closed = True
+
+    @abstractmethod
+    def _close(self) -> None:
+        """Implementation hook performing the final flush/commit."""
+
+    def __enter__(self) -> "OutputStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InputStream(ABC):
+    """Reader for one file, supporting sequential and positional reads."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._position = 0
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        """Length of the file when the stream was opened."""
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        """Whether the stream has been closed."""
+        return self._closed
+
+    def tell(self) -> int:
+        """Current read position."""
+        return self._position
+
+    def seek(self, offset: int) -> int:
+        """Move the read position to ``offset`` (clamped to the file size)."""
+        if offset < 0:
+            raise ValueError("cannot seek to a negative offset")
+        self._position = min(offset, self._size)
+        return self._position
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to ``size`` bytes from the current position (all when < 0)."""
+        if self._closed:
+            raise StreamClosedError("read on a closed input stream")
+        remaining = self._size - self._position
+        if remaining <= 0:
+            return b""
+        if size < 0 or size > remaining:
+            size = remaining
+        data = self._pread(self._position, size)
+        self._position += len(data)
+        return data
+
+    def pread(self, offset: int, size: int) -> bytes:
+        """Positional read that does not move the stream position."""
+        if self._closed:
+            raise StreamClosedError("pread on a closed input stream")
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        if offset >= self._size:
+            return b""
+        size = min(size, self._size - offset)
+        return self._pread(offset, size)
+
+    @abstractmethod
+    def _pread(self, offset: int, size: int) -> bytes:
+        """Implementation hook: read exactly ``size`` bytes at ``offset``."""
+
+    def close(self) -> None:
+        """Release the stream's resources."""
+        self._closed = True
+
+    def __enter__(self) -> "InputStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[bytes]:
+        """Iterate over the remaining content in 1 MiB chunks."""
+        while True:
+            chunk = self.read(1024 * 1024)
+            if not chunk:
+                return
+            yield chunk
+
+
+class FileSystem(ABC):
+    """Hadoop-style file system API implemented by BSFS and the HDFS baseline."""
+
+    #: Human-readable scheme name (``"bsfs"``, ``"hdfs"``), used in reports.
+    scheme: str = "fs"
+
+    # -- file creation / access ----------------------------------------------------
+    @abstractmethod
+    def create(
+        self,
+        path: str,
+        *,
+        overwrite: bool = False,
+        block_size: int | None = None,
+        replication: int | None = None,
+        client_host: str | None = None,
+    ) -> OutputStream:
+        """Create ``path`` and return a stream for writing its content."""
+
+    @abstractmethod
+    def open(self, path: str, *, client_host: str | None = None) -> InputStream:
+        """Open an existing file for reading."""
+
+    def append(self, path: str, *, client_host: str | None = None) -> OutputStream:
+        """Open an existing file for appending (optional operation)."""
+        from .errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError(
+            f"{self.scheme} does not support appending to {path!r}"
+        )
+
+    # -- namespace -------------------------------------------------------------------
+    @abstractmethod
+    def mkdirs(self, path: str) -> None:
+        """Create a directory and any missing ancestors (idempotent)."""
+
+    @abstractmethod
+    def delete(self, path: str, *, recursive: bool = False) -> None:
+        """Delete a file or directory."""
+
+    @abstractmethod
+    def rename(self, src: str, dst: str) -> None:
+        """Rename/move ``src`` to ``dst``."""
+
+    @abstractmethod
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` exists."""
+
+    @abstractmethod
+    def status(self, path: str) -> FileStatus:
+        """Return the :class:`FileStatus` of ``path``."""
+
+    @abstractmethod
+    def list_dir(self, path: str) -> list[FileStatus]:
+        """List the entries of a directory (sorted by path)."""
+
+    # -- locality ----------------------------------------------------------------------
+    @abstractmethod
+    def block_locations(
+        self, path: str, offset: int = 0, length: int | None = None
+    ) -> list[BlockLocation]:
+        """Expose where the blocks of ``path`` live (for locality-aware scheduling)."""
+
+    # -- convenience helpers -------------------------------------------------------
+    def is_dir(self, path: str) -> bool:
+        """Whether ``path`` exists and is a directory."""
+        return self.exists(path) and self.status(path).is_dir
+
+    def is_file(self, path: str) -> bool:
+        """Whether ``path`` exists and is a regular file."""
+        return self.exists(path) and self.status(path).is_file
+
+    def size(self, path: str) -> int:
+        """Size in bytes of the file at ``path``."""
+        return self.status(path).size
+
+    def read_file(self, path: str) -> bytes:
+        """Read an entire file into memory (convenience for small files)."""
+        with self.open(path) as stream:
+            return stream.read()
+
+    def write_file(
+        self,
+        path: str,
+        data: bytes,
+        *,
+        overwrite: bool = False,
+        block_size: int | None = None,
+        replication: int | None = None,
+    ) -> None:
+        """Create ``path`` with content ``data`` (convenience for small files)."""
+        with self.create(
+            path,
+            overwrite=overwrite,
+            block_size=block_size,
+            replication=replication,
+        ) as stream:
+            stream.write(data)
+
+    def list_files(self, path: str, *, recursive: bool = False) -> list[FileStatus]:
+        """List the regular files under ``path`` (optionally recursively)."""
+        result: list[FileStatus] = []
+        for entry in self.list_dir(path):
+            if entry.is_dir:
+                if recursive:
+                    result.extend(self.list_files(entry.path, recursive=True))
+            else:
+                result.append(entry)
+        return sorted(result, key=lambda status: status.path)
+
+
+def copy_path(
+    source_fs: FileSystem,
+    source_path: str,
+    target_fs: FileSystem,
+    target_path: str,
+    *,
+    chunk_size: int = 4 * 1024 * 1024,
+    overwrite: bool = False,
+) -> int:
+    """Copy one file between (possibly different) file systems.
+
+    Returns the number of bytes copied.  Used by examples and by the
+    versioned-workflow extension benchmark to stage data between BSFS and
+    HDFS deployments.
+    """
+    copied = 0
+    with source_fs.open(source_path) as src, target_fs.create(
+        target_path, overwrite=overwrite
+    ) as dst:
+        while True:
+            chunk = src.read(chunk_size)
+            if not chunk:
+                break
+            dst.write(chunk)
+            copied += len(chunk)
+    return copied

@@ -1,0 +1,90 @@
+"""Path handling shared by every file system implementation.
+
+All file systems in this package use absolute, ``/``-separated paths with no
+notion of a working directory (as HDFS and BSFS do).  The helpers here
+normalise user-supplied paths, split them into components, and compute
+parents and basenames; every namespace implementation builds on them so the
+semantics of odd inputs (``//a//b/``, ``"."`` segments, empty strings) are
+identical across BSFS and the HDFS baseline.
+"""
+
+from __future__ import annotations
+
+from .errors import InvalidPathError
+
+__all__ = [
+    "ROOT",
+    "normalize",
+    "components",
+    "parent",
+    "basename",
+    "join",
+    "is_ancestor",
+]
+
+#: The root directory path.
+ROOT = "/"
+
+
+def normalize(path: str) -> str:
+    """Return the canonical form of ``path``.
+
+    The canonical form is absolute, uses single ``/`` separators, carries no
+    trailing slash (except for the root itself) and contains no ``.`` or
+    empty components.  ``..`` components are rejected — neither HDFS nor
+    BSFS resolve relative traversal server-side.
+    """
+    if not isinstance(path, str) or not path:
+        raise InvalidPathError(path, "paths must be non-empty strings")
+    if not path.startswith("/"):
+        raise InvalidPathError(path, "paths must be absolute (start with '/')")
+    parts: list[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            raise InvalidPathError(path, "'..' components are not supported")
+        parts.append(part)
+    return ROOT + "/".join(parts)
+
+
+def components(path: str) -> list[str]:
+    """Split a path into its (normalised) components; the root has none."""
+    norm = normalize(path)
+    if norm == ROOT:
+        return []
+    return norm[1:].split("/")
+
+
+def parent(path: str) -> str:
+    """Return the parent directory of ``path`` (the root is its own parent)."""
+    parts = components(path)
+    if not parts:
+        return ROOT
+    return ROOT + "/".join(parts[:-1])
+
+
+def basename(path: str) -> str:
+    """Return the last component of ``path`` (empty string for the root)."""
+    parts = components(path)
+    return parts[-1] if parts else ""
+
+
+def join(base: str, *parts: str) -> str:
+    """Join path fragments under ``base`` and normalise the result."""
+    pieces = [normalize(base).rstrip("/")]
+    for part in parts:
+        cleaned = part.strip("/")
+        if cleaned:
+            pieces.append(cleaned)
+    joined = "/".join(pieces)
+    return normalize(joined if joined.startswith("/") else "/" + joined)
+
+
+def is_ancestor(ancestor: str, path: str) -> bool:
+    """Whether ``ancestor`` is ``path`` itself or one of its ancestors."""
+    ancestor_norm = normalize(ancestor)
+    path_norm = normalize(path)
+    if ancestor_norm == ROOT:
+        return True
+    return path_norm == ancestor_norm or path_norm.startswith(ancestor_norm + "/")

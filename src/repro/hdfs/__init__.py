@@ -1,0 +1,27 @@
+"""HDFS-like baseline file system (the paper's comparison system)."""
+
+from .block_placement import (
+    BlockPlacementPolicy,
+    DefaultPlacementPolicy,
+    RandomPlacementPolicy,
+    make_placement_policy,
+)
+from .datanode import DataNode, DataNodeStats
+from .filesystem import DEFAULT_BLOCK_SIZE, HDFS, HDFSInputStream, HDFSOutputStream
+from .namenode import BlockMeta, HDFSFilePayload, NameNode
+
+__all__ = [
+    "HDFS",
+    "DEFAULT_BLOCK_SIZE",
+    "NameNode",
+    "DataNode",
+    "DataNodeStats",
+    "BlockMeta",
+    "HDFSFilePayload",
+    "HDFSInputStream",
+    "HDFSOutputStream",
+    "BlockPlacementPolicy",
+    "DefaultPlacementPolicy",
+    "RandomPlacementPolicy",
+    "make_placement_policy",
+]

@@ -1,0 +1,128 @@
+"""HDFS datanodes: block storage servers of the baseline file system.
+
+The paper's comparison system is HDFS, whose "servers called datanodes are
+responsible for storing data".  A :class:`DataNode` stores whole blocks
+(64 MB by default in the paper's setup) and keeps the counters the
+benchmarks and the placement policy rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..core.errors import ProviderUnavailableError
+
+__all__ = ["DataNodeStats", "DataNode"]
+
+
+@dataclass(frozen=True, slots=True)
+class DataNodeStats:
+    """Immutable snapshot of a datanode's counters."""
+
+    node_id: int
+    host: str
+    rack: str
+    blocks_stored: int
+    bytes_stored: int
+    blocks_written: int
+    blocks_read: int
+    bytes_written: int
+    bytes_read: int
+    available: bool
+
+
+class DataNode:
+    """One HDFS storage server, holding whole blocks."""
+
+    def __init__(self, node_id: int, *, host: str | None = None, rack: str | None = None) -> None:
+        self.node_id = node_id
+        self.host = host if host is not None else f"datanode-{node_id}"
+        self.rack = rack if rack is not None else f"rack-{node_id % 8}"
+        self._blocks: dict[int, bytes] = {}
+        self._lock = threading.Lock()
+        self._available = True
+        self._blocks_written = 0
+        self._blocks_read = 0
+        self._bytes_written = 0
+        self._bytes_read = 0
+
+    # -- availability -------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether the datanode currently serves requests."""
+        return self._available
+
+    def fail(self) -> None:
+        """Simulate a datanode crash."""
+        with self._lock:
+            self._available = False
+
+    def recover(self) -> None:
+        """Bring a failed datanode back (its blocks survive)."""
+        with self._lock:
+            self._available = True
+
+    def _check(self) -> None:
+        if not self._available:
+            raise ProviderUnavailableError(f"datanode-{self.node_id}")
+
+    # -- block I/O ----------------------------------------------------------------
+    def write_block(self, block_id: int, data: bytes) -> None:
+        """Store one block replica."""
+        with self._lock:
+            self._check()
+            self._blocks[block_id] = data
+            self._blocks_written += 1
+            self._bytes_written += len(data)
+
+    def read_block(self, block_id: int, offset: int = 0, length: int | None = None) -> bytes:
+        """Read (part of) a block replica."""
+        with self._lock:
+            self._check()
+            data = self._blocks[block_id]
+            if length is None:
+                length = len(data) - offset
+            chunk = data[offset : offset + length]
+            self._blocks_read += 1
+            self._bytes_read += len(chunk)
+            return chunk
+
+    def has_block(self, block_id: int) -> bool:
+        """Whether the datanode stores a replica of ``block_id``."""
+        with self._lock:
+            return self._available and block_id in self._blocks
+
+    def delete_block(self, block_id: int) -> None:
+        """Drop a block replica (no error if absent, mirroring HDFS)."""
+        with self._lock:
+            self._check()
+            self._blocks.pop(block_id, None)
+
+    def block_ids(self) -> list[int]:
+        """Ids of the blocks stored on this datanode."""
+        with self._lock:
+            return list(self._blocks.keys())
+
+    # -- statistics ---------------------------------------------------------------
+    def stats(self) -> DataNodeStats:
+        """Consistent snapshot of the datanode's counters."""
+        with self._lock:
+            return DataNodeStats(
+                node_id=self.node_id,
+                host=self.host,
+                rack=self.rack,
+                blocks_stored=len(self._blocks),
+                bytes_stored=sum(len(b) for b in self._blocks.values()),
+                blocks_written=self._blocks_written,
+                blocks_read=self._blocks_read,
+                bytes_written=self._bytes_written,
+                bytes_read=self._bytes_read,
+                available=self._available,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataNode(id={self.node_id}, host={self.host!r}, rack={self.rack!r}, "
+            f"blocks={len(self._blocks)})"
+        )

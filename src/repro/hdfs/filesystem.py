@@ -1,0 +1,291 @@
+"""HDFS baseline file system: write-once blocks, pipeline replication.
+
+The comparison system of the paper.  Semantics reproduced from the paper's
+description of HDFS:
+
+* files are split into large blocks (64 MB by default) stored on datanodes;
+* block replicas are placed by the rack-aware policy of
+  :mod:`repro.hdfs.block_placement` (first replica written *locally*);
+* a file has a single writer and, once written and closed, "the data cannot
+  be overwritten or appended to" — :meth:`HDFS.append` therefore raises
+  :class:`~repro.fs.errors.UnsupportedOperationError`, which is precisely
+  the capability gap BSFS fills;
+* readers fetch each block from the closest replica (same host, then same
+  rack, then any), mirroring Hadoop's topology-aware replica selection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+
+from ..core.errors import ProviderUnavailableError
+from ..fs import path as fspath
+from ..fs.errors import NoSuchPathError, UnsupportedOperationError
+from ..fs.interface import BlockLocation, FileStatus, FileSystem, InputStream, OutputStream
+from .block_placement import BlockPlacementPolicy
+from .datanode import DataNode
+from .namenode import NameNode
+
+__all__ = ["HDFS", "HDFSOutputStream", "HDFSInputStream"]
+
+#: Default HDFS block size (the paper: "Hadoop often makes use of data in 64 MB chunks").
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+class HDFSOutputStream(OutputStream):
+    """Single-writer output stream writing full blocks through a replication pipeline."""
+
+    def __init__(
+        self,
+        fs: "HDFS",
+        path: str,
+        *,
+        block_size: int,
+        lease_holder: str,
+        client_host: str | None,
+    ) -> None:
+        super().__init__()
+        self._fs = fs
+        self._path = path
+        self._block_size = block_size
+        self._lease_holder = lease_holder
+        self._client_host = client_host
+        self._buffer = bytearray()
+
+    def _write(self, data: bytes) -> None:
+        self._buffer += data
+        while len(self._buffer) >= self._block_size:
+            block = bytes(self._buffer[: self._block_size])
+            del self._buffer[: self._block_size]
+            self._fs._write_block(self._path, block, self._client_host)
+
+    def flush(self) -> None:
+        """HDFS only makes data visible per completed block; flush is a no-op."""
+
+    def _close(self) -> None:
+        if self._buffer:
+            self._fs._write_block(self._path, bytes(self._buffer), self._client_host)
+            self._buffer.clear()
+        self._fs.namenode.complete_file(self._path, self._lease_holder)
+
+
+class HDFSInputStream(InputStream):
+    """Reader choosing, per block, the closest live replica."""
+
+    def __init__(self, fs: "HDFS", path: str, *, client_host: str | None) -> None:
+        status = fs.namenode.status(path)
+        super().__init__(status.size)
+        self._fs = fs
+        self._path = path
+        self._client_host = client_host
+        # Snapshot the block list at open time (files are immutable once sealed).
+        self._blocks = fs.namenode.file_blocks(path)
+
+    def _pread(self, offset: int, size: int) -> bytes:
+        result = bytearray()
+        position = 0
+        remaining_start = offset
+        end = offset + size
+        for meta in self._blocks:
+            block_start = position
+            block_end = position + meta.length
+            position = block_end
+            if block_end <= remaining_start or block_start >= end:
+                continue
+            read_start = max(remaining_start, block_start) - block_start
+            read_end = min(end, block_end) - block_start
+            chunk = self._fs._read_block(
+                meta, read_start, read_end - read_start, self._client_host
+            )
+            result += chunk
+        return bytes(result)
+
+
+class HDFS(FileSystem):
+    """The HDFS-like baseline implementing the shared FileSystem API."""
+
+    scheme = "hdfs"
+
+    def __init__(
+        self,
+        *,
+        num_datanodes: int = 16,
+        datanodes: list[DataNode] | None = None,
+        racks: int = 4,
+        default_block_size: int = DEFAULT_BLOCK_SIZE,
+        default_replication: int = 1,
+        placement_policy: BlockPlacementPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        """Create an in-process HDFS deployment.
+
+        ``datanodes`` may be supplied explicitly (e.g. to control hosts and
+        racks); otherwise ``num_datanodes`` nodes are created and spread
+        round-robin over ``racks`` racks.
+        """
+        if datanodes is None:
+            datanodes = [
+                DataNode(i, host=f"node-{i}", rack=f"rack-{i % max(racks, 1)}")
+                for i in range(num_datanodes)
+            ]
+        self.namenode = NameNode(
+            datanodes,
+            placement_policy=placement_policy,
+            default_block_size=default_block_size,
+            default_replication=default_replication,
+        )
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._client_ids = itertools.count(1)
+
+    # -- helpers --------------------------------------------------------------------
+    @property
+    def datanodes(self) -> list[DataNode]:
+        """The deployment's datanodes."""
+        return self.namenode.datanodes
+
+    @property
+    def default_block_size(self) -> int:
+        """Block size applied to files created without an explicit one."""
+        return self.namenode.default_block_size
+
+    def _next_client(self, client_host: str | None) -> str:
+        with self._lock:
+            return f"{client_host or 'client'}-{next(self._client_ids)}"
+
+    # -- write path -----------------------------------------------------------------
+    def create(
+        self,
+        path: str,
+        *,
+        overwrite: bool = False,
+        block_size: int | None = None,
+        replication: int | None = None,
+        client_host: str | None = None,
+    ) -> HDFSOutputStream:
+        """Create a file for writing (single writer, sealed at close)."""
+        norm = fspath.normalize(path)
+        holder = self._next_client(client_host)
+
+        def _release_overwritten(entry) -> None:
+            for block_id in entry.payload.block_ids:
+                try:
+                    meta = self.namenode.block_meta(block_id)
+                except KeyError:
+                    continue
+                for node_id in meta.locations:
+                    node = self.namenode.datanode(node_id)
+                    if node.available:
+                        node.delete_block(block_id)
+
+        entry = self.namenode.create_file(
+            norm,
+            block_size=block_size,
+            replication=replication,
+            overwrite=overwrite,
+            lease_holder=holder,
+            on_overwrite=_release_overwritten,
+        )
+        return HDFSOutputStream(
+            self,
+            norm,
+            block_size=entry.block_size,
+            lease_holder=holder,
+            client_host=client_host,
+        )
+
+    def _write_block(self, path: str, data: bytes, client_host: str | None) -> None:
+        """Allocate a block and push it through the replication pipeline."""
+        meta, targets = self.namenode.add_block(path, writer_host=client_host)
+        written: list[int] = []
+        # The HDFS write pipeline forwards the block from replica to replica;
+        # functionally that is a sequential write to each chosen datanode.
+        for datanode in targets:
+            try:
+                datanode.write_block(meta.block_id, data)
+                written.append(datanode.node_id)
+            except ProviderUnavailableError:
+                continue
+        if not written:
+            raise ProviderUnavailableError(
+                f"no datanode accepted block {meta.block_id} of {path!r}"
+            )
+        self.namenode.commit_block(
+            path, meta.block_id, length=len(data), locations=written
+        )
+
+    # -- read path -------------------------------------------------------------------
+    def open(self, path: str, *, client_host: str | None = None) -> HDFSInputStream:
+        """Open a file for reading."""
+        norm = fspath.normalize(path)
+        if not self.namenode.tree.exists(norm):
+            raise NoSuchPathError(norm)
+        return HDFSInputStream(self, norm, client_host=client_host)
+
+    def _read_block(
+        self, meta, offset: int, length: int, client_host: str | None
+    ) -> bytes:
+        """Read part of a block from the closest live replica."""
+        replicas = [self.namenode.datanode(node_id) for node_id in meta.locations]
+        live = [d for d in replicas if d.available and d.has_block(meta.block_id)]
+        if not live:
+            raise ProviderUnavailableError(
+                f"all replicas of block {meta.block_id} are unavailable"
+            )
+        client_rack = None
+        for node in self.datanodes:
+            if client_host is not None and node.host == client_host:
+                client_rack = node.rack
+                break
+
+        def distance(node: DataNode) -> tuple[int, int]:
+            if client_host is not None and node.host == client_host:
+                return (0, node.stats().blocks_read)
+            if client_rack is not None and node.rack == client_rack:
+                return (1, node.stats().blocks_read)
+            return (2, node.stats().blocks_read)
+
+        best = min(live, key=distance)
+        return best.read_block(meta.block_id, offset, length)
+
+    # -- unsupported operations --------------------------------------------------------
+    def append(self, path: str, *, client_host: str | None = None) -> OutputStream:
+        """HDFS (as described in the paper) does not support append."""
+        raise UnsupportedOperationError(
+            "HDFS does not support appending to an existing file"
+        )
+
+    # -- namespace ----------------------------------------------------------------------
+    def mkdirs(self, path: str) -> None:
+        self.namenode.tree.mkdirs(path)
+
+    def delete(self, path: str, *, recursive: bool = False) -> None:
+        self.namenode.delete(path, recursive=recursive)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.namenode.tree.rename(src, dst)
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.tree.exists(path)
+
+    def status(self, path: str) -> FileStatus:
+        if not self.exists(path):
+            raise NoSuchPathError(fspath.normalize(path))
+        return self.namenode.status(path)
+
+    def list_dir(self, path: str) -> list[FileStatus]:
+        return self.namenode.list_status(path)
+
+    def block_locations(
+        self, path: str, offset: int = 0, length: int | None = None
+    ) -> list[BlockLocation]:
+        return self.namenode.block_locations(path, offset, length)
+
+    # -- monitoring ------------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate statistics (namenode report plus scheme tag)."""
+        report = self.namenode.report()
+        report["scheme"] = self.scheme
+        return report

@@ -1,0 +1,262 @@
+"""HDFS namenode: namespace, block map and block allocation.
+
+"The namenode takes care of the file system namespace and the data
+location."  This module reproduces that role for the baseline: it owns the
+directory tree (built on the shared :class:`~repro.fs.namespace.NamespaceTree`),
+maps every file to an ordered list of blocks, maps every block to the
+datanodes holding its replicas, and enforces HDFS's write-once,
+single-writer semantics (no appends, no overwrites of closed files).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from ..fs import path as fspath
+from ..fs.errors import NoSuchPathError, UnsupportedOperationError
+from ..fs.interface import BlockLocation, FileStatus
+from ..fs.namespace import DirectoryEntry, FileEntry, NamespaceTree
+from .block_placement import BlockPlacementPolicy, DefaultPlacementPolicy
+from .datanode import DataNode
+
+__all__ = ["BlockMeta", "HDFSFilePayload", "NameNode"]
+
+
+@dataclass
+class BlockMeta:
+    """Metadata of one HDFS block: replica locations and length."""
+
+    block_id: int
+    length: int = 0
+    locations: tuple[int, ...] = ()
+
+
+@dataclass
+class HDFSFilePayload:
+    """Per-file payload stored in the namespace: the ordered block list."""
+
+    block_ids: list[int] = field(default_factory=list)
+    sealed: bool = False
+
+
+class NameNode:
+    """Centralized metadata server of the HDFS baseline."""
+
+    def __init__(
+        self,
+        datanodes: list[DataNode],
+        *,
+        placement_policy: BlockPlacementPolicy | None = None,
+        default_block_size: int = 64 * 1024 * 1024,
+        default_replication: int = 1,
+    ) -> None:
+        self._tree: NamespaceTree[HDFSFilePayload] = NamespaceTree()
+        self._datanodes: dict[int, DataNode] = {d.node_id: d for d in datanodes}
+        self._blocks: dict[int, BlockMeta] = {}
+        self._block_ids = itertools.count(1)
+        self._policy = placement_policy or DefaultPlacementPolicy()
+        self._lock = threading.Lock()
+        self.default_block_size = default_block_size
+        self.default_replication = default_replication
+
+    # -- cluster membership ----------------------------------------------------------
+    @property
+    def datanodes(self) -> list[DataNode]:
+        """The datanodes registered with this namenode."""
+        return list(self._datanodes.values())
+
+    def datanode(self, node_id: int) -> DataNode:
+        """Look up a datanode by id."""
+        return self._datanodes[node_id]
+
+    def register_datanode(self, datanode: DataNode) -> None:
+        """Add a datanode to the cluster."""
+        with self._lock:
+            self._datanodes[datanode.node_id] = datanode
+
+    # -- namespace --------------------------------------------------------------------
+    @property
+    def tree(self) -> NamespaceTree[HDFSFilePayload]:
+        """The namespace tree (shared semantics with BSFS)."""
+        return self._tree
+
+    def create_file(
+        self,
+        path: str,
+        *,
+        block_size: int | None,
+        replication: int | None,
+        overwrite: bool,
+        lease_holder: str,
+        on_overwrite=None,
+    ) -> FileEntry[HDFSFilePayload]:
+        """Create a file entry under a write lease."""
+        return self._tree.create_file(
+            path,
+            payload_factory=HDFSFilePayload,
+            block_size=block_size or self.default_block_size,
+            replication=replication or self.default_replication,
+            overwrite=overwrite,
+            lease_holder=lease_holder,
+            on_overwrite=on_overwrite,
+        )
+
+    def status(self, path: str) -> FileStatus:
+        """Return the :class:`FileStatus` of ``path``."""
+        norm = fspath.normalize(path)
+        entry = self._tree.get_entry(norm)
+        if isinstance(entry, DirectoryEntry):
+            return FileStatus(
+                path=norm,
+                is_dir=True,
+                size=0,
+                block_size=0,
+                replication=0,
+                modification_time=entry.modification_time,
+            )
+        return FileStatus(
+            path=norm,
+            is_dir=False,
+            size=entry.size,
+            block_size=entry.block_size,
+            replication=entry.replication,
+            modification_time=entry.modification_time,
+        )
+
+    def list_status(self, path: str) -> list[FileStatus]:
+        """Statuses of a directory's children."""
+        result = []
+        for child_path, _entry in self._tree.list_dir(path):
+            result.append(self.status(child_path))
+        return result
+
+    # -- block allocation ---------------------------------------------------------------
+    def add_block(
+        self, path: str, *, writer_host: str | None = None
+    ) -> tuple[BlockMeta, list[DataNode]]:
+        """Allocate the next block of ``path`` and choose its target datanodes.
+
+        Mirrors ``ClientProtocol.addBlock``: called by the output stream each
+        time its buffer reaches the block size.
+        """
+        with self._lock:
+            entry = self._tree.get_file(path)
+            if entry.payload.sealed:
+                raise UnsupportedOperationError(
+                    f"file {path!r} is closed; HDFS files cannot be reopened for writing"
+                )
+            block_id = next(self._block_ids)
+            meta = BlockMeta(block_id=block_id)
+            self._blocks[block_id] = meta
+            entry.payload.block_ids.append(block_id)
+            targets = self._policy.choose_targets(
+                list(self._datanodes.values()),
+                entry.replication,
+                writer_host=writer_host,
+            )
+            return meta, targets
+
+    def commit_block(
+        self, path: str, block_id: int, *, length: int, locations: list[int]
+    ) -> None:
+        """Record a block's final length and replica locations after the pipeline."""
+        with self._lock:
+            meta = self._blocks[block_id]
+            meta.length = length
+            meta.locations = tuple(locations)
+            entry = self._tree.get_file(path)
+            entry.size = sum(
+                self._blocks[b].length for b in entry.payload.block_ids
+            )
+
+    def complete_file(self, path: str, lease_holder: str) -> None:
+        """Seal a file: release the lease; the file becomes immutable."""
+        with self._lock:
+            entry = self._tree.get_file(path)
+            entry.payload.sealed = True
+        self._tree.release_lease(path, lease_holder)
+
+    def abandon_file(self, path: str, lease_holder: str) -> None:
+        """Drop a half-written file (writer failure)."""
+        self._tree.release_lease(path, lease_holder)
+        self.delete(path, recursive=False)
+
+    # -- block queries -----------------------------------------------------------------
+    def file_blocks(self, path: str) -> list[BlockMeta]:
+        """Ordered block list of a file."""
+        with self._lock:
+            entry = self._tree.get_file(path)
+            return [self._blocks[b] for b in entry.payload.block_ids]
+
+    def block_meta(self, block_id: int) -> BlockMeta:
+        """Metadata of one block."""
+        with self._lock:
+            return self._blocks[block_id]
+
+    def block_locations(
+        self, path: str, offset: int = 0, length: int | None = None
+    ) -> list[BlockLocation]:
+        """Block locations of a byte range of ``path`` (hosts holding replicas)."""
+        norm = fspath.normalize(path)
+        if not self._tree.exists(norm):
+            raise NoSuchPathError(norm)
+        entry = self._tree.get_file(norm)
+        if length is None:
+            length = entry.size - offset
+        end = min(offset + length, entry.size)
+        locations: list[BlockLocation] = []
+        position = 0
+        for meta in self.file_blocks(norm):
+            block_start = position
+            block_end = position + meta.length
+            position = block_end
+            if block_end <= offset or block_start >= end:
+                continue
+            hosts = tuple(
+                self._datanodes[node_id].host
+                for node_id in meta.locations
+                if node_id in self._datanodes
+            )
+            locations.append(
+                BlockLocation(offset=block_start, length=meta.length, hosts=hosts)
+            )
+        return locations
+
+    # -- deletion ---------------------------------------------------------------------
+    def delete(self, path: str, *, recursive: bool = False) -> None:
+        """Delete a path, releasing the blocks of every removed file."""
+
+        def _release(file_path: str, entry: FileEntry[HDFSFilePayload]) -> None:
+            with self._lock:
+                block_ids = list(entry.payload.block_ids)
+            for block_id in block_ids:
+                meta = self._blocks.pop(block_id, None)
+                if meta is None:
+                    continue
+                for node_id in meta.locations:
+                    node = self._datanodes.get(node_id)
+                    if node is not None and node.available:
+                        node.delete_block(block_id)
+
+        self._tree.delete(path, recursive=recursive, on_delete_file=_release)
+
+    # -- reports ----------------------------------------------------------------------
+    def report(self) -> dict:
+        """Cluster-wide report (files, blocks, per-datanode usage)."""
+        with self._lock:
+            blocks = len(self._blocks)
+        return {
+            "files": self._tree.count_files(),
+            "blocks": blocks,
+            "datanodes": {
+                d.node_id: {
+                    "host": d.host,
+                    "rack": d.rack,
+                    "blocks": d.stats().blocks_stored,
+                    "bytes": d.stats().bytes_stored,
+                }
+                for d in self.datanodes
+            },
+        }

@@ -1,0 +1,57 @@
+"""Hadoop-style MapReduce engine running over any repro FileSystem.
+
+The engine reproduces the structure the paper describes: a jobtracker
+master, tasktracker slaves (one per node), input splitting aligned on
+storage blocks, locality-aware map scheduling, shuffle/sort, and reduce
+output written back to the distributed file system.
+"""
+
+from . import applications
+from .job import (
+    Counters,
+    Job,
+    JobConf,
+    TaskContext,
+    identity_mapper,
+    identity_reducer,
+)
+from .jobtracker import JobResult, JobTracker, make_cluster
+from .scheduler import Assignment, LocalityAwareScheduler, LocalityStats
+from .shuffle import (
+    MapOutputCollector,
+    SingleFileOutputFormat,
+    TextOutputFormat,
+    group_by_key,
+    hash_partitioner,
+    merge_map_outputs,
+)
+from .splitter import InputSplit, LineRecordReader, SyntheticInputFormat, TextInputFormat
+from .tasktracker import TaskResult, TaskTracker
+
+__all__ = [
+    "Job",
+    "JobConf",
+    "JobResult",
+    "JobTracker",
+    "make_cluster",
+    "Counters",
+    "TaskContext",
+    "TaskTracker",
+    "TaskResult",
+    "LocalityAwareScheduler",
+    "LocalityStats",
+    "Assignment",
+    "InputSplit",
+    "LineRecordReader",
+    "TextInputFormat",
+    "SyntheticInputFormat",
+    "MapOutputCollector",
+    "TextOutputFormat",
+    "SingleFileOutputFormat",
+    "hash_partitioner",
+    "merge_map_outputs",
+    "group_by_key",
+    "identity_mapper",
+    "identity_reducer",
+    "applications",
+]

@@ -1,0 +1,19 @@
+"""MapReduce applications: the paper's two evaluation workloads plus extras."""
+
+from .distributed_grep import make_distributed_grep_job
+from .random_text_writer import (
+    WORD_LIST,
+    make_random_text_writer_job,
+    random_sentence,
+)
+from .sort import make_sort_job
+from .wordcount import make_wordcount_job
+
+__all__ = [
+    "make_random_text_writer_job",
+    "make_distributed_grep_job",
+    "make_wordcount_job",
+    "make_sort_job",
+    "random_sentence",
+    "WORD_LIST",
+]

@@ -1,0 +1,47 @@
+"""Distributed Sort: sorts ``key<TAB>value`` text records by key.
+
+Not evaluated in the paper but part of Hadoop's canonical benchmark set;
+included as an extra workload exercising a reduce-heavy shuffle (large
+intermediate data), which complements Random Text Writer (write-heavy) and
+Distributed Grep (read-heavy).
+"""
+
+from __future__ import annotations
+
+from ..job import Job, JobConf, TaskContext
+
+__all__ = ["make_sort_job"]
+
+
+def _sort_mapper(key: int, value: bytes, context: TaskContext) -> None:
+    """Emit ``(record key, record value)`` split on the first tab (or the line)."""
+    text = value.decode("utf-8", errors="replace")
+    if "\t" in text:
+        record_key, record_value = text.split("\t", 1)
+    else:
+        record_key, record_value = text, ""
+    context.emit(record_key, record_value)
+
+
+def _sort_reducer(key: str, values, context: TaskContext) -> None:
+    """Emit each value under its key (the shuffle already sorted the keys)."""
+    for value in values:
+        context.emit(key, value)
+
+
+def make_sort_job(
+    input_paths: list[str] | tuple[str, ...],
+    *,
+    output_dir: str = "/sort-output",
+    num_reduce_tasks: int = 1,
+    split_size: int | None = None,
+) -> Job:
+    """Build a Sort job over ``input_paths``."""
+    conf = JobConf(
+        name="sort",
+        input_paths=tuple(input_paths),
+        output_dir=output_dir,
+        num_reduce_tasks=num_reduce_tasks,
+        split_size=split_size,
+    )
+    return Job(conf=conf, mapper=_sort_mapper, reducer=_sort_reducer)

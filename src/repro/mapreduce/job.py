@@ -1,0 +1,153 @@
+"""Job model for the Hadoop-style MapReduce engine.
+
+A MapReduce computation is expressed, exactly as in the paper's description
+of the model, as two user functions: ``map``, which turns an input record
+into intermediate key-value pairs, and ``reduce``, which merges all values
+associated with one intermediate key.  :class:`Job` bundles those functions
+with a :class:`JobConf` describing inputs, output directory and task
+counts; the jobtracker executes it over any
+:class:`~repro.fs.interface.FileSystem` (BSFS or HDFS).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "JobConf",
+    "Counters",
+    "TaskContext",
+    "Job",
+    "identity_mapper",
+    "identity_reducer",
+]
+
+#: Signature of a map function: ``map(key, value, context)``.
+MapFunction = Callable[[Any, Any, "TaskContext"], None]
+#: Signature of a reduce function: ``reduce(key, values, context)``.
+ReduceFunction = Callable[[Any, Iterable[Any], "TaskContext"], None]
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Static configuration of one MapReduce job."""
+
+    name: str
+    input_paths: tuple[str, ...] = ()
+    output_dir: str = "/output"
+    num_reduce_tasks: int = 1
+    num_map_tasks: int | None = None
+    split_size: int | None = None
+    output_replication: int | None = None
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_reduce_tasks < 0:
+            raise ValueError("num_reduce_tasks cannot be negative")
+        if self.num_map_tasks is not None and self.num_map_tasks < 1:
+            raise ValueError("num_map_tasks must be at least 1 when given")
+        if self.split_size is not None and self.split_size <= 0:
+            raise ValueError("split_size must be positive when given")
+
+    @property
+    def is_map_only(self) -> bool:
+        """Whether the job has no reduce phase (mappers write the output)."""
+        return self.num_reduce_tasks == 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up a free-form job property (mirrors Hadoop's ``conf.get``)."""
+        return self.properties.get(key, default)
+
+
+class Counters:
+    """Thread-safe named counters, aggregated across tasks like Hadoop counters."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one."""
+        with other._lock:
+            snapshot = dict(other._values)
+        with self._lock:
+            for name, value in snapshot.items():
+                self._values[name] = self._values.get(name, 0) + value
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of every counter."""
+        with self._lock:
+            return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self.as_dict()!r})"
+
+
+class TaskContext:
+    """Execution context handed to map and reduce functions.
+
+    Provides ``emit`` for producing output pairs and ``counters`` for
+    instrumentation; also carries the task's identity and the job
+    configuration so applications can read custom properties.
+    """
+
+    def __init__(
+        self,
+        *,
+        job_conf: JobConf,
+        task_id: str,
+        emit: Callable[[Any, Any], None],
+        counters: Counters,
+    ) -> None:
+        self.job_conf = job_conf
+        self.task_id = task_id
+        self._emit = emit
+        self.counters = counters
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Emit one output key-value pair."""
+        self._emit(key, value)
+
+
+def identity_mapper(key: Any, value: Any, context: TaskContext) -> None:
+    """Mapper that forwards its input pair unchanged."""
+    context.emit(key, value)
+
+
+def identity_reducer(key: Any, values: Iterable[Any], context: TaskContext) -> None:
+    """Reducer that forwards every value of the key unchanged."""
+    for value in values:
+        context.emit(key, value)
+
+
+@dataclass
+class Job:
+    """A runnable MapReduce job: configuration plus user functions."""
+
+    conf: JobConf
+    mapper: MapFunction = identity_mapper
+    reducer: ReduceFunction = identity_reducer
+    combiner: ReduceFunction | None = None
+    #: Optional custom input format instance
+    #: (defaults to :class:`repro.mapreduce.splitter.TextInputFormat`).
+    input_format: Any = None
+    #: Optional custom output format instance
+    #: (defaults to :class:`repro.mapreduce.shuffle.TextOutputFormat`).
+    output_format: Any = None
+
+    @property
+    def name(self) -> str:
+        """Job name (from the configuration)."""
+        return self.conf.name

@@ -1,0 +1,202 @@
+"""Job tracker: the master orchestrating a MapReduce job end to end.
+
+"A MapReduce job is split into a set of tasks, which are executed by the
+tasktrackers, as assigned by the jobtracker.  The input data is also split
+into chunks of equal size, that are stored in a distributed file system
+across the cluster.  First, the map tasks are run, each processing a chunk
+of the input file ...  After all the maps have finished, the tasktrackers
+execute the reduce function on the map outputs."
+
+:class:`JobTracker.run` follows exactly that structure: compute splits,
+schedule map tasks (locality-aware), execute them (optionally in parallel
+threads, one slot per tracker slot), shuffle, execute reduce tasks, and
+return a :class:`JobResult` with timings, counters and locality statistics.
+The engine is storage-agnostic: pass a BSFS or an HDFS instance.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..fs.interface import FileSystem
+from .job import Counters, Job
+from .scheduler import LocalityAwareScheduler, LocalityStats
+from .shuffle import TextOutputFormat, merge_map_outputs
+from .splitter import SyntheticInputFormat, TextInputFormat
+from .tasktracker import TaskResult, TaskTracker
+
+__all__ = ["JobResult", "JobTracker", "make_cluster"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job execution."""
+
+    job_name: str
+    succeeded: bool
+    elapsed: float
+    map_tasks: int
+    reduce_tasks: int
+    counters: Counters
+    locality: LocalityStats
+    task_results: list[TaskResult] = field(default_factory=list)
+    output_paths: list[str] = field(default_factory=list)
+
+    def counter(self, name: str) -> int:
+        """Shortcut for ``result.counters.get(name)``."""
+        return self.counters.get(name)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly summary used by reports and benchmarks."""
+        return {
+            "job": self.job_name,
+            "succeeded": self.succeeded,
+            "elapsed_seconds": self.elapsed,
+            "map_tasks": self.map_tasks,
+            "reduce_tasks": self.reduce_tasks,
+            "locality": self.locality.as_dict(),
+            "counters": self.counters.as_dict(),
+        }
+
+
+class JobTracker:
+    """Master node of the MapReduce engine."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        trackers: list[TaskTracker],
+        *,
+        parallel: bool = True,
+    ) -> None:
+        """Create a job tracker.
+
+        Parameters
+        ----------
+        fs:
+            File system used for job input and output (BSFS or HDFS).
+        trackers:
+            Worker task trackers (typically one per storage node so
+            locality is possible).
+        parallel:
+            Execute tasks concurrently with one thread per tracker slot
+            (default).  Sequential execution is available for debugging
+            and deterministic tests.
+        """
+        if not trackers:
+            raise ValueError("a job tracker needs at least one task tracker")
+        self.fs = fs
+        self.trackers = list(trackers)
+        self.parallel = parallel
+
+    # -- public API -----------------------------------------------------------------
+    def run(self, job: Job) -> JobResult:
+        """Execute ``job`` to completion and return its result."""
+        started = time.perf_counter()
+        counters = Counters()
+        scheduler = LocalityAwareScheduler(self.trackers)
+        input_format = job.input_format or (
+            TextInputFormat() if job.conf.input_paths else SyntheticInputFormat()
+        )
+        output_format = job.output_format or TextOutputFormat()
+        splits = input_format.get_splits(self.fs, job.conf)
+        assignments = scheduler.assign(splits)
+
+        # ----------------------------------------------------------------- map phase
+        map_results: list[TaskResult] = []
+        num_partitions = job.conf.num_reduce_tasks
+
+        def _run_map(assignment) -> TaskResult:
+            return assignment.tracker.run_map_task(
+                job,
+                self.fs,
+                assignment.split,
+                num_partitions=num_partitions,
+                reader_factory=input_format.create_reader,
+                counters=counters,
+                locality=assignment.locality,
+                output_format=output_format,
+            )
+
+        if self.parallel and len(assignments) > 1:
+            max_workers = max(sum(t.slots for t in self.trackers), 1)
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                map_results = list(pool.map(_run_map, assignments))
+        else:
+            map_results = [_run_map(a) for a in assignments]
+
+        task_results = list(map_results)
+        output_paths = [r.output_path for r in map_results if r.output_path]
+
+        # -------------------------------------------------------------- reduce phase
+        reduce_results: list[TaskResult] = []
+        if not job.conf.is_map_only:
+            map_outputs = [r.map_output for r in map_results if r.map_output is not None]
+
+            def _run_reduce(partition_index: int) -> TaskResult:
+                pairs = merge_map_outputs(map_outputs, partition_index)
+                counters.increment("reduce_shuffle_records", len(pairs))
+                tracker = scheduler.pick_tracker_round_robin()
+                return tracker.run_reduce_task(
+                    job,
+                    self.fs,
+                    partition_index,
+                    pairs,
+                    counters=counters,
+                    output_format=output_format,
+                )
+
+            partitions = range(job.conf.num_reduce_tasks)
+            if self.parallel and job.conf.num_reduce_tasks > 1:
+                max_workers = max(sum(t.slots for t in self.trackers), 1)
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    reduce_results = list(pool.map(_run_reduce, partitions))
+            else:
+                reduce_results = [_run_reduce(i) for i in partitions]
+            task_results.extend(reduce_results)
+            output_paths.extend(r.output_path for r in reduce_results if r.output_path)
+
+        elapsed = time.perf_counter() - started
+        return JobResult(
+            job_name=job.name,
+            succeeded=True,
+            elapsed=elapsed,
+            map_tasks=len(map_results),
+            reduce_tasks=len(reduce_results),
+            counters=counters,
+            locality=scheduler.stats,
+            task_results=task_results,
+            output_paths=sorted(set(output_paths)),
+        )
+
+
+def make_cluster(
+    fs: FileSystem,
+    *,
+    hosts: list[str] | None = None,
+    num_trackers: int = 4,
+    slots_per_tracker: int = 2,
+    parallel: bool = True,
+) -> JobTracker:
+    """Convenience factory building a jobtracker with one tracker per host.
+
+    When ``hosts`` is omitted the tracker hosts are derived from the file
+    system's storage nodes (BlobSeer providers for BSFS, datanodes for
+    HDFS) so that data-local scheduling is possible, mirroring the paper's
+    co-deployment of Hadoop tasktrackers and storage daemons.
+    """
+    if hosts is None:
+        hosts = []
+        blobseer = getattr(fs, "blobseer", None)
+        if blobseer is not None:
+            hosts = [p.host for p in blobseer.provider_manager.providers]
+        namenode = getattr(fs, "namenode", None)
+        if namenode is not None and not hosts:
+            hosts = [d.host for d in namenode.datanodes]
+        if not hosts:
+            hosts = [f"tracker-{i}" for i in range(num_trackers)]
+    trackers = [TaskTracker(host, slots=slots_per_tracker) for host in hosts]
+    return JobTracker(fs, trackers, parallel=parallel)

@@ -1,0 +1,209 @@
+"""Shuffle phase: partitioning, sorting, grouping, and output formats.
+
+Between the map and reduce phases Hadoop partitions every intermediate pair
+by key, sorts each partition and groups values by key before handing them
+to the reducer.  The same steps live here, in process: map outputs are
+collected per partition by :class:`MapOutputCollector`, merged across map
+tasks by :func:`merge_map_outputs`, and reduce outputs are written back to
+the file system by an output format (one ``part-*`` file per reduce task,
+exactly the layout the paper mentions when motivating concurrent appends —
+"the MapReduce workers write the reduce output to the same file, instead of
+creating several output files, as it is currently done in Hadoop").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator
+
+from ..fs.interface import FileSystem
+from ..fs import path as fspath
+
+__all__ = [
+    "hash_partitioner",
+    "MapOutputCollector",
+    "merge_map_outputs",
+    "group_by_key",
+    "TextOutputFormat",
+    "SingleFileOutputFormat",
+]
+
+
+def hash_partitioner(key: Any, num_partitions: int) -> int:
+    """Deterministic hash partitioner (stable across processes and runs)."""
+    if num_partitions <= 1:
+        return 0
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_partitions
+
+
+class MapOutputCollector:
+    """Collects one map task's output, split by reduce partition.
+
+    An optional combiner is applied when the collector is sealed, reducing
+    the volume handed to the shuffle exactly like Hadoop's map-side combine.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        *,
+        partitioner: Callable[[Any, int], int] = hash_partitioner,
+        combiner: Callable[[Any, Iterable[Any], Any], None] | None = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be at least 1")
+        self._num_partitions = num_partitions
+        self._partitioner = partitioner
+        self._combiner = combiner
+        self._partitions: list[list[tuple[Any, Any]]] = [
+            [] for _ in range(num_partitions)
+        ]
+        self.records_collected = 0
+
+    def collect(self, key: Any, value: Any) -> None:
+        """Add one intermediate pair."""
+        partition = self._partitioner(key, self._num_partitions)
+        self._partitions[partition].append((key, value))
+        self.records_collected += 1
+
+    def _apply_combiner(
+        self, pairs: list[tuple[Any, Any]]
+    ) -> list[tuple[Any, Any]]:
+        if self._combiner is None or not pairs:
+            return pairs
+        combined: list[tuple[Any, Any]] = []
+
+        class _CombineContext:
+            def emit(self, key: Any, value: Any) -> None:  # noqa: D401
+                combined.append((key, value))
+
+        context = _CombineContext()
+        for key, values in group_by_key(pairs):
+            self._combiner(key, values, context)
+        return combined
+
+    def partitions(self) -> list[list[tuple[Any, Any]]]:
+        """Finalised per-partition outputs (combiner applied, sorted by key)."""
+        result = []
+        for pairs in self._partitions:
+            combined = self._apply_combiner(pairs)
+            result.append(sorted(combined, key=lambda kv: repr(kv[0])))
+        return result
+
+
+def merge_map_outputs(
+    map_outputs: Iterable[list[list[tuple[Any, Any]]]], partition: int
+) -> list[tuple[Any, Any]]:
+    """Merge one partition's pairs from every map task and sort them by key."""
+    merged: list[tuple[Any, Any]] = []
+    for output in map_outputs:
+        merged.extend(output[partition])
+    merged.sort(key=lambda kv: repr(kv[0]))
+    return merged
+
+
+def group_by_key(pairs: Iterable[tuple[Any, Any]]) -> Iterator[tuple[Any, list[Any]]]:
+    """Group sorted (or unsorted) pairs by key, preserving value order per key."""
+    grouped: dict[Any, list[Any]] = defaultdict(list)
+    order: list[Any] = []
+    for key, value in pairs:
+        if key not in grouped:
+            order.append(key)
+        grouped[key].append(value)
+    for key in sorted(order, key=repr):
+        yield key, grouped[key]
+
+
+class TextOutputFormat:
+    """Writes reduce (or map-only) output as ``key\\tvalue`` text lines.
+
+    One ``part-XXXXX`` file per task under the job's output directory —
+    the standard Hadoop layout.
+    """
+
+    def __init__(self, *, separator: bytes = b"\t") -> None:
+        self._separator = separator
+
+    def output_path(self, output_dir: str, task_index: int, *, map_only: bool) -> str:
+        """Path of the part file written by task ``task_index``."""
+        prefix = "part-m-" if map_only else "part-r-"
+        return fspath.join(output_dir, f"{prefix}{task_index:05d}")
+
+    def write(
+        self,
+        fs: FileSystem,
+        output_dir: str,
+        task_index: int,
+        pairs: Iterable[tuple[Any, Any]],
+        *,
+        map_only: bool = False,
+        replication: int | None = None,
+        client_host: str | None = None,
+    ) -> str:
+        """Write one task's output pairs; returns the part file path."""
+        fs.mkdirs(output_dir)
+        path = self.output_path(output_dir, task_index, map_only=map_only)
+        with fs.create(
+            path, overwrite=True, replication=replication, client_host=client_host
+        ) as stream:
+            for key, value in pairs:
+                line = self._encode(key) + self._separator + self._encode(value) + b"\n"
+                stream.write(line)
+        return path
+
+    @staticmethod
+    def _encode(value: Any) -> bytes:
+        if isinstance(value, bytes):
+            return value
+        return str(value).encode("utf-8")
+
+
+class SingleFileOutputFormat(TextOutputFormat):
+    """Extension output format: every reduce task appends to one shared file.
+
+    This is the §V "future work" scenario enabled by BlobSeer's concurrent
+    appends: instead of one ``part-*`` file per reducer, all reducers append
+    their output to a single file.  It requires the target file system to
+    expose ``concurrent_append`` (BSFS does; HDFS raises).
+    """
+
+    def __init__(self, *, filename: str = "output.txt", separator: bytes = b"\t") -> None:
+        super().__init__(separator=separator)
+        self._filename = filename
+
+    def write(
+        self,
+        fs: FileSystem,
+        output_dir: str,
+        task_index: int,
+        pairs: Iterable[tuple[Any, Any]],
+        *,
+        map_only: bool = False,
+        replication: int | None = None,
+        client_host: str | None = None,
+    ) -> str:
+        concurrent_append = getattr(fs, "concurrent_append", None)
+        if concurrent_append is None:
+            from ..fs.errors import UnsupportedOperationError
+
+            raise UnsupportedOperationError(
+                f"{fs.scheme} cannot write a shared output file: "
+                "concurrent appends are not supported"
+            )
+        fs.mkdirs(output_dir)
+        path = fspath.join(output_dir, self._filename)
+        if not fs.exists(path):
+            try:
+                with fs.create(path, replication=replication):
+                    pass
+            except Exception:
+                # Another reducer created it concurrently; that is fine.
+                pass
+        payload = bytearray()
+        for key, value in pairs:
+            payload += self._encode(key) + self._separator + self._encode(value) + b"\n"
+        if payload:
+            concurrent_append(path, bytes(payload))
+        return path

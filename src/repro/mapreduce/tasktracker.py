@@ -1,0 +1,196 @@
+"""Task trackers: the worker daemons executing map and reduce tasks.
+
+"The framework consists of a single master jobtracker, and multiple slave
+tasktrackers, one per node."  A :class:`TaskTracker` models one such slave:
+it owns a host name (used for data-locality scoring), a number of task
+slots, and the code that actually runs a map task over an input split or a
+reduce task over a merged partition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..fs.interface import FileSystem
+from .job import Counters, Job, TaskContext
+from .shuffle import MapOutputCollector, TextOutputFormat, group_by_key
+from .splitter import InputSplit
+
+__all__ = ["TaskResult", "TaskTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskResult:
+    """Outcome of one task execution."""
+
+    task_id: str
+    tracker_host: str
+    kind: str
+    duration: float
+    records_in: int
+    records_out: int
+    locality: str = "n/a"
+    output_path: str | None = None
+    #: Map tasks: per-partition intermediate pairs; reduce tasks: ``None``.
+    map_output: list[list[tuple[Any, Any]]] | None = field(default=None, repr=False)
+
+
+class TaskTracker:
+    """One worker node of the MapReduce engine."""
+
+    def __init__(self, host: str, *, slots: int = 2) -> None:
+        if slots < 1:
+            raise ValueError("a task tracker needs at least one slot")
+        self.host = host
+        self.slots = slots
+        self._lock = threading.Lock()
+        self._running = 0
+        self.tasks_executed = 0
+
+    # -- slot management ------------------------------------------------------------
+    @property
+    def running_tasks(self) -> int:
+        """Number of tasks currently executing on this tracker."""
+        with self._lock:
+            return self._running
+
+    @property
+    def free_slots(self) -> int:
+        """Number of task slots currently free."""
+        with self._lock:
+            return max(self.slots - self._running, 0)
+
+    def _acquire_slot(self) -> None:
+        with self._lock:
+            self._running += 1
+
+    def _release_slot(self) -> None:
+        with self._lock:
+            self._running = max(self._running - 1, 0)
+            self.tasks_executed += 1
+
+    # -- map tasks -------------------------------------------------------------------
+    def run_map_task(
+        self,
+        job: Job,
+        fs: FileSystem,
+        split: InputSplit,
+        *,
+        num_partitions: int,
+        reader_factory: Callable[[FileSystem, InputSplit], Any],
+        counters: Counters,
+        locality: str = "n/a",
+        output_format: TextOutputFormat | None = None,
+    ) -> TaskResult:
+        """Execute the map function over one input split.
+
+        For map-only jobs (``num_partitions == 0``) the mapper's output is
+        written directly to the job output directory through the output
+        format; otherwise it is partitioned and returned for the shuffle.
+        """
+        task_id = f"map-{split.split_id:05d}"
+        self._acquire_slot()
+        started = time.perf_counter()
+        try:
+            records_in = 0
+            map_only = num_partitions == 0
+            collector = MapOutputCollector(
+                max(num_partitions, 1), combiner=job.combiner
+            )
+            context = TaskContext(
+                job_conf=job.conf,
+                task_id=task_id,
+                emit=collector.collect,
+                counters=counters,
+            )
+            for key, value in reader_factory(fs, split):
+                job.mapper(key, value, context)
+                records_in += 1
+                counters.increment("map_input_records")
+            counters.increment("map_output_records", collector.records_collected)
+            output_path: str | None = None
+            partitions = collector.partitions()
+            if map_only:
+                fmt = output_format or TextOutputFormat()
+                pairs = [pair for partition in partitions for pair in partition]
+                output_path = fmt.write(
+                    fs,
+                    job.conf.output_dir,
+                    split.split_id,
+                    pairs,
+                    map_only=True,
+                    replication=job.conf.output_replication,
+                    client_host=self.host,
+                )
+                partitions_out: list[list[tuple[Any, Any]]] | None = None
+            else:
+                partitions_out = partitions
+            duration = time.perf_counter() - started
+            return TaskResult(
+                task_id=task_id,
+                tracker_host=self.host,
+                kind="map",
+                duration=duration,
+                records_in=records_in,
+                records_out=collector.records_collected,
+                locality=locality,
+                output_path=output_path,
+                map_output=partitions_out,
+            )
+        finally:
+            self._release_slot()
+
+    # -- reduce tasks ----------------------------------------------------------------
+    def run_reduce_task(
+        self,
+        job: Job,
+        fs: FileSystem,
+        partition_index: int,
+        pairs: list[tuple[Any, Any]],
+        *,
+        counters: Counters,
+        output_format: TextOutputFormat | None = None,
+    ) -> TaskResult:
+        """Execute the reduce function over one merged, grouped partition."""
+        task_id = f"reduce-{partition_index:05d}"
+        self._acquire_slot()
+        started = time.perf_counter()
+        try:
+            emitted: list[tuple[Any, Any]] = []
+            context = TaskContext(
+                job_conf=job.conf,
+                task_id=task_id,
+                emit=lambda key, value: emitted.append((key, value)),
+                counters=counters,
+            )
+            records_in = 0
+            for key, values in group_by_key(pairs):
+                job.reducer(key, values, context)
+                records_in += len(values)
+                counters.increment("reduce_input_records", len(values))
+            counters.increment("reduce_output_records", len(emitted))
+            fmt = output_format or TextOutputFormat()
+            output_path = fmt.write(
+                fs,
+                job.conf.output_dir,
+                partition_index,
+                emitted,
+                map_only=False,
+                replication=job.conf.output_replication,
+                client_host=self.host,
+            )
+            duration = time.perf_counter() - started
+            return TaskResult(
+                task_id=task_id,
+                tracker_host=self.host,
+                kind="reduce",
+                duration=duration,
+                records_in=records_in,
+                records_out=len(emitted),
+                output_path=output_path,
+            )
+        finally:
+            self._release_slot()

@@ -1,0 +1,78 @@
+"""Cluster simulation layer: Grid'5000-scale replay of the paper's experiments.
+
+A discrete-event engine (:mod:`repro.simulation.engine`), a flow-level
+network/disk model with max-min fair sharing (:mod:`repro.simulation.network`),
+cluster topologies (:mod:`repro.simulation.topology`), simulated BSFS/HDFS
+data paths driven by the functional layer's placement policies
+(:mod:`repro.simulation.storage_models`), the paper's microbenchmark
+workloads (:mod:`repro.simulation.workloads`) and a MapReduce job
+completion-time model (:mod:`repro.simulation.mapreduce_model`).
+"""
+
+from .engine import Event, SimulationEngine
+from .mapreduce_model import (
+    SimJobResult,
+    SimJobSpec,
+    SimMapTask,
+    SimReduceTask,
+    distributed_grep_spec,
+    random_text_writer_spec,
+    simulate_job,
+)
+from .network import Flow, FlowNetwork, TransferStats
+from .storage_models import (
+    DEFAULT_BLOCK_SIZE,
+    SimulatedBSFS,
+    SimulatedHDFS,
+    SimulatedStorage,
+    TransferSpec,
+)
+from .topology import (
+    ClusterTopology,
+    MBps,
+    NodeSpec,
+    RackSpec,
+    grid5000_like,
+    small_cluster,
+)
+from .workloads import (
+    ClientResult,
+    ThroughputResult,
+    run_append_same_file,
+    run_read_different_files,
+    run_read_same_file,
+    run_write_different_files,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "FlowNetwork",
+    "Flow",
+    "TransferStats",
+    "ClusterTopology",
+    "NodeSpec",
+    "RackSpec",
+    "MBps",
+    "grid5000_like",
+    "small_cluster",
+    "SimulatedStorage",
+    "SimulatedBSFS",
+    "SimulatedHDFS",
+    "TransferSpec",
+    "DEFAULT_BLOCK_SIZE",
+    "ThroughputResult",
+    "ClientResult",
+    "run_write_different_files",
+    "run_read_different_files",
+    "run_read_same_file",
+    "run_append_same_file",
+    "SimJobSpec",
+    "SimJobResult",
+    "SimMapTask",
+    "SimReduceTask",
+    "simulate_job",
+    "random_text_writer_spec",
+    "distributed_grep_spec",
+    "DEFAULT_BLOCK_SIZE",
+]

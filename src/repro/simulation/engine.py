@@ -1,0 +1,116 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event-driven kernel: events are callbacks scheduled
+at absolute simulated times, executed in time order (FIFO for equal
+timestamps), with support for cancellation.  The flow-level network model
+(:mod:`repro.simulation.network`) and the workload drivers build on it.
+
+The engine is deliberately simple — a binary heap of events — because the
+experiments' event counts are modest (thousands of flow completions), and
+simplicity keeps the simulated results easy to audit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "SimulationEngine"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordering: time, then insertion sequence."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Priority-queue discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        event = Event(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(max(time - self._now, 0.0), callback, *args)
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the queue drains (or a time/count limit is hit).
+
+        Returns the simulated time of the last executed event.
+        """
+        executed = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event; returns ``False`` when empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (used between experiments)."""
+        self._queue.clear()
+        self._now = 0.0
+        self._processed = 0

@@ -1,0 +1,442 @@
+"""Simulated MapReduce execution: job completion time at cluster scale.
+
+Experiments E4 and E5 of the paper compare the completion time of two real
+MapReduce applications (Random Text Writer and Distributed Grep) when
+Hadoop runs over BSFS versus HDFS.  At Grid'5000 scale that cannot be
+executed in process, so this module models a job's execution on the
+simulated cluster:
+
+* map tasks are scheduled onto task-tracker nodes with the same greedy
+  locality preference as the functional engine (a task prefers a node that
+  holds its input block);
+* each map task reads its input range from the simulated storage system,
+  spends a configurable amount of CPU time, and writes its output through
+  the same storage system;
+* reduce tasks start once every map finished (Hadoop's barrier), fetch
+  their share of the intermediate data from the nodes that ran the maps,
+  and write their output files;
+* every node offers a fixed number of task slots, so tasks execute in
+  waves exactly like a real Hadoop deployment.
+
+The factory helpers :func:`random_text_writer_spec` and
+:func:`distributed_grep_spec` build the two applications' job specs with
+the paper's characteristics (write-only maps for the former, read-dominated
+maps with a tiny reduce output for the latter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .engine import SimulationEngine
+from .network import FlowNetwork
+from .storage_models import SimulatedStorage, TransferSpec
+from .topology import ClusterTopology
+
+__all__ = [
+    "SimMapTask",
+    "SimReduceTask",
+    "SimJobSpec",
+    "SimJobResult",
+    "simulate_job",
+    "random_text_writer_spec",
+    "distributed_grep_spec",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SimMapTask:
+    """One simulated map task."""
+
+    task_id: int
+    input_file: str | None
+    input_offset: int
+    input_length: int
+    output_bytes: int
+    compute_seconds: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class SimReduceTask:
+    """One simulated reduce task."""
+
+    task_id: int
+    shuffle_bytes: int
+    output_bytes: int
+    compute_seconds: float = 0.0
+
+
+@dataclass
+class SimJobSpec:
+    """A complete simulated job."""
+
+    name: str
+    map_tasks: list[SimMapTask]
+    reduce_tasks: list[SimReduceTask] = field(default_factory=list)
+    slots_per_node: int = 2
+
+
+@dataclass
+class SimJobResult:
+    """Timing breakdown of one simulated job execution."""
+
+    job_name: str
+    system: str
+    completion_time: float
+    map_phase_time: float
+    reduce_phase_time: float
+    map_tasks: int
+    reduce_tasks: int
+    node_local_maps: int
+
+    @property
+    def locality_ratio(self) -> float:
+        """Fraction of map tasks scheduled on a node holding their input."""
+        return self.node_local_maps / self.map_tasks if self.map_tasks else 0.0
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """One row of the application benchmark tables."""
+        return {
+            "job": self.job_name,
+            "system": self.system,
+            "completion_time_s": round(self.completion_time, 2),
+            "map_phase_s": round(self.map_phase_time, 2),
+            "reduce_phase_s": round(self.reduce_phase_time, 2),
+            "maps": self.map_tasks,
+            "reduces": self.reduce_tasks,
+            "locality": round(self.locality_ratio, 2),
+        }
+
+
+class _TaskRunner:
+    """Drives one task through read -> compute -> write on the flow network."""
+
+    def __init__(
+        self,
+        network: FlowNetwork,
+        *,
+        node: int,
+        read_steps: list[list[TransferSpec]],
+        compute_seconds: float,
+        write_steps_factory,
+        on_done,
+    ) -> None:
+        self._network = network
+        self._node = node
+        self._read_steps = read_steps
+        self._compute_seconds = compute_seconds
+        self._write_steps_factory = write_steps_factory
+        self._on_done = on_done
+        self._phase = "read"
+        self._step_index = 0
+        self._outstanding = 0
+        self._write_steps: list[list[TransferSpec]] | None = None
+
+    def start(self) -> None:
+        """Begin the task at the current simulated time."""
+        self._advance()
+
+    def _advance(self) -> None:
+        engine = self._network.engine
+        if self._phase == "read":
+            if self._step_index < len(self._read_steps):
+                self._launch(self._read_steps[self._step_index])
+                self._step_index += 1
+                return
+            self._phase = "compute"
+            engine.schedule(self._compute_seconds, self._after_compute)
+            return
+        if self._phase == "write":
+            assert self._write_steps is not None
+            if self._step_index < len(self._write_steps):
+                self._launch(self._write_steps[self._step_index])
+                self._step_index += 1
+                return
+            self._on_done()
+
+    def _after_compute(self) -> None:
+        self._phase = "write"
+        self._step_index = 0
+        self._write_steps = self._write_steps_factory()
+        self._advance()
+
+    def _launch(self, transfers: list[TransferSpec]) -> None:
+        if not transfers:
+            self._advance()
+            return
+        self._outstanding = len(transfers)
+        for spec in transfers:
+            self._network.start_transfer(
+                spec.src,
+                spec.dst,
+                spec.nbytes,
+                src_disk=spec.src_disk,
+                dst_disk=spec.dst_disk,
+                on_complete=self._transfer_done,
+            )
+
+    def _transfer_done(self, _flow) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._advance()
+
+
+def _schedule_map_tasks(
+    storage: SimulatedStorage,
+    tasks: Sequence[SimMapTask],
+    nodes: Sequence[int],
+    slots_per_node: int,
+) -> tuple[dict[int, int], int]:
+    """Assign map tasks to nodes, preferring nodes that hold the input block.
+
+    Returns ``(task id -> node, number of node-local assignments)``.  The
+    greedy pass mirrors the functional scheduler: walk the tasks, place each
+    on the least-loaded of its local candidates unless that candidate is
+    already clearly busier than the cluster average, else on the least
+    loaded node overall.
+    """
+    load = {node: 0 for node in nodes}
+    node_set = set(nodes)
+    assignment: dict[int, int] = {}
+    node_local = 0
+    for task in tasks:
+        candidates: list[int] = []
+        if task.input_file is not None and storage.file_blocks(task.input_file):
+            block_index = min(
+                task.input_offset // storage.block_size,
+                storage.file_blocks(task.input_file) - 1,
+            )
+            candidates = [
+                n for n in storage.block_hosts(task.input_file, block_index) if n in node_set
+            ]
+        chosen: int | None = None
+        if candidates:
+            best = min(candidates, key=lambda n: load[n])
+            if load[best] <= min(load.values()) + slots_per_node:
+                chosen = best
+        if chosen is None:
+            chosen = min(nodes, key=lambda n: load[n])
+        if candidates and chosen in candidates:
+            node_local += 1
+        load[chosen] += 1
+        assignment[task.task_id] = chosen
+    return assignment, node_local
+
+
+def simulate_job(
+    topology: ClusterTopology,
+    storage: SimulatedStorage,
+    spec: SimJobSpec,
+    *,
+    tasktracker_nodes: Sequence[int] | None = None,
+) -> SimJobResult:
+    """Execute ``spec`` on the simulated cluster and return its timing."""
+    nodes = (
+        list(tasktracker_nodes)
+        if tasktracker_nodes is not None
+        else [n.node_id for n in topology.nodes]
+    )
+    engine = SimulationEngine()
+    network = FlowNetwork(topology, engine)
+    assignment, node_local = _schedule_map_tasks(
+        storage, spec.map_tasks, nodes, spec.slots_per_node
+    )
+
+    free_slots = {node: spec.slots_per_node for node in nodes}
+    pending_by_node: dict[int, list[SimMapTask]] = {node: [] for node in nodes}
+    for task in spec.map_tasks:
+        pending_by_node[assignment[task.task_id]].append(task)
+    maps_remaining = len(spec.map_tasks)
+    map_finish_time = 0.0
+    map_nodes_used: list[int] = []
+
+    def _start_reduce_phase() -> None:
+        nonlocal reduce_finish_time
+        if not spec.reduce_tasks:
+            return
+        reduce_nodes = nodes[: max(len(spec.reduce_tasks), 1)]
+        sources = map_nodes_used or nodes
+        remaining = {"count": len(spec.reduce_tasks)}
+        for index, reduce_task in enumerate(spec.reduce_tasks):
+            node = reduce_nodes[index % len(reduce_nodes)]
+            shuffle_steps: list[list[TransferSpec]] = []
+            if reduce_task.shuffle_bytes > 0 and sources:
+                per_source = reduce_task.shuffle_bytes / len(sources)
+                shuffle_steps = [
+                    [
+                        TransferSpec(
+                            src=source,
+                            dst=node,
+                            nbytes=per_source,
+                            src_disk=True,
+                            dst_disk=False,
+                        )
+                        for source in sources
+                    ]
+                ]
+
+            def _write_factory(n=node, rt=reduce_task):
+                if rt.output_bytes <= 0:
+                    return []
+                specs = storage.write_block(
+                    n, f"{spec.name}-reduce-out-{rt.task_id}", rt.output_bytes
+                )
+                return [specs]
+
+            def _reduce_done() -> None:
+                nonlocal reduce_finish_time
+                remaining["count"] -= 1
+                reduce_finish_time = engine.now
+
+            runner = _TaskRunner(
+                network,
+                node=node,
+                read_steps=shuffle_steps,
+                compute_seconds=reduce_task.compute_seconds,
+                write_steps_factory=_write_factory,
+                on_done=_reduce_done,
+            )
+            engine.schedule(0.0, runner.start)
+
+    reduce_finish_time = 0.0
+
+    def _maybe_start_next(node: int) -> None:
+        nonlocal maps_remaining, map_finish_time
+        while free_slots[node] > 0 and pending_by_node[node]:
+            task = pending_by_node[node].pop(0)
+            free_slots[node] -= 1
+            read_steps: list[list[TransferSpec]] = []
+            if task.input_file is not None and task.input_length > 0:
+                read_steps = storage.read_range(
+                    node, task.input_file, task.input_offset, task.input_length
+                )
+
+            def _write_factory(n=node, t=task):
+                if t.output_bytes <= 0:
+                    return []
+                remaining_bytes = t.output_bytes
+                steps = []
+                while remaining_bytes > 0:
+                    chunk = min(storage.block_size, remaining_bytes)
+                    steps.append(
+                        storage.write_block(n, f"{spec.name}-map-out-{t.task_id}", chunk)
+                    )
+                    remaining_bytes -= chunk
+                return steps
+
+            def _map_done(n=node, t=task) -> None:
+                nonlocal maps_remaining, map_finish_time
+                free_slots[n] += 1
+                maps_remaining -= 1
+                map_finish_time = engine.now
+                map_nodes_used.append(n)
+                if maps_remaining == 0:
+                    _start_reduce_phase()
+                else:
+                    _maybe_start_next(n)
+
+            runner = _TaskRunner(
+                network,
+                node=node,
+                read_steps=read_steps,
+                compute_seconds=task.compute_seconds,
+                write_steps_factory=_write_factory,
+                on_done=_map_done,
+            )
+            engine.schedule(0.0, runner.start)
+
+    for node in nodes:
+        engine.schedule(0.0, _maybe_start_next, node)
+    engine.run()
+
+    completion = max(map_finish_time, reduce_finish_time)
+    return SimJobResult(
+        job_name=spec.name,
+        system=storage.name,
+        completion_time=completion,
+        map_phase_time=map_finish_time,
+        reduce_phase_time=max(reduce_finish_time - map_finish_time, 0.0),
+        map_tasks=len(spec.map_tasks),
+        reduce_tasks=len(spec.reduce_tasks),
+        node_local_maps=node_local,
+    )
+
+
+# ------------------------------------------------------------------- job spec factories
+def random_text_writer_spec(
+    *,
+    num_map_tasks: int,
+    bytes_per_map: int,
+    compute_seconds_per_map: float = 2.0,
+    slots_per_node: int = 2,
+) -> SimJobSpec:
+    """E4 — Random Text Writer: map-only, every map writes ``bytes_per_map``."""
+    maps = [
+        SimMapTask(
+            task_id=i,
+            input_file=None,
+            input_offset=0,
+            input_length=0,
+            output_bytes=bytes_per_map,
+            compute_seconds=compute_seconds_per_map,
+        )
+        for i in range(num_map_tasks)
+    ]
+    return SimJobSpec(
+        name="random-text-writer", map_tasks=maps, reduce_tasks=[], slots_per_node=slots_per_node
+    )
+
+
+def distributed_grep_spec(
+    storage: SimulatedStorage,
+    *,
+    input_file: str,
+    input_bytes: int,
+    writer_node: int,
+    num_reduce_tasks: int = 1,
+    match_fraction: float = 1e-4,
+    compute_seconds_per_map: float = 1.0,
+    slots_per_node: int = 2,
+) -> SimJobSpec:
+    """E5 — Distributed Grep over one huge input file.
+
+    The input file is laid out on ``storage`` (as written by
+    ``writer_node``) and split into block-sized map inputs; each map emits a
+    tiny fraction of its input as matches, which one (or a few) reducers
+    aggregate into a small output file.
+    """
+    storage.populate_file(input_file, input_bytes, writer_node)
+    maps: list[SimMapTask] = []
+    offset = 0
+    task_id = 0
+    while offset < input_bytes:
+        length = min(storage.block_size, input_bytes - offset)
+        maps.append(
+            SimMapTask(
+                task_id=task_id,
+                input_file=input_file,
+                input_offset=offset,
+                input_length=length,
+                output_bytes=0,
+                compute_seconds=compute_seconds_per_map,
+            )
+        )
+        offset += length
+        task_id += 1
+    match_bytes = int(input_bytes * match_fraction)
+    reduces = [
+        SimReduceTask(
+            task_id=i,
+            shuffle_bytes=match_bytes // max(num_reduce_tasks, 1),
+            output_bytes=max(match_bytes // max(num_reduce_tasks, 1), 1),
+            compute_seconds=0.5,
+        )
+        for i in range(num_reduce_tasks)
+    ]
+    return SimJobSpec(
+        name="distributed-grep",
+        map_tasks=maps,
+        reduce_tasks=reduces,
+        slots_per_node=slots_per_node,
+    )

@@ -1,0 +1,393 @@
+"""Simulated storage systems: BSFS and HDFS data paths at cluster scale.
+
+The paper's evaluation runs on 270 nodes with up to 250 concurrent clients
+moving a gigabyte each — far beyond what the in-process functional layer
+can execute for real.  These models reproduce the *data movement* of each
+system on the flow-level cluster simulator while taking their placement
+decisions from the very same policy code the functional layer uses:
+
+* :class:`SimulatedBSFS` allocates page stripes with
+  :class:`repro.core.provider_manager.LoadBalancedStrategy` (or any other
+  core strategy), so a write fans out across the least-loaded providers
+  exactly as the real provider manager would spread it;
+* :class:`SimulatedHDFS` places block replicas with
+  :class:`repro.hdfs.block_placement.DefaultPlacementPolicy` (first replica
+  on the writer's node, second in the same rack, third in a remote rack)
+  and reads from the closest replica.
+
+Both expose the same small interface — ``write_block``, ``read_block``,
+``populate_file``, ``block_hosts`` — consumed by the microbenchmark drivers
+(:mod:`repro.simulation.workloads`) and the MapReduce completion-time model
+(:mod:`repro.simulation.mapreduce_model`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.provider import ProviderStats
+from ..core.provider_manager import AllocationStrategy, LoadBalancedStrategy
+from ..hdfs.block_placement import BlockPlacementPolicy, DefaultPlacementPolicy
+from ..hdfs.datanode import DataNode
+from .topology import ClusterTopology
+
+__all__ = ["TransferSpec", "SimulatedStorage", "SimulatedBSFS", "SimulatedHDFS"]
+
+#: Default Hadoop block size used by the simulated workloads (64 MiB).
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class TransferSpec:
+    """One data movement required by a storage operation."""
+
+    src: int
+    dst: int
+    nbytes: float
+    src_disk: bool
+    dst_disk: bool
+
+
+class SimulatedStorage(ABC):
+    """Interface of a simulated storage system."""
+
+    #: Human-readable system name used in benchmark reports.
+    name: str = "storage"
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        storage_nodes: Sequence[int] | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 1,
+    ) -> None:
+        self.topology = topology
+        self.storage_nodes: list[int] = (
+            list(storage_nodes)
+            if storage_nodes is not None
+            else [n.node_id for n in topology.nodes]
+        )
+        if not self.storage_nodes:
+            raise ValueError("a simulated storage system needs storage nodes")
+        if replication < 1:
+            raise ValueError("replication must be at least 1")
+        if replication > len(self.storage_nodes):
+            raise ValueError("replication cannot exceed the number of storage nodes")
+        self.block_size = block_size
+        self.replication = replication
+        #: ``file_id -> list`` of per-block placements (model specific records).
+        self._files: dict[str, list] = {}
+        #: Per-node counters used for replica selection and reporting.
+        self._read_load: dict[int, int] = {n: 0 for n in self.storage_nodes}
+        self._write_load: dict[int, int] = {n: 0 for n in self.storage_nodes}
+
+    # -- abstract placement hooks --------------------------------------------------
+    @abstractmethod
+    def _place_block(self, client: int, nbytes: int) -> list:
+        """Choose where one block's bytes go; returns a model-specific record."""
+
+    @abstractmethod
+    def _write_transfers(self, client: int, placement: list, nbytes: int) -> list[TransferSpec]:
+        """Transfers needed to write one placed block."""
+
+    @abstractmethod
+    def _read_transfers(self, client: int, placement: list, nbytes: int) -> list[TransferSpec]:
+        """Transfers needed to read one placed block back."""
+
+    # -- shared bookkeeping ----------------------------------------------------------
+    def file_blocks(self, file_id: str) -> int:
+        """Number of blocks currently recorded for ``file_id``."""
+        return len(self._files.get(file_id, []))
+
+    def file_size(self, file_id: str) -> int:
+        """Total bytes recorded for ``file_id``."""
+        return sum(size for size, _ in self._files.get(file_id, []))
+
+    def write_block(self, client: int, file_id: str, nbytes: int) -> list[TransferSpec]:
+        """Place the next block of ``file_id`` and return its write transfers."""
+        placement = self._place_block(client, nbytes)
+        self._files.setdefault(file_id, []).append((nbytes, placement))
+        return self._write_transfers(client, placement, nbytes)
+
+    def read_block(self, client: int, file_id: str, block_index: int) -> list[TransferSpec]:
+        """Return the transfers needed for ``client`` to read one block."""
+        blocks = self._files.get(file_id)
+        if not blocks:
+            raise KeyError(f"unknown simulated file {file_id!r}")
+        nbytes, placement = blocks[block_index % len(blocks)]
+        return self._read_transfers(client, placement, nbytes)
+
+    def read_range(
+        self, client: int, file_id: str, offset: int, length: int
+    ) -> list[list[TransferSpec]]:
+        """Per-block transfer lists covering the byte range ``[offset, offset+length)``."""
+        blocks = self._files.get(file_id)
+        if blocks is None:
+            raise KeyError(f"unknown simulated file {file_id!r}")
+        result: list[list[TransferSpec]] = []
+        position = 0
+        end = offset + length
+        for index, (nbytes, placement) in enumerate(blocks):
+            block_start, block_end = position, position + nbytes
+            position = block_end
+            if block_end <= offset or block_start >= end:
+                continue
+            overlap = min(end, block_end) - max(offset, block_start)
+            specs = self._read_transfers(client, placement, nbytes)
+            scale = overlap / nbytes if nbytes else 0.0
+            result.append(
+                [
+                    TransferSpec(
+                        src=s.src,
+                        dst=s.dst,
+                        nbytes=s.nbytes * scale,
+                        src_disk=s.src_disk,
+                        dst_disk=s.dst_disk,
+                    )
+                    for s in specs
+                ]
+            )
+        return result
+
+    def populate_file(self, file_id: str, total_bytes: int, writer: int) -> None:
+        """Record a pre-existing file (placement decided, no simulated time charged).
+
+        Used by read-oriented experiments to lay out the input data exactly
+        as the system under test would have written it.
+        """
+        remaining = total_bytes
+        self._files[file_id] = []
+        while remaining > 0:
+            nbytes = min(self.block_size, remaining)
+            placement = self._place_block(writer, nbytes)
+            self._files[file_id].append((nbytes, placement))
+            remaining -= nbytes
+
+    @abstractmethod
+    def block_hosts(self, file_id: str, block_index: int) -> list[int]:
+        """Nodes holding (most of) one block — feeds locality-aware scheduling."""
+
+    # -- reporting --------------------------------------------------------------------
+    def storage_distribution(self) -> dict[int, int]:
+        """Bytes-written counter per storage node (placement balance metric)."""
+        return dict(self._write_load)
+
+
+class SimulatedBSFS(SimulatedStorage):
+    """BSFS/BlobSeer data path: page stripes spread by the load-balancing strategy."""
+
+    name = "bsfs"
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        storage_nodes: Sequence[int] | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 1,
+        page_size: int = 64 * 1024,
+        fragments_per_block: int | None = None,
+        strategy: AllocationStrategy | None = None,
+        seed: int = 0,
+    ) -> None:
+        """``fragments_per_block`` bounds how many providers one client block
+        fans out to concurrently (the client's effective stripe width).  The
+        default — every storage node, capped at 32 — mirrors BlobSeer's
+        behaviour of striping a large write's pages over the whole provider
+        pool."""
+        super().__init__(
+            topology,
+            storage_nodes=storage_nodes,
+            block_size=block_size,
+            replication=replication,
+        )
+        if fragments_per_block is None:
+            fragments_per_block = min(32, len(self.storage_nodes))
+        if fragments_per_block < 1:
+            raise ValueError("fragments_per_block must be at least 1")
+        self.page_size = page_size
+        self.fragments_per_block = fragments_per_block
+        self._strategy = strategy or LoadBalancedStrategy(seed=seed)
+        #: Simulated page count per provider node, consumed by the strategy.
+        self._pages_stored: dict[int, int] = {n: 0 for n in self.storage_nodes}
+        self._pages_written: dict[int, int] = {n: 0 for n in self.storage_nodes}
+
+    def _provider_stats(self) -> list[ProviderStats]:
+        return [
+            ProviderStats(
+                provider_id=node,
+                pages_stored=self._pages_stored[node],
+                bytes_stored=self._pages_stored[node] * self.page_size,
+                pages_written=self._pages_written[node],
+                pages_read=self._read_load[node],
+                bytes_written=0,
+                bytes_read=0,
+                available=True,
+            )
+            for node in self.storage_nodes
+        ]
+
+    def _place_block(self, client: int, nbytes: int) -> list:
+        """Split the block into fragments and place each with the real strategy."""
+        num_pages = max((nbytes + self.page_size - 1) // self.page_size, 1)
+        fragments = min(self.fragments_per_block, num_pages)
+        pages_per_fragment = num_pages / fragments
+        pending: dict[int, int] = {}
+        placement: list[tuple[float, tuple[int, ...]]] = []
+        stats = self._provider_stats()
+        for fragment in range(fragments):
+            replicas = tuple(
+                self._strategy.select(
+                    stats,
+                    self.replication,
+                    client_hint=client,
+                    pending=pending,
+                )
+            )
+            fragment_bytes = nbytes / fragments
+            placement.append((fragment_bytes, replicas))
+            for node in replicas:
+                pending[node] = pending.get(node, 0) + int(pages_per_fragment) + 1
+        # Commit the simulated load: every replica of every fragment lands.
+        for fragment_bytes, replicas in placement:
+            for node in replicas:
+                pages = max(int(round(fragment_bytes / self.page_size)), 1)
+                self._pages_stored[node] += pages
+                self._pages_written[node] += pages
+                self._write_load[node] += int(fragment_bytes)
+        return placement
+
+    def _write_transfers(self, client: int, placement: list, nbytes: int) -> list[TransferSpec]:
+        transfers: list[TransferSpec] = []
+        for fragment_bytes, replicas in placement:
+            for node in replicas:
+                transfers.append(
+                    TransferSpec(
+                        src=client,
+                        dst=node,
+                        nbytes=fragment_bytes,
+                        src_disk=False,
+                        dst_disk=True,
+                    )
+                )
+        return transfers
+
+    def _read_transfers(self, client: int, placement: list, nbytes: int) -> list[TransferSpec]:
+        transfers: list[TransferSpec] = []
+        for fragment_bytes, replicas in placement:
+            source = min(replicas, key=lambda node: self._read_load[node])
+            self._read_load[source] += 1
+            transfers.append(
+                TransferSpec(
+                    src=source,
+                    dst=client,
+                    nbytes=fragment_bytes,
+                    src_disk=True,
+                    dst_disk=False,
+                )
+            )
+        return transfers
+
+    def block_hosts(self, file_id: str, block_index: int) -> list[int]:
+        nbytes, placement = self._files[file_id][block_index]
+        bytes_per_node: dict[int, float] = {}
+        for fragment_bytes, replicas in placement:
+            for node in replicas:
+                bytes_per_node[node] = bytes_per_node.get(node, 0.0) + fragment_bytes
+        ranked = sorted(bytes_per_node.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [node for node, _ in ranked[:3]]
+
+
+class SimulatedHDFS(SimulatedStorage):
+    """HDFS data path: whole-block replicas placed by the rack-aware policy."""
+
+    name = "hdfs"
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        storage_nodes: Sequence[int] | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 1,
+        policy: BlockPlacementPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            topology,
+            storage_nodes=storage_nodes,
+            block_size=block_size,
+            replication=replication,
+        )
+        self._policy = policy or DefaultPlacementPolicy(seed=seed)
+        # Lightweight datanode descriptors for the real placement policy.
+        self._datanodes: dict[int, DataNode] = {
+            node_id: DataNode(
+                node_id,
+                host=topology.node(node_id).host,
+                rack=topology.node(node_id).rack,
+            )
+            for node_id in self.storage_nodes
+        }
+
+    def _place_block(self, client: int, nbytes: int) -> list:
+        writer_host = self.topology.node(client).host
+        targets = self._policy.choose_targets(
+            list(self._datanodes.values()),
+            self.replication,
+            writer_host=writer_host,
+        )
+        placement = [d.node_id for d in targets]
+        for node in placement:
+            self._write_load[node] += nbytes
+        return placement
+
+    def _write_transfers(self, client: int, placement: list, nbytes: int) -> list[TransferSpec]:
+        """The HDFS write pipeline: client -> replica 1 -> replica 2 -> ..."""
+        transfers: list[TransferSpec] = []
+        previous = client
+        for index, node in enumerate(placement):
+            transfers.append(
+                TransferSpec(
+                    src=previous,
+                    dst=node,
+                    nbytes=float(nbytes),
+                    # Forwarding happens from memory as the block streams in.
+                    src_disk=False,
+                    dst_disk=True,
+                )
+            )
+            previous = node
+        return transfers
+
+    def _read_transfers(self, client: int, placement: list, nbytes: int) -> list[TransferSpec]:
+        source = self._closest_replica(client, placement)
+        self._read_load[source] += 1
+        return [
+            TransferSpec(
+                src=source,
+                dst=client,
+                nbytes=float(nbytes),
+                src_disk=True,
+                dst_disk=False,
+            )
+        ]
+
+    def _closest_replica(self, client: int, placement: list) -> int:
+        client_rack = self.topology.node(client).rack
+
+        def distance(node: int) -> tuple[int, int]:
+            if node == client:
+                return (0, self._read_load[node])
+            if self.topology.node(node).rack == client_rack:
+                return (1, self._read_load[node])
+            return (2, self._read_load[node])
+
+        return min(placement, key=distance)
+
+    def block_hosts(self, file_id: str, block_index: int) -> list[int]:
+        _nbytes, placement = self._files[file_id][block_index]
+        return list(placement)

@@ -1,0 +1,210 @@
+"""Cluster topology: nodes, racks and the capacities of their resources.
+
+The paper's experiments ran on Grid'5000, "a large-scale experimental grid
+platform, with an infrastructure geographically distributed on 9 different
+sites in France", using 270 nodes with both the storage layer (BSFS or
+HDFS) and the clients co-deployed.  :func:`grid5000_like` builds a topology
+with that shape; the hardware figures (1 Gb/s NICs, ~10 Gb/s site uplinks,
+~60-70 MB/s commodity disks) are representative of the 2009-era clusters
+the paper used and can all be overridden.
+
+Every node exposes four simulated resources — disk read, disk write, NIC in
+and NIC out — and every rack two (uplink in/out); the flow-level network
+model shares their capacities max-min fairly among concurrent transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MBps", "NodeSpec", "RackSpec", "ClusterTopology", "grid5000_like", "small_cluster"]
+
+#: One megabyte per second, the bandwidth unit used throughout the simulator.
+MBps = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Static description of one cluster node."""
+
+    node_id: int
+    host: str
+    rack: str
+    disk_read_bw: float
+    disk_write_bw: float
+    nic_in_bw: float
+    nic_out_bw: float
+
+    def resource(self, kind: str) -> str:
+        """Resource id of one of the node's four capacities."""
+        return f"node:{self.node_id}:{kind}"
+
+
+@dataclass(frozen=True, slots=True)
+class RackSpec:
+    """Static description of one rack (or Grid'5000 site)."""
+
+    name: str
+    uplink_in_bw: float
+    uplink_out_bw: float
+
+    def resource(self, direction: str) -> str:
+        """Resource id of the rack uplink in the given direction (``in``/``out``)."""
+        return f"rack:{self.name}:{direction}"
+
+
+@dataclass
+class ClusterTopology:
+    """A set of nodes grouped into racks, plus per-resource capacities."""
+
+    nodes: list[NodeSpec] = field(default_factory=list)
+    racks: dict[str, RackSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_id = {n.node_id: n for n in self.nodes}
+        self._by_host = {n.host: n for n in self.nodes}
+
+    # -- lookups ----------------------------------------------------------------------
+    def node(self, node_id: int) -> NodeSpec:
+        """Node by id."""
+        return self._by_id[node_id]
+
+    def node_by_host(self, host: str) -> NodeSpec:
+        """Node by host name."""
+        return self._by_host[host]
+
+    def rack_of(self, node_id: int) -> RackSpec:
+        """Rack of a node."""
+        return self.racks[self.node(node_id).rack]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the topology."""
+        return len(self.nodes)
+
+    def hosts(self) -> list[str]:
+        """Host names of every node (in node-id order)."""
+        return [n.host for n in sorted(self.nodes, key=lambda n: n.node_id)]
+
+    def same_rack(self, a: int, b: int) -> bool:
+        """Whether two nodes share a rack."""
+        return self.node(a).rack == self.node(b).rack
+
+    # -- resource capacities ------------------------------------------------------------
+    def resource_capacities(self) -> dict[str, float]:
+        """Map every resource id to its capacity in bytes/second."""
+        capacities: dict[str, float] = {}
+        for node in self.nodes:
+            capacities[node.resource("disk_read")] = node.disk_read_bw
+            capacities[node.resource("disk_write")] = node.disk_write_bw
+            capacities[node.resource("nic_in")] = node.nic_in_bw
+            capacities[node.resource("nic_out")] = node.nic_out_bw
+        for rack in self.racks.values():
+            capacities[rack.resource("in")] = rack.uplink_in_bw
+            capacities[rack.resource("out")] = rack.uplink_out_bw
+        return capacities
+
+    def transfer_path(
+        self,
+        src: int,
+        dst: int,
+        *,
+        src_disk: bool = True,
+        dst_disk: bool = True,
+    ) -> list[str]:
+        """Resource ids traversed by a transfer from ``src`` to ``dst``.
+
+        A local transfer (``src == dst``) only touches the node's disks; a
+        remote one adds both NICs and, across racks, both rack uplinks.
+        ``src_disk``/``dst_disk`` model whether the data actually touches
+        the disk at each end (a client generating synthetic data, or
+        discarding what it reads, does not).
+        """
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+        path: list[str] = []
+        if src_disk:
+            path.append(src_node.resource("disk_read"))
+        if src != dst:
+            path.append(src_node.resource("nic_out"))
+            if src_node.rack != dst_node.rack:
+                path.append(self.racks[src_node.rack].resource("out"))
+                path.append(self.racks[dst_node.rack].resource("in"))
+            path.append(dst_node.resource("nic_in"))
+        if dst_disk:
+            path.append(dst_node.resource("disk_write"))
+        return path
+
+
+def _build(
+    num_nodes: int,
+    num_racks: int,
+    *,
+    disk_read_bw: float,
+    disk_write_bw: float,
+    nic_bw: float,
+    uplink_bw: float,
+) -> ClusterTopology:
+    nodes = [
+        NodeSpec(
+            node_id=i,
+            host=f"node-{i}",
+            rack=f"rack-{i % num_racks}",
+            disk_read_bw=disk_read_bw,
+            disk_write_bw=disk_write_bw,
+            nic_in_bw=nic_bw,
+            nic_out_bw=nic_bw,
+        )
+        for i in range(num_nodes)
+    ]
+    racks = {
+        f"rack-{r}": RackSpec(
+            name=f"rack-{r}", uplink_in_bw=uplink_bw, uplink_out_bw=uplink_bw
+        )
+        for r in range(num_racks)
+    }
+    return ClusterTopology(nodes=nodes, racks=racks)
+
+
+def grid5000_like(
+    *,
+    num_nodes: int = 270,
+    num_racks: int = 9,
+    disk_read_bw: float = 70 * MBps,
+    disk_write_bw: float = 60 * MBps,
+    nic_bw: float = 117 * MBps,
+    uplink_bw: float = 1200 * MBps,
+) -> ClusterTopology:
+    """Topology modelled on the paper's Grid'5000 deployment.
+
+    270 nodes over 9 sites (racks), 1 Gb/s NICs (~117 MB/s of goodput),
+    ~10 Gb/s site uplinks and 2009-era commodity SATA disks.
+    """
+    return _build(
+        num_nodes,
+        num_racks,
+        disk_read_bw=disk_read_bw,
+        disk_write_bw=disk_write_bw,
+        nic_bw=nic_bw,
+        uplink_bw=uplink_bw,
+    )
+
+
+def small_cluster(
+    *,
+    num_nodes: int = 16,
+    num_racks: int = 4,
+    disk_read_bw: float = 70 * MBps,
+    disk_write_bw: float = 60 * MBps,
+    nic_bw: float = 117 * MBps,
+    uplink_bw: float = 1200 * MBps,
+) -> ClusterTopology:
+    """A small topology for tests and quick benchmark runs."""
+    return _build(
+        num_nodes,
+        num_racks,
+        disk_read_bw=disk_read_bw,
+        disk_write_bw=disk_write_bw,
+        nic_bw=nic_bw,
+        uplink_bw=uplink_bw,
+    )

@@ -1,0 +1,359 @@
+"""Microbenchmark workload drivers for the simulated cluster.
+
+These drivers reproduce the three access patterns of the paper's
+microbenchmarks (Section IV.B) plus the concurrent-append extension of
+Section V, at Grid'5000 scale:
+
+* :func:`run_write_different_files`  — "clients concurrently writing to
+  different files" (the Reduce-phase pattern, experiment E3);
+* :func:`run_read_different_files`   — "clients concurrently reading from
+  different files" (Map-phase pattern, E1);
+* :func:`run_read_same_file`         — "clients concurrently reading
+  non-overlapping parts of the same huge file" (Map-phase pattern, E2);
+* :func:`run_append_same_file`       — concurrent appends to a single file
+  (E6, BSFS only — the capability HDFS lacks).
+
+Each driver builds a fresh discrete-event engine and flow network, creates
+one simulated client per requested concurrency level, and lets every client
+move its data block by block (a client starts its next block only when the
+previous one finished, like the real Hadoop/BlobSeer client libraries).
+The result is a :class:`ThroughputResult` carrying per-client and aggregate
+throughput — the quantities the paper's figures plot against the number of
+concurrent clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .engine import SimulationEngine
+from .network import FlowNetwork
+from .storage_models import SimulatedStorage, TransferSpec
+from .topology import ClusterTopology, MBps
+
+__all__ = [
+    "ClientResult",
+    "ThroughputResult",
+    "run_write_different_files",
+    "run_read_different_files",
+    "run_read_same_file",
+    "run_append_same_file",
+]
+
+
+@dataclass
+class ClientResult:
+    """Outcome of one simulated client."""
+
+    client_id: int
+    node: int
+    total_bytes: float
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Seconds the client needed to move all of its data."""
+        return max(self.finished_at - self.started_at, 0.0)
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Per-client throughput in MiB/s (the paper's y-axis unit)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes / self.duration / MBps
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of one microbenchmark run (one point of a paper figure)."""
+
+    system: str
+    pattern: str
+    num_clients: int
+    bytes_per_client: float
+    clients: list[ClientResult] = field(default_factory=list)
+    makespan: float = 0.0
+
+    @property
+    def aggregate_throughput_mbps(self) -> float:
+        """Total data moved divided by the time until the last client finished."""
+        total = sum(c.total_bytes for c in self.clients)
+        if self.makespan <= 0:
+            return 0.0
+        return total / self.makespan / MBps
+
+    @property
+    def mean_client_throughput_mbps(self) -> float:
+        """Average of the per-client throughputs (the paper's main metric)."""
+        if not self.clients:
+            return 0.0
+        return sum(c.throughput_mbps for c in self.clients) / len(self.clients)
+
+    @property
+    def min_client_throughput_mbps(self) -> float:
+        """Slowest client's throughput."""
+        if not self.clients:
+            return 0.0
+        return min(c.throughput_mbps for c in self.clients)
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """One row of the benchmark report tables."""
+        return {
+            "system": self.system,
+            "pattern": self.pattern,
+            "clients": self.num_clients,
+            "per_client_MBps": round(self.mean_client_throughput_mbps, 2),
+            "aggregate_MBps": round(self.aggregate_throughput_mbps, 2),
+            "makespan_s": round(self.makespan, 2),
+        }
+
+
+# --------------------------------------------------------------------------- driver
+class _SimClient:
+    """State machine advancing one client through its sequence of block steps.
+
+    Each *step* is a thunk returning the transfers of one block; the next
+    step starts when every transfer of the current one has completed.
+    """
+
+    def __init__(
+        self,
+        result: ClientResult,
+        steps: list[Callable[[], list[TransferSpec]]],
+        network: FlowNetwork,
+        on_done: Callable[["_SimClient"], None],
+    ) -> None:
+        self.result = result
+        self._steps = steps
+        self._network = network
+        self._on_done = on_done
+        self._current = 0
+        self._outstanding = 0
+
+    def start(self) -> None:
+        """Begin the client's first step at the current simulated time."""
+        self.result.started_at = self._network.engine.now
+        self._next_step()
+
+    def _next_step(self) -> None:
+        if self._current >= len(self._steps):
+            self.result.finished_at = self._network.engine.now
+            self._on_done(self)
+            return
+        transfers = self._steps[self._current]()
+        self._current += 1
+        if not transfers:
+            self._next_step()
+            return
+        self._outstanding = len(transfers)
+        for spec in transfers:
+            self._network.start_transfer(
+                spec.src,
+                spec.dst,
+                spec.nbytes,
+                src_disk=spec.src_disk,
+                dst_disk=spec.dst_disk,
+                on_complete=self._transfer_done,
+            )
+
+    def _transfer_done(self, _flow) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._next_step()
+
+
+def _run_clients(
+    topology: ClusterTopology,
+    storage: SimulatedStorage,
+    pattern: str,
+    client_plans: list[tuple[int, list[Callable[[], list[TransferSpec]]], float]],
+) -> ThroughputResult:
+    """Execute one client plan list on a fresh engine and collect the result."""
+    engine = SimulationEngine()
+    network = FlowNetwork(topology, engine)
+    result = ThroughputResult(
+        system=storage.name,
+        pattern=pattern,
+        num_clients=len(client_plans),
+        bytes_per_client=client_plans[0][2] if client_plans else 0.0,
+    )
+    finished: list[_SimClient] = []
+
+    def _done(client: _SimClient) -> None:
+        finished.append(client)
+
+    clients: list[_SimClient] = []
+    for client_id, (node, steps, total_bytes) in enumerate(client_plans):
+        client_result = ClientResult(
+            client_id=client_id, node=node, total_bytes=total_bytes
+        )
+        result.clients.append(client_result)
+        clients.append(_SimClient(client_result, steps, network, _done))
+    for client in clients:
+        engine.schedule(0.0, client.start)
+    engine.run()
+    result.makespan = max((c.finished_at for c in result.clients), default=0.0)
+    return result
+
+
+def _client_nodes(
+    topology: ClusterTopology, num_clients: int, offset: int = 0
+) -> list[int]:
+    """Co-deploy clients on the cluster nodes round-robin (the paper's setup)."""
+    nodes = [n.node_id for n in topology.nodes]
+    return [nodes[(i + offset) % len(nodes)] for i in range(num_clients)]
+
+
+def _blocks_of(total_bytes: int, block_size: int) -> list[int]:
+    sizes = []
+    remaining = total_bytes
+    while remaining > 0:
+        sizes.append(min(block_size, remaining))
+        remaining -= block_size
+    return sizes
+
+
+# ------------------------------------------------------------------ E3: write distinct
+def run_write_different_files(
+    topology: ClusterTopology,
+    storage: SimulatedStorage,
+    *,
+    num_clients: int,
+    bytes_per_client: int,
+    client_nodes: Sequence[int] | None = None,
+) -> ThroughputResult:
+    """E3 — every client writes its own file of ``bytes_per_client`` bytes."""
+    nodes = (
+        list(client_nodes)
+        if client_nodes is not None
+        else _client_nodes(topology, num_clients)
+    )
+    plans = []
+    for client_id, node in enumerate(nodes):
+        file_id = f"write-{client_id}"
+        steps = [
+            (lambda n=node, f=file_id, b=block: storage.write_block(n, f, b))
+            for block in _blocks_of(bytes_per_client, storage.block_size)
+        ]
+        plans.append((node, steps, float(bytes_per_client)))
+    return _run_clients(topology, storage, "write_different_files", plans)
+
+
+# ------------------------------------------------------------------- E1: read distinct
+def run_read_different_files(
+    topology: ClusterTopology,
+    storage: SimulatedStorage,
+    *,
+    num_clients: int,
+    bytes_per_client: int,
+    client_nodes: Sequence[int] | None = None,
+    shuffle_readers: bool = True,
+    layout_seed: int = 0x5EED,
+) -> ThroughputResult:
+    """E1 — every client reads its own (pre-existing) file.
+
+    The input files are laid out beforehand by the system's own placement
+    policy.  With ``shuffle_readers`` (the default) each file was written
+    from a pseudo-randomly chosen cluster node — the common case for map
+    tasks processing a dataset produced by an earlier job, where several
+    files can happen to have been written from the same node (for HDFS this
+    concentrates those whole files on that node).  Set it to ``False`` to
+    model readers consuming files they wrote themselves.
+    """
+    import random
+
+    nodes = (
+        list(client_nodes)
+        if client_nodes is not None
+        else _client_nodes(topology, num_clients)
+    )
+    rng = random.Random(layout_seed)
+    all_nodes = [n.node_id for n in topology.nodes]
+    for client_id in range(num_clients):
+        if shuffle_readers:
+            writer = rng.choice(all_nodes)
+        else:
+            writer = nodes[client_id]
+        storage.populate_file(f"read-{client_id}", bytes_per_client, writer)
+    plans = []
+    for client_id, node in enumerate(nodes):
+        file_id = f"read-{client_id}"
+        num_blocks = storage.file_blocks(file_id)
+        steps = [
+            (lambda n=node, f=file_id, i=index: storage.read_block(n, f, i))
+            for index in range(num_blocks)
+        ]
+        plans.append((node, steps, float(bytes_per_client)))
+    return _run_clients(topology, storage, "read_different_files", plans)
+
+
+# ------------------------------------------------------------------- E2: read same file
+def run_read_same_file(
+    topology: ClusterTopology,
+    storage: SimulatedStorage,
+    *,
+    num_clients: int,
+    bytes_per_client: int,
+    client_nodes: Sequence[int] | None = None,
+    writer_node: int | None = None,
+) -> ThroughputResult:
+    """E2 — clients read disjoint parts of one huge shared file.
+
+    The file (``num_clients * bytes_per_client`` bytes) is laid out
+    beforehand as if written by ``writer_node`` (default: node 0) — for
+    HDFS that concentrates a replica of every block on the writer, which is
+    precisely the hotspot the paper blames for HDFS's degradation.
+    """
+    nodes = (
+        list(client_nodes)
+        if client_nodes is not None
+        else _client_nodes(topology, num_clients)
+    )
+    writer = writer_node if writer_node is not None else topology.nodes[0].node_id
+    file_id = "shared-input"
+    total = num_clients * bytes_per_client
+    storage.populate_file(file_id, total, writer)
+    plans = []
+    for client_id, node in enumerate(nodes):
+        offset = client_id * bytes_per_client
+        block_steps = storage.read_range(node, file_id, offset, bytes_per_client)
+        steps = [
+            (lambda specs=specs: specs)
+            for specs in block_steps
+        ]
+        plans.append((node, steps, float(bytes_per_client)))
+    return _run_clients(topology, storage, "read_same_file", plans)
+
+
+# ------------------------------------------------------------------ E6: append same file
+def run_append_same_file(
+    topology: ClusterTopology,
+    storage: SimulatedStorage,
+    *,
+    num_clients: int,
+    bytes_per_client: int,
+    client_nodes: Sequence[int] | None = None,
+) -> ThroughputResult:
+    """E6 — clients append concurrently to one shared file (BSFS capability).
+
+    Every appended block lands in the same logical file; the storage model
+    places each block independently (BlobSeer assigns disjoint offsets per
+    appender through its version manager, so appenders never wait for each
+    other's data transfers).
+    """
+    nodes = (
+        list(client_nodes)
+        if client_nodes is not None
+        else _client_nodes(topology, num_clients)
+    )
+    file_id = "shared-append"
+    plans = []
+    for client_id, node in enumerate(nodes):
+        steps = [
+            (lambda n=node, b=block: storage.write_block(n, file_id, b))
+            for block in _blocks_of(bytes_per_client, storage.block_size)
+        ]
+        plans.append((node, steps, float(bytes_per_client)))
+    return _run_clients(topology, storage, "append_same_file", plans)

@@ -1,0 +1,29 @@
+"""Workload generators and functional (in-process) microbenchmarks."""
+
+from .generators import (
+    deterministic_bytes,
+    random_text,
+    text_file_lines,
+    write_binary_file,
+    write_text_file,
+)
+from .microbench import (
+    FunctionalRunResult,
+    concurrent_appends_same_file,
+    concurrent_reads_different_files,
+    concurrent_reads_same_file,
+    concurrent_writes_different_files,
+)
+
+__all__ = [
+    "deterministic_bytes",
+    "random_text",
+    "text_file_lines",
+    "write_text_file",
+    "write_binary_file",
+    "FunctionalRunResult",
+    "concurrent_writes_different_files",
+    "concurrent_reads_different_files",
+    "concurrent_reads_same_file",
+    "concurrent_appends_same_file",
+]

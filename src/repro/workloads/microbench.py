@@ -1,0 +1,262 @@
+"""Functional (in-process) microbenchmarks: real bytes, real threads.
+
+The cluster simulator reproduces the paper-scale figures; this module
+exercises the same three access patterns against the *functional*
+implementations (real BSFS and HDFS objects storing real bytes), with one
+thread per client.  It is used by the F1 benchmark and by the concurrency
+integration tests to verify that the Python implementations themselves
+behave correctly and efficiently under concurrent access — the property the
+paper's storage layer is designed around.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..fs.interface import FileSystem
+from .generators import deterministic_bytes
+
+__all__ = [
+    "FunctionalRunResult",
+    "concurrent_writes_different_files",
+    "concurrent_reads_different_files",
+    "concurrent_reads_same_file",
+    "concurrent_appends_same_file",
+]
+
+
+@dataclass
+class FunctionalRunResult:
+    """Result of one functional microbenchmark run."""
+
+    pattern: str
+    scheme: str
+    num_clients: int
+    bytes_per_client: int
+    elapsed: float
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload moved by all clients."""
+        return self.num_clients * self.bytes_per_client
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Total bytes divided by wall-clock time (bytes/second)."""
+        return self.total_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every client completed without error."""
+        return not self.errors
+
+    def as_row(self) -> dict:
+        """One row for reports."""
+        return {
+            "system": self.scheme,
+            "pattern": self.pattern,
+            "clients": self.num_clients,
+            "MB_per_client": round(self.bytes_per_client / (1024 * 1024), 2),
+            "elapsed_s": round(self.elapsed, 3),
+            "aggregate_MBps": round(self.aggregate_throughput / (1024 * 1024), 2),
+        }
+
+
+def _run_threads(workers: list[Callable[[], None]]) -> tuple[float, list[str]]:
+    """Run the worker callables concurrently; returns (elapsed, errors)."""
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def _wrap(worker: Callable[[], None]) -> None:
+        try:
+            worker()
+        except Exception as exc:  # noqa: BLE001 - benchmark error capture
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=_wrap, args=(w,)) for w in workers]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, errors
+
+
+def concurrent_writes_different_files(
+    fs: FileSystem,
+    *,
+    num_clients: int,
+    bytes_per_client: int,
+    directory: str = "/bench/write",
+    chunk_size: int = 256 * 1024,
+) -> FunctionalRunResult:
+    """Every client writes its own file (the paper's Reduce-phase pattern)."""
+    fs.mkdirs(directory)
+
+    def _writer(index: int) -> Callable[[], None]:
+        def _run() -> None:
+            path = f"{directory}/client-{index}.bin"
+            with fs.create(path, overwrite=True) as stream:
+                written = 0
+                while written < bytes_per_client:
+                    n = min(chunk_size, bytes_per_client - written)
+                    stream.write(deterministic_bytes(n, seed=index * 7919 + written))
+                    written += n
+
+        return _run
+
+    elapsed, errors = _run_threads([_writer(i) for i in range(num_clients)])
+    return FunctionalRunResult(
+        pattern="write_different_files",
+        scheme=fs.scheme,
+        num_clients=num_clients,
+        bytes_per_client=bytes_per_client,
+        elapsed=elapsed,
+        errors=errors,
+    )
+
+
+def concurrent_reads_different_files(
+    fs: FileSystem,
+    *,
+    num_clients: int,
+    bytes_per_client: int,
+    directory: str = "/bench/read-diff",
+    chunk_size: int = 256 * 1024,
+) -> FunctionalRunResult:
+    """Every client reads its own pre-written file (Map-phase pattern)."""
+    fs.mkdirs(directory)
+    for index in range(num_clients):
+        path = f"{directory}/client-{index}.bin"
+        if not fs.exists(path):
+            with fs.create(path) as stream:
+                written = 0
+                while written < bytes_per_client:
+                    n = min(chunk_size, bytes_per_client - written)
+                    stream.write(deterministic_bytes(n, seed=index))
+                    written += n
+
+    def _reader(index: int) -> Callable[[], None]:
+        def _run() -> None:
+            path = f"{directory}/client-{index}.bin"
+            with fs.open(path) as stream:
+                total = 0
+                while True:
+                    chunk = stream.read(chunk_size)
+                    if not chunk:
+                        break
+                    total += len(chunk)
+                if total != bytes_per_client:
+                    raise AssertionError(
+                        f"client {index} read {total} bytes, expected {bytes_per_client}"
+                    )
+
+        return _run
+
+    elapsed, errors = _run_threads([_reader(i) for i in range(num_clients)])
+    return FunctionalRunResult(
+        pattern="read_different_files",
+        scheme=fs.scheme,
+        num_clients=num_clients,
+        bytes_per_client=bytes_per_client,
+        elapsed=elapsed,
+        errors=errors,
+    )
+
+
+def concurrent_reads_same_file(
+    fs: FileSystem,
+    *,
+    num_clients: int,
+    bytes_per_client: int,
+    path: str = "/bench/shared-input.bin",
+    chunk_size: int = 256 * 1024,
+) -> FunctionalRunResult:
+    """Clients read disjoint ranges of one shared file (Map-phase pattern)."""
+    total_size = num_clients * bytes_per_client
+    if not fs.exists(path) or fs.status(path).size < total_size:
+        if fs.exists(path):
+            fs.delete(path)
+        with fs.create(path) as stream:
+            written = 0
+            while written < total_size:
+                n = min(chunk_size, total_size - written)
+                stream.write(deterministic_bytes(n, seed=written))
+                written += n
+
+    def _reader(index: int) -> Callable[[], None]:
+        def _run() -> None:
+            offset = index * bytes_per_client
+            with fs.open(path) as stream:
+                remaining = bytes_per_client
+                position = offset
+                while remaining > 0:
+                    chunk = stream.pread(position, min(chunk_size, remaining))
+                    if not chunk:
+                        raise AssertionError(
+                            f"client {index} hit EOF with {remaining} bytes left"
+                        )
+                    position += len(chunk)
+                    remaining -= len(chunk)
+
+        return _run
+
+    elapsed, errors = _run_threads([_reader(i) for i in range(num_clients)])
+    return FunctionalRunResult(
+        pattern="read_same_file",
+        scheme=fs.scheme,
+        num_clients=num_clients,
+        bytes_per_client=bytes_per_client,
+        elapsed=elapsed,
+        errors=errors,
+    )
+
+
+def concurrent_appends_same_file(
+    fs: FileSystem,
+    *,
+    num_clients: int,
+    appends_per_client: int,
+    append_size: int,
+    path: str = "/bench/shared-append.log",
+) -> FunctionalRunResult:
+    """Clients append concurrently to one shared file (the §V extension).
+
+    Requires a file system exposing ``concurrent_append`` (BSFS); the HDFS
+    baseline raises, which the benchmark reports as an unsupported run.
+    """
+    concurrent_append = getattr(fs, "concurrent_append", None)
+    if concurrent_append is None:
+        from ..fs.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError(
+            f"{fs.scheme} does not support concurrent appends to one file"
+        )
+    if not fs.exists(path):
+        with fs.create(path):
+            pass
+
+    def _appender(index: int) -> Callable[[], None]:
+        def _run() -> None:
+            for sequence in range(appends_per_client):
+                payload = deterministic_bytes(
+                    append_size, seed=index * 104729 + sequence
+                )
+                concurrent_append(path, payload)
+
+        return _run
+
+    elapsed, errors = _run_threads([_appender(i) for i in range(num_clients)])
+    return FunctionalRunResult(
+        pattern="append_same_file",
+        scheme=fs.scheme,
+        num_clients=num_clients,
+        bytes_per_client=appends_per_client * append_size,
+        elapsed=elapsed,
+        errors=errors,
+    )

@@ -1,0 +1,106 @@
+"""Tests for report formatting and statistics helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ExperimentReport,
+    coefficient_of_variation,
+    compare_systems,
+    format_table,
+    mean,
+    percentile,
+    speedup,
+    stddev,
+    summarize,
+)
+
+
+class TestFormatTable:
+    def test_renders_columns_in_order(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "0.12" in text
+        assert "10" in text
+
+    def test_empty_rows(self):
+        assert "(no data)" in format_table([], title="empty")
+
+    def test_explicit_column_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+
+class TestCompareSystems:
+    def test_ratio_computed_per_key(self):
+        rows = [
+            {"system": "bsfs", "clients": 10, "value": 100.0},
+            {"system": "hdfs", "clients": 10, "value": 50.0},
+            {"system": "bsfs", "clients": 20, "value": 90.0},
+            {"system": "hdfs", "clients": 20, "value": 30.0},
+        ]
+        comparison = compare_systems(rows, key_column="clients", value_column="value")
+        assert comparison[0]["ratio"] == pytest.approx(2.0)
+        assert comparison[1]["ratio"] == pytest.approx(3.0)
+        assert [row["clients"] for row in comparison] == [10, 20]
+
+    def test_missing_system_is_tolerated(self):
+        rows = [{"system": "bsfs", "clients": 5, "value": 10.0}]
+        comparison = compare_systems(rows, key_column="clients", value_column="value")
+        assert "ratio" not in comparison[0]
+
+    def test_speedup_helper(self):
+        assert speedup(2.0, 6.0) == pytest.approx(3.0)
+        assert speedup(0.0, 6.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0
+
+
+class TestExperimentReport:
+    def test_accumulates_and_serialises(self, capsys):
+        report = ExperimentReport("E1", "read different files")
+        report.add_row({"system": "bsfs", "clients": 1, "MBps": 100.0})
+        report.add_rows([{"system": "hdfs", "clients": 1, "MBps": 60.0}])
+        report.note("bsfs wins by 1.67x")
+        text = report.to_text()
+        assert "[E1] read different files" in text
+        assert "bsfs wins" in text
+        payload = json.loads(report.to_json())
+        assert payload["experiment"] == "E1"
+        assert len(payload["rows"]) == 2
+        report.print()
+        assert "E1" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_mean_std(self):
+        assert mean([]) == 0.0
+        assert mean([1, 2, 3]) == 2.0
+        assert stddev([5]) == 0.0
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_cv_and_summary(self):
+        assert coefficient_of_variation([]) == 0.0
+        assert coefficient_of_variation([1, 1, 1]) == 0.0
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summarize([])["count"] == 0

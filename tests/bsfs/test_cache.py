@@ -1,0 +1,155 @@
+"""Unit and property tests for the BSFS client-side cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsfs.cache import BlockReadCache, WriteAggregator
+
+
+class TestBlockReadCache:
+    def make_backing(self, size: int, block_size: int):
+        data = bytes((i * 37) % 256 for i in range(size))
+        fetches: list[int] = []
+
+        def fetch(block_index: int) -> bytes:
+            fetches.append(block_index)
+            start = block_index * block_size
+            return data[start : start + block_size]
+
+        return data, fetch, fetches
+
+    def test_read_returns_correct_bytes(self):
+        data, fetch, _ = self.make_backing(10_000, 1024)
+        cache = BlockReadCache(1024, fetch)
+        assert cache.read(0, 100) == data[:100]
+        assert cache.read(5000, 2500) == data[5000:7500]
+        assert cache.read(9990, 100) == data[9990:]
+
+    def test_whole_block_prefetch_serves_small_reads(self):
+        data, fetch, fetches = self.make_backing(4096, 1024)
+        cache = BlockReadCache(1024, fetch)
+        for offset in range(0, 1024, 64):
+            assert cache.read(offset, 64) == data[offset : offset + 64]
+        # 16 reads of 64 bytes hit storage exactly once.
+        assert fetches == [0]
+        assert cache.stats.hits == 15
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        _, fetch, fetches = self.make_backing(16 * 1024, 1024)
+        cache = BlockReadCache(1024, fetch, capacity_blocks=2)
+        cache.read(0, 10)       # block 0
+        cache.read(1024, 10)    # block 1
+        cache.read(2048, 10)    # block 2 -> evicts block 0
+        assert cache.cached_blocks() == [1, 2]
+        cache.read(0, 10)       # block 0 must be fetched again
+        assert fetches == [0, 1, 2, 0]
+
+    def test_invalidate(self):
+        _, fetch, fetches = self.make_backing(4096, 1024)
+        cache = BlockReadCache(1024, fetch)
+        cache.read(0, 10)
+        cache.invalidate(0)
+        cache.read(0, 10)
+        assert fetches == [0, 0]
+        cache.read(1024, 10)
+        cache.invalidate()
+        assert cache.cached_blocks() == []
+
+    def test_zero_and_negative_sizes(self):
+        _, fetch, _ = self.make_backing(1024, 256)
+        cache = BlockReadCache(256, fetch)
+        assert cache.read(0, 0) == b""
+        with pytest.raises(ValueError):
+            cache.read(-1, 10)
+        with pytest.raises(ValueError):
+            cache.read(0, -1)
+
+    def test_read_past_end_truncated(self):
+        data, fetch, _ = self.make_backing(1000, 256)
+        cache = BlockReadCache(256, fetch)
+        assert cache.read(900, 500) == data[900:]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BlockReadCache(0, lambda i: b"")
+        with pytest.raises(ValueError):
+            BlockReadCache(10, lambda i: b"", capacity_blocks=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=5000),
+        block_size=st.integers(min_value=1, max_value=700),
+        reads=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5200),
+                st.integers(min_value=0, max_value=900),
+            ),
+            max_size=15,
+        ),
+    )
+    def test_property_reads_match_backing_data(self, size, block_size, reads):
+        data, fetch, _ = self.make_backing(size, block_size)
+        cache = BlockReadCache(block_size, fetch, capacity_blocks=3)
+        for offset, length in reads:
+            expected = data[offset : offset + length]
+            assert cache.read(offset, length) == expected
+
+
+class TestWriteAggregator:
+    def test_flushes_full_blocks_only(self):
+        flushed: list[bytes] = []
+        aggregator = WriteAggregator(100, flushed.append)
+        aggregator.write(b"a" * 70)
+        assert flushed == []
+        aggregator.write(b"b" * 70)
+        assert [len(b) for b in flushed] == [100]
+        assert aggregator.pending_bytes == 40
+
+    def test_close_flushes_remainder(self):
+        flushed: list[bytes] = []
+        aggregator = WriteAggregator(100, flushed.append)
+        aggregator.write(b"x" * 130)
+        aggregator.close()
+        assert [len(b) for b in flushed] == [100, 30]
+        with pytest.raises(ValueError):
+            aggregator.write(b"more")
+        aggregator.close()  # idempotent
+
+    def test_large_single_write_produces_multiple_blocks(self):
+        flushed: list[bytes] = []
+        aggregator = WriteAggregator(64, flushed.append)
+        aggregator.write(b"z" * 300)
+        assert [len(b) for b in flushed] == [64, 64, 64, 64]
+        aggregator.flush()
+        assert [len(b) for b in flushed] == [64, 64, 64, 64, 44]
+
+    def test_stats(self):
+        aggregator = WriteAggregator(10, lambda b: None)
+        aggregator.write(b"q" * 35)
+        aggregator.close()
+        assert aggregator.stats.flushed_blocks == 4
+        assert aggregator.stats.flushed_bytes == 35
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WriteAggregator(0, lambda b: None)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        block_size=st.integers(min_value=1, max_value=257),
+        chunks=st.lists(st.binary(min_size=0, max_size=400), max_size=20),
+    )
+    def test_property_no_bytes_lost_or_reordered(self, block_size, chunks):
+        flushed: list[bytes] = []
+        aggregator = WriteAggregator(block_size, flushed.append)
+        for chunk in chunks:
+            aggregator.write(chunk)
+        aggregator.close()
+        assert b"".join(flushed) == b"".join(chunks)
+        # Every flushed block except the last is exactly block_size long.
+        for block in flushed[:-1]:
+            assert len(block) == block_size

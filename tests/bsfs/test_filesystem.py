@@ -1,0 +1,157 @@
+"""BSFS-specific behaviour: blob mapping, append, versioning, locality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.core import KB, BlobSeerConfig
+from repro.fs.errors import LeaseConflictError, NoSuchPathError
+
+BLOCK = 16 * KB
+
+
+class TestFileToBlobMapping:
+    def test_create_binds_a_fresh_blob(self, bsfs: BSFS):
+        bsfs.write_file("/a.bin", b"a")
+        bsfs.write_file("/b.bin", b"b")
+        record_a = bsfs.namespace.record("/a.bin")
+        record_b = bsfs.namespace.record("/b.bin")
+        assert record_a.blob_id != record_b.blob_id
+        assert bsfs.namespace.blob_of("/a.bin") == record_a.blob_id
+
+    def test_delete_releases_blob_pages(self, bsfs: BSFS):
+        bsfs.write_file("/big.bin", b"x" * (4 * BLOCK))
+        stored_before = bsfs.blobseer.stats()["pages_stored"]
+        assert stored_before > 0
+        bsfs.delete("/big.bin")
+        assert bsfs.blobseer.stats()["pages_stored"] == 0
+
+    def test_overwrite_releases_old_blob(self, bsfs: BSFS):
+        bsfs.write_file("/f.bin", b"old" * 10000)
+        old_blob = bsfs.namespace.blob_of("/f.bin")
+        bsfs.write_file("/f.bin", b"new", overwrite=True)
+        assert bsfs.namespace.blob_of("/f.bin") != old_blob
+        assert bsfs.read_file("/f.bin") == b"new"
+
+    def test_all_records(self, bsfs: BSFS):
+        bsfs.write_file("/x/1", b"1")
+        bsfs.write_file("/y/2", b"22")
+        records = {r.path: r.size for r in bsfs.namespace.all_records()}
+        assert records == {"/x/1": 1, "/y/2": 2}
+
+
+class TestWritePathAndCache:
+    def test_small_writes_are_aggregated_into_block_appends(self, bsfs: BSFS):
+        with bsfs.create("/agg.bin", block_size=BLOCK) as out:
+            for _ in range(BLOCK // 64 * 2):  # exactly two blocks of 64-byte writes
+                out.write(b"r" * 64)
+        record = bsfs.namespace.record("/agg.bin")
+        # Two blocks -> two blob versions (one append per block).
+        assert bsfs.blobseer.latest_version(record.blob_id) == 2
+        assert record.size == 2 * BLOCK
+
+    def test_trailing_partial_block_flushed_on_close(self, bsfs: BSFS):
+        with bsfs.create("/tail.bin", block_size=BLOCK) as out:
+            out.write(b"t" * (BLOCK + 100))
+        assert bsfs.size("/tail.bin") == BLOCK + 100
+        assert bsfs.read_file("/tail.bin") == b"t" * (BLOCK + 100)
+
+    def test_append_continues_existing_file(self, bsfs: BSFS):
+        bsfs.write_file("/log.txt", b"first|")
+        with bsfs.append("/log.txt") as out:
+            out.write(b"second|")
+        with bsfs.append("/log.txt") as out:
+            out.write(b"third")
+        assert bsfs.read_file("/log.txt") == b"first|second|third"
+
+    def test_lease_prevents_concurrent_writers(self, bsfs: BSFS):
+        stream = bsfs.create("/locked.bin")
+        stream.write(b"x")
+        with pytest.raises(LeaseConflictError):
+            bsfs.append("/locked.bin")
+        with pytest.raises(LeaseConflictError):
+            bsfs.delete("/locked.bin")
+        stream.close()
+        with bsfs.append("/locked.bin") as out:
+            out.write(b"y")
+        assert bsfs.read_file("/locked.bin") == b"xy"
+
+    def test_read_cache_statistics_exposed(self, bsfs: BSFS):
+        bsfs.write_file("/cached.bin", b"c" * (2 * BLOCK))
+        with bsfs.open("/cached.bin") as stream:
+            for offset in range(0, BLOCK, 1024):
+                stream.pread(offset, 512)
+            assert stream.cache.stats.misses == 1
+            assert stream.cache.stats.hits > 0
+
+
+class TestConcurrentAppendExtension:
+    def test_concurrent_append_returns_disjoint_offsets(self, bsfs: BSFS):
+        bsfs.write_file("/shared.log", b"")
+        offsets = [
+            bsfs.concurrent_append("/shared.log", f"record-{i};".encode())
+            for i in range(5)
+        ]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == 5
+        content = bsfs.read_file("/shared.log")
+        for i in range(5):
+            assert f"record-{i};".encode() in content
+
+
+class TestVersioning:
+    def test_snapshot_isolated_from_later_appends(self, bsfs: BSFS):
+        bsfs.write_file("/versioned.txt", b"version-one")
+        snapshot = bsfs.snapshot("/versioned.txt")
+        bsfs.concurrent_append("/versioned.txt", b"+more")
+        with bsfs.open("/versioned.txt", version=snapshot) as stream:
+            assert stream.read() == b"version-one"
+        assert bsfs.read_file("/versioned.txt") == b"version-one+more"
+
+    def test_file_versions_listing(self, bsfs: BSFS):
+        with bsfs.create("/multi.bin", block_size=BLOCK) as out:
+            out.write(b"m" * (3 * BLOCK))
+        versions = bsfs.file_versions("/multi.bin")
+        assert versions[0] == 0
+        assert len(versions) == 4  # empty + 3 block appends
+
+
+class TestLocality:
+    def test_block_locations_rank_hosts_by_bytes(self, bsfs: BSFS):
+        bsfs.write_file("/loc.bin", b"L" * (3 * BLOCK))
+        locations = bsfs.block_locations("/loc.bin")
+        assert len(locations) == 3
+        provider_hosts = {p.host for p in bsfs.blobseer.provider_manager.providers}
+        for location in locations:
+            assert 1 <= len(location.hosts) <= 3
+            assert set(location.hosts) <= provider_hosts
+
+    def test_block_locations_of_range(self, bsfs: BSFS):
+        bsfs.write_file("/loc2.bin", b"L" * (4 * BLOCK))
+        locations = bsfs.block_locations("/loc2.bin", offset=BLOCK, length=BLOCK)
+        assert len(locations) == 1
+        assert locations[0].offset == BLOCK
+
+    def test_missing_file_raises(self, bsfs: BSFS):
+        with pytest.raises(NoSuchPathError):
+            bsfs.block_locations("/ghost")
+
+
+class TestStats:
+    def test_stats_include_files_and_scheme(self, bsfs: BSFS):
+        bsfs.write_file("/s1", b"1")
+        stats = bsfs.stats()
+        assert stats["scheme"] == "bsfs"
+        assert stats["files"] == 1
+
+
+class TestSharedBlobSeerDeployment:
+    def test_bsfs_over_external_blobseer(self):
+        from repro.core import BlobSeer
+
+        service = BlobSeer(BlobSeerConfig(page_size=4 * KB, num_providers=4))
+        fs = BSFS(blobseer=service, default_block_size=BLOCK)
+        fs.write_file("/ext.bin", b"external")
+        assert fs.read_file("/ext.bin") == b"external"
+        assert service.blob_ids() if hasattr(service, "blob_ids") else True

@@ -1,0 +1,90 @@
+"""Unit tests for the file-like BlobHandle wrapper."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core import BlobHandle, BlobSeer, InvalidRangeError
+
+PAGE = 4 * 1024
+
+
+@pytest.fixture
+def handle(blobseer: BlobSeer) -> BlobHandle:
+    blob = blobseer.create_blob()
+    return BlobHandle(blobseer, blob)
+
+
+class TestCursor:
+    def test_initial_state(self, handle):
+        assert handle.tell() == 0
+        assert handle.size == 0
+        assert handle.latest_version == 0
+        assert handle.page_size == PAGE
+
+    def test_seek_variants(self, handle):
+        handle.append(b"0123456789")
+        assert handle.seek(4) == 4
+        assert handle.seek(2, io.SEEK_CUR) == 6
+        assert handle.seek(-3, io.SEEK_END) == 7
+        with pytest.raises(InvalidRangeError):
+            handle.seek(-1)
+        with pytest.raises(ValueError):
+            handle.seek(0, 99)
+
+
+class TestReadWrite:
+    def test_append_moves_cursor_to_end(self, handle):
+        handle.append(b"hello ")
+        handle.append(b"world")
+        assert handle.tell() == handle.size == 11
+        handle.seek(0)
+        assert handle.read() == b"hello world"
+
+    def test_sequential_reads(self, handle):
+        handle.append(bytes(range(200)))
+        handle.seek(0)
+        assert handle.read(50) == bytes(range(50))
+        assert handle.read(50) == bytes(range(50, 100))
+        assert handle.tell() == 100
+
+    def test_read_past_end_returns_empty(self, handle):
+        handle.append(b"abc")
+        handle.seek(10)
+        assert handle.read(5) == b""
+
+    def test_pread_does_not_move_cursor(self, handle):
+        handle.append(b"abcdefgh")
+        handle.seek(2)
+        assert handle.pread(4, 3) == b"efg"
+        assert handle.tell() == 2
+
+    def test_write_requires_page_alignment_and_versions(self, handle):
+        handle.append(b"a" * (2 * PAGE))
+        handle.seek(PAGE)
+        version = handle.write(b"b" * PAGE)
+        assert version == 2
+        assert handle.readall()[PAGE:] == b"b" * PAGE
+        assert handle.readall(version=1) == b"a" * (2 * PAGE)
+
+    def test_versions_listing(self, handle):
+        handle.append(b"one")
+        handle.append(b"two")
+        assert handle.versions() == [0, 1, 2]
+        assert handle.latest_version == 2
+
+    def test_iter_pages_round_trip(self, handle):
+        payload = bytes(range(256)) * 80  # 20 KiB = 5 pages
+        handle.append(payload)
+        pages = list(handle.iter_pages())
+        assert len(pages) == 5
+        assert b"".join(pages) == payload
+
+    def test_versioned_read_with_cursor(self, handle):
+        handle.append(b"x" * 100)
+        first = handle.latest_version
+        handle.append(b"y" * 100)
+        handle.seek(0)
+        assert handle.read(version=first) == b"x" * 100

@@ -1,0 +1,66 @@
+"""Unit tests for `repro.core.config`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GB, KB, MB, BlobSeerConfig
+
+
+class TestSizeConstants:
+    def test_units(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+
+class TestBlobSeerConfig:
+    def test_defaults_are_valid(self):
+        config = BlobSeerConfig()
+        assert config.page_size == 64 * KB
+        assert config.replication == 1
+        assert config.num_providers >= config.replication
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"page_size": 0},
+            {"page_size": -5},
+            {"replication": 0},
+            {"num_providers": 0},
+            {"num_metadata_providers": 0},
+            {"replication": 10, "num_providers": 5},
+            {"allocation_strategy": "bogus"},
+            {"read_replica_policy": "bogus"},
+            {"virtual_nodes_per_metadata_provider": 0},
+            {"max_versions_kept": 0},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            BlobSeerConfig(**overrides)
+
+    def test_with_overrides_returns_new_object(self):
+        config = BlobSeerConfig()
+        other = config.with_overrides(page_size=KB)
+        assert other.page_size == KB
+        assert config.page_size == 64 * KB
+        assert other is not config
+
+    def test_from_mapping_ignores_unknown_keys(self):
+        config = BlobSeerConfig.from_mapping(
+            {"page_size": 2 * KB, "replication": 2, "bogus_key": 42}
+        )
+        assert config.page_size == 2 * KB
+        assert config.replication == 2
+
+    def test_describe_round_trips_through_from_mapping(self):
+        config = BlobSeerConfig(page_size=8 * KB, num_providers=4, replication=3)
+        clone = BlobSeerConfig.from_mapping(config.describe())
+        assert clone == config
+
+    def test_config_is_hashable_and_frozen(self):
+        config = BlobSeerConfig()
+        with pytest.raises(Exception):
+            config.page_size = 1  # type: ignore[misc]
+        assert hash(config) == hash(BlobSeerConfig())

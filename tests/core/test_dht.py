@@ -1,0 +1,169 @@
+"""Unit tests for the metadata DHT and consistent-hash ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dht import ConsistentHashRing, MetadataDHT, MetadataProvider
+from repro.core.errors import NoProvidersError, ProviderUnavailableError
+
+
+class TestMetadataProvider:
+    def test_put_get_contains_delete(self):
+        provider = MetadataProvider(0)
+        provider.put("k", {"value": 1})
+        assert provider.contains("k")
+        assert provider.get("k") == {"value": 1}
+        provider.delete("k")
+        assert not provider.contains("k")
+        with pytest.raises(KeyError):
+            provider.get("k")
+
+    def test_stats_counters(self):
+        provider = MetadataProvider(0)
+        provider.put("a", 1)
+        provider.put("b", 2)
+        provider.get("a")
+        stats = provider.stats
+        assert stats["puts"] == 2
+        assert stats["gets"] == 1
+        assert stats["entries"] == 2
+        assert len(provider) == 2
+
+    def test_failure_blocks_access(self):
+        provider = MetadataProvider(0)
+        provider.put("k", 1)
+        provider.fail()
+        with pytest.raises(ProviderUnavailableError):
+            provider.get("k")
+        provider.recover()
+        assert provider.get("k") == 1
+
+
+class TestConsistentHashRing:
+    def test_owner_is_stable(self):
+        ring = ConsistentHashRing(virtual_nodes=32)
+        for member in range(4):
+            ring.add_member(member)
+        owners = {f"key-{i}": ring.owner(f"key-{i}") for i in range(100)}
+        # Asking again gives the same answers.
+        for key, owner in owners.items():
+            assert ring.owner(key) == owner
+
+    def test_keys_spread_over_members(self):
+        ring = ConsistentHashRing(virtual_nodes=64)
+        for member in range(4):
+            ring.add_member(member)
+        counts = {m: 0 for m in range(4)}
+        for i in range(1000):
+            counts[ring.owner(f"key-{i}")] += 1
+        # Every member owns a meaningful share (no starvation).
+        assert min(counts.values()) > 100
+
+    def test_member_removal_only_remaps_its_keys(self):
+        ring = ConsistentHashRing(virtual_nodes=64)
+        for member in range(4):
+            ring.add_member(member)
+        before = {f"key-{i}": ring.owner(f"key-{i}") for i in range(500)}
+        ring.remove_member(3)
+        moved = 0
+        for key, owner in before.items():
+            new_owner = ring.owner(key)
+            if owner == 3:
+                assert new_owner != 3
+            elif new_owner != owner:
+                moved += 1
+        assert moved == 0  # keys not owned by the removed member stay put
+
+    def test_owners_returns_distinct_members(self):
+        ring = ConsistentHashRing(virtual_nodes=16)
+        for member in range(5):
+            ring.add_member(member)
+        owners = ring.owners("some-key", 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+
+    def test_owners_clamped_to_membership(self):
+        ring = ConsistentHashRing(virtual_nodes=8)
+        ring.add_member(1)
+        ring.add_member(2)
+        assert len(ring.owners("k", 5)) == 2
+
+    def test_empty_ring_raises(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(NoProvidersError):
+            ring.owner("k")
+
+    def test_duplicate_member_rejected(self):
+        ring = ConsistentHashRing()
+        ring.add_member(1)
+        with pytest.raises(ValueError):
+            ring.add_member(1)
+        with pytest.raises(ValueError):
+            ring.remove_member(2)
+
+    def test_invalid_virtual_nodes(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(virtual_nodes=0)
+
+
+class TestMetadataDHT:
+    def make_dht(self, count: int = 4, replication: int = 1) -> MetadataDHT:
+        return MetadataDHT(
+            [MetadataProvider(i) for i in range(count)],
+            virtual_nodes=32,
+            replication=replication,
+        )
+
+    def test_put_get_round_trip(self):
+        dht = self.make_dht()
+        dht.put("meta:1:1:0:4", {"node": "data"})
+        assert dht.get("meta:1:1:0:4") == {"node": "data"}
+        assert dht.contains("meta:1:1:0:4")
+
+    def test_missing_key_raises(self):
+        dht = self.make_dht()
+        with pytest.raises(KeyError):
+            dht.get("missing")
+        assert not dht.contains("missing")
+
+    def test_distribution_spreads_keys(self):
+        dht = self.make_dht(count=4)
+        for i in range(400):
+            dht.put(f"key-{i}", i)
+        distribution = dht.distribution()
+        assert sum(distribution.values()) == 400
+        assert all(count > 0 for count in distribution.values())
+
+    def test_delete(self):
+        dht = self.make_dht()
+        dht.put("k", 1)
+        dht.delete("k")
+        assert not dht.contains("k")
+
+    def test_replicated_dht_survives_provider_failure(self):
+        dht = self.make_dht(count=4, replication=2)
+        for i in range(50):
+            dht.put(f"key-{i}", i)
+        # Fail one provider: every key still readable from its second replica.
+        dht.providers[0].fail()
+        for i in range(50):
+            assert dht.get(f"key-{i}") == i
+
+    def test_needs_at_least_one_provider(self):
+        with pytest.raises(NoProvidersError):
+            MetadataDHT([])
+
+    def test_owner_of_matches_primary(self):
+        dht = self.make_dht()
+        owner = dht.owner_of("some-key")
+        assert owner in {p.provider_id for p in dht.providers}
+
+    def test_add_remove_provider(self):
+        dht = self.make_dht(count=2)
+        dht.add_provider(MetadataProvider(10))
+        assert len(dht.providers) == 3
+        removed = dht.remove_provider(10)
+        assert removed.provider_id == 10
+        with pytest.raises(ValueError):
+            dht.add_provider(MetadataProvider(0))

@@ -1,0 +1,147 @@
+"""Unit tests for the versioned segment-tree metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dht import MetadataDHT, MetadataProvider
+from repro.core.errors import MetadataCorruptionError
+from repro.core.metadata import MetadataManager, NodeKey, next_power_of_two
+from repro.core.pages import PageDescriptor, PageKey
+
+
+@pytest.fixture
+def manager() -> MetadataManager:
+    dht = MetadataDHT([MetadataProvider(i) for i in range(3)], virtual_nodes=16)
+    return MetadataManager(dht)
+
+
+def descriptors_for(blob_id: int, version: int, indices, size: int = 100):
+    return {
+        index: PageDescriptor(
+            key=PageKey(blob_id, version, index), providers=(index % 3,), size=size
+        )
+        for index in indices
+    }
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1000, 1024), (1024, 1024)],
+    )
+    def test_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+
+class TestNodeKey:
+    def test_dht_key_format_and_span(self):
+        key = NodeKey(blob_id=2, version=5, lo=4, hi=8)
+        assert key.dht_key() == "meta:2:5:4:8"
+        assert key.span == 4
+        assert not key.is_leaf_key
+        assert NodeKey(1, 1, 3, 4).is_leaf_key
+
+
+class TestBuildAndLookup:
+    def test_first_version_lookup_returns_all_pages(self, manager):
+        written = descriptors_for(1, 1, range(5))
+        root = manager.build_version(1, 1, written, 5, base_root=None, base_capacity=1)
+        found = manager.lookup(root, 0, 5)
+        assert found == written
+
+    def test_partial_range_lookup(self, manager):
+        written = descriptors_for(1, 1, range(10))
+        root = manager.build_version(1, 1, written, 10, base_root=None, base_capacity=1)
+        found = manager.lookup(root, 3, 7)
+        assert sorted(found.keys()) == [3, 4, 5, 6]
+
+    def test_empty_blob_returns_none_root(self, manager):
+        assert manager.build_version(1, 1, {}, 0, base_root=None, base_capacity=1) is None
+        assert manager.lookup(None, 0, 10) == {}
+
+    def test_overwrite_shares_untouched_pages(self, manager):
+        v1 = descriptors_for(1, 1, range(8))
+        root1 = manager.build_version(1, 1, v1, 8, base_root=None, base_capacity=1)
+        v2 = descriptors_for(1, 2, [2, 3])
+        root2 = manager.build_version(1, 2, v2, 8, base_root=root1, base_capacity=8)
+        found = manager.lookup(root2, 0, 8)
+        # Touched pages come from version 2, untouched ones from version 1.
+        assert found[2].key.version == 2
+        assert found[3].key.version == 2
+        for index in (0, 1, 4, 5, 6, 7):
+            assert found[index].key.version == 1
+        # The old version is still fully readable.
+        old = manager.lookup(root1, 0, 8)
+        assert all(d.key.version == 1 for d in old.values())
+
+    def test_append_grows_capacity_and_shares_prefix(self, manager):
+        v1 = descriptors_for(1, 1, range(4))
+        root1 = manager.build_version(1, 1, v1, 4, base_root=None, base_capacity=1)
+        v2 = descriptors_for(1, 2, range(4, 10))
+        root2 = manager.build_version(1, 2, v2, 10, base_root=root1, base_capacity=4)
+        found = manager.lookup(root2, 0, 10)
+        assert sorted(found.keys()) == list(range(10))
+        assert all(found[i].key.version == 1 for i in range(4))
+        assert all(found[i].key.version == 2 for i in range(4, 10))
+
+    def test_sparse_write_creates_holes(self, manager):
+        written = descriptors_for(1, 1, [5, 6])
+        root = manager.build_version(1, 1, written, 7, base_root=None, base_capacity=1)
+        found = manager.lookup(root, 0, 7)
+        assert sorted(found.keys()) == [5, 6]
+
+    def test_structural_sharing_limits_new_nodes(self, manager):
+        v1 = descriptors_for(1, 1, range(64))
+        root1 = manager.build_version(1, 1, v1, 64, base_root=None, base_capacity=1)
+        nodes_v1 = manager.nodes_created_by(1, 1)
+        v2 = descriptors_for(1, 2, [10])
+        manager.build_version(1, 2, v2, 64, base_root=root1, base_capacity=64)
+        nodes_v2 = manager.nodes_created_by(1, 2)
+        # A single-page write creates only a root-to-leaf path, not a full tree.
+        assert nodes_v2 <= next_power_of_two(64).bit_length() + 1
+        assert nodes_v2 < nodes_v1
+
+    def test_count_nodes_counts_shared_once(self, manager):
+        v1 = descriptors_for(1, 1, range(16))
+        root1 = manager.build_version(1, 1, v1, 16, base_root=None, base_capacity=1)
+        count1 = manager.count_nodes(root1)
+        v2 = descriptors_for(1, 2, [0])
+        root2 = manager.build_version(1, 2, v2, 16, base_root=root1, base_capacity=16)
+        count2 = manager.count_nodes(root2)
+        assert count2 == count1  # same shape: one leaf replaced, same node count
+
+    def test_lookup_invalid_range_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.lookup(None, -1, 3)
+        with pytest.raises(ValueError):
+            manager.lookup(None, 5, 3)
+
+    def test_written_indices_outside_capacity_rejected(self, manager):
+        written = descriptors_for(1, 1, [100])
+        with pytest.raises(ValueError):
+            manager.build_version(1, 1, written, 4, base_root=None, base_capacity=1)
+
+    def test_fetch_missing_node_raises_corruption(self, manager):
+        missing = NodeKey(9, 9, 0, 4)
+        with pytest.raises(MetadataCorruptionError):
+            manager.fetch(missing)
+
+    def test_multi_version_chain_remains_consistent(self, manager):
+        root = None
+        capacity = 1
+        pages = 0
+        for version in range(1, 9):
+            new_index = version - 1
+            written = descriptors_for(1, version, [new_index])
+            pages = max(pages, new_index + 1)
+            new_root = manager.build_version(
+                1, version, written, pages, base_root=root, base_capacity=capacity
+            )
+            root = new_root
+            capacity = next_power_of_two(pages)
+        found = manager.lookup(root, 0, pages)
+        assert sorted(found.keys()) == list(range(8))
+        # Page i was written by version i+1 and never rewritten.
+        for index, descriptor in found.items():
+            assert descriptor.key.version == index + 1

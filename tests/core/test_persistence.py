@@ -1,0 +1,144 @@
+"""Unit tests for the persistence layer (`repro.core.persistence`)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.persistence import LogStructuredStore, MemoryStore
+
+
+@pytest.fixture(params=["memory", "log"])
+def store(request, tmp_path):
+    """Both store implementations satisfy the same PageStore contract."""
+    if request.param == "memory":
+        yield MemoryStore()
+    else:
+        log_store = LogStructuredStore(tmp_path / "store.log")
+        yield log_store
+        log_store.close()
+
+
+class TestPageStoreContract:
+    def test_put_get_round_trip(self, store):
+        store.put(b"key-1", b"value-1")
+        assert store.get(b"key-1") == b"value-1"
+
+    def test_contains_and_len(self, store):
+        assert not store.contains(b"missing")
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        assert store.contains(b"a")
+        assert len(store) == 2
+        assert b"a" in store
+
+    def test_overwrite_replaces_value(self, store):
+        store.put(b"k", b"old")
+        store.put(b"k", b"new-value")
+        assert store.get(b"k") == b"new-value"
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert not store.contains(b"k")
+        with pytest.raises(KeyError):
+            store.get(b"k")
+        with pytest.raises(KeyError):
+            store.delete(b"k")
+
+    def test_keys_snapshot(self, store):
+        for i in range(5):
+            store.put(f"key-{i}".encode(), b"x")
+        assert sorted(store.keys()) == sorted(f"key-{i}".encode() for i in range(5))
+
+    def test_get_missing_raises_keyerror(self, store):
+        with pytest.raises(KeyError):
+            store.get(b"nope")
+
+    def test_dunder_set_get(self, store):
+        store[b"k"] = b"v"
+        assert store[b"k"] == b"v"
+
+    def test_binary_values_preserved(self, store):
+        payload = bytes(range(256)) * 10
+        store.put(b"bin", payload)
+        assert store.get(b"bin") == payload
+
+
+class TestLogStructuredStore:
+    def test_reopen_recovers_index(self, tmp_path):
+        path = tmp_path / "pages.log"
+        store = LogStructuredStore(path)
+        store.put(b"a", b"1")
+        store.put(b"b", b"22")
+        store.put(b"a", b"111")
+        store.delete(b"b")
+        store.close()
+
+        recovered = LogStructuredStore(path)
+        try:
+            assert recovered.get(b"a") == b"111"
+            assert not recovered.contains(b"b")
+            assert len(recovered) == 1
+        finally:
+            recovered.close()
+
+    def test_torn_tail_record_is_dropped(self, tmp_path):
+        path = tmp_path / "pages.log"
+        store = LogStructuredStore(path)
+        store.put(b"good", b"payload")
+        store.put(b"tail", b"to-be-torn")
+        store.close()
+        # Simulate a crash mid-append by truncating the last few bytes.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 3)
+
+        recovered = LogStructuredStore(path)
+        try:
+            assert recovered.get(b"good") == b"payload"
+            assert not recovered.contains(b"tail")
+        finally:
+            recovered.close()
+
+    def test_compact_shrinks_log_and_preserves_data(self, tmp_path):
+        path = tmp_path / "pages.log"
+        store = LogStructuredStore(path)
+        for i in range(50):
+            store.put(b"hot-key", f"value-{i}".encode() * 10)
+        store.put(b"other", b"stay")
+        before = store.log_size
+        store.compact()
+        after = store.log_size
+        assert after < before
+        assert store.get(b"hot-key") == b"value-49" * 10
+        assert store.get(b"other") == b"stay"
+        store.close()
+
+    def test_sync_flushes_without_error(self, tmp_path):
+        store = LogStructuredStore(tmp_path / "s.log", sync_every_put=True)
+        store.put(b"k", b"v")
+        store.sync()
+        store.close()
+
+    def test_creates_missing_parent_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "store.log"
+        store = LogStructuredStore(nested)
+        store.put(b"k", b"v")
+        store.close()
+        assert nested.exists()
+
+    def test_many_keys_survive_reopen(self, tmp_path):
+        path = tmp_path / "many.log"
+        store = LogStructuredStore(path)
+        for i in range(200):
+            store.put(f"key-{i}".encode(), f"value-{i}".encode())
+        store.close()
+        recovered = LogStructuredStore(path)
+        try:
+            assert len(recovered) == 200
+            assert recovered.get(b"key-123") == b"value-123"
+        finally:
+            recovered.close()

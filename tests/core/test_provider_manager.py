@@ -1,0 +1,168 @@
+"""Unit tests for the provider manager and allocation strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import AllocationError, NoProvidersError
+from repro.core.pages import PageKey
+from repro.core.provider import DataProvider
+from repro.core.provider_manager import (
+    LoadBalancedStrategy,
+    LocalFirstStrategy,
+    ProviderManager,
+    RandomStrategy,
+    make_strategy,
+)
+
+
+def make_providers(count: int) -> list[DataProvider]:
+    return [DataProvider(i) for i in range(count)]
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        manager = ProviderManager(make_providers(3))
+        assert sorted(manager.provider_ids) == [0, 1, 2]
+        assert manager.get(1).provider_id == 1
+
+    def test_duplicate_registration_rejected(self):
+        manager = ProviderManager(make_providers(2))
+        with pytest.raises(AllocationError):
+            manager.register(DataProvider(1))
+
+    def test_unregister(self):
+        manager = ProviderManager(make_providers(2))
+        removed = manager.unregister(0)
+        assert removed.provider_id == 0
+        with pytest.raises(AllocationError):
+            manager.get(0)
+        with pytest.raises(AllocationError):
+            manager.unregister(0)
+
+    def test_get_unknown_provider(self):
+        manager = ProviderManager(make_providers(1))
+        with pytest.raises(AllocationError):
+            manager.get(99)
+
+
+class TestAllocation:
+    def test_allocation_size_and_distinct_replicas(self):
+        manager = ProviderManager(make_providers(5))
+        allocation = manager.allocate(10, replication=3)
+        assert len(allocation) == 10
+        for replicas in allocation:
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_load_balanced_allocation_spreads_evenly(self):
+        manager = ProviderManager(make_providers(4), strategy="load_balanced")
+        allocation = manager.allocate(100, replication=1)
+        counts = {}
+        for (provider_id,) in allocation:
+            counts[provider_id] = counts.get(provider_id, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_allocation_accounts_for_existing_load(self):
+        providers = make_providers(3)
+        # Pre-load provider 0 heavily.
+        for i in range(50):
+            providers[0].put_page(PageKey(1, 1, i), b"x")
+        manager = ProviderManager(providers, strategy="load_balanced")
+        allocation = manager.allocate(20, replication=1)
+        used = {replicas[0] for replicas in allocation}
+        assert 0 not in used
+
+    def test_failed_providers_excluded(self):
+        providers = make_providers(3)
+        providers[1].fail()
+        manager = ProviderManager(providers)
+        allocation = manager.allocate(10, replication=1)
+        assert all(replicas[0] != 1 for replicas in allocation)
+
+    def test_no_available_providers(self):
+        providers = make_providers(2)
+        for provider in providers:
+            provider.fail()
+        manager = ProviderManager(providers)
+        with pytest.raises(NoProvidersError):
+            manager.allocate(1, replication=1)
+
+    def test_replication_exceeding_available_rejected(self):
+        manager = ProviderManager(make_providers(2))
+        with pytest.raises(AllocationError):
+            manager.allocate(1, replication=3)
+
+    def test_invalid_arguments(self):
+        manager = ProviderManager(make_providers(2))
+        with pytest.raises(AllocationError):
+            manager.allocate(-1, replication=1)
+        with pytest.raises(AllocationError):
+            manager.allocate(1, replication=0)
+
+    def test_zero_pages_allocation(self):
+        manager = ProviderManager(make_providers(2))
+        assert manager.allocate(0, replication=1) == []
+
+
+class TestStrategies:
+    def test_make_strategy_factory(self):
+        assert isinstance(make_strategy("load_balanced"), LoadBalancedStrategy)
+        assert isinstance(make_strategy("random"), RandomStrategy)
+        assert isinstance(make_strategy("local_first"), LocalFirstStrategy)
+        with pytest.raises(AllocationError):
+            make_strategy("bogus")
+
+    def test_local_first_prefers_hint(self):
+        providers = make_providers(5)
+        stats = [p.stats() for p in providers]
+        strategy = LocalFirstStrategy(seed=3)
+        chosen = strategy.select(stats, 3, client_hint=2)
+        assert chosen[0] == 2
+        assert len(set(chosen)) == 3
+
+    def test_local_first_without_hint_falls_back_to_random(self):
+        providers = make_providers(5)
+        stats = [p.stats() for p in providers]
+        strategy = LocalFirstStrategy(seed=3)
+        chosen = strategy.select(stats, 2, client_hint=None)
+        assert len(set(chosen)) == 2
+
+    def test_random_strategy_returns_distinct_ids(self):
+        providers = make_providers(6)
+        stats = [p.stats() for p in providers]
+        strategy = RandomStrategy(seed=11)
+        for _ in range(20):
+            chosen = strategy.select(stats, 3)
+            assert len(set(chosen)) == 3
+
+    def test_load_balanced_respects_pending_batch_load(self):
+        providers = make_providers(3)
+        stats = [p.stats() for p in providers]
+        strategy = LoadBalancedStrategy()
+        pending = {0: 100, 1: 100}
+        chosen = strategy.select(stats, 1, pending=pending)
+        assert chosen == [2]
+
+
+class TestMonitoring:
+    def test_distribution_and_imbalance(self):
+        providers = make_providers(3)
+        manager = ProviderManager(providers)
+        # Perfect balance when nothing is stored.
+        assert manager.imbalance() == 1.0
+        providers[0].put_page(PageKey(1, 1, 0), b"x")
+        providers[0].put_page(PageKey(1, 1, 1), b"x")
+        providers[1].put_page(PageKey(1, 1, 2), b"x")
+        distribution = manager.distribution()
+        assert distribution[0] == 2
+        assert distribution[1] == 1
+        assert distribution[2] == 0
+        assert manager.imbalance() == pytest.approx(2 / 1.0)
+
+    def test_available_stats_excludes_failed(self):
+        providers = make_providers(3)
+        providers[2].fail()
+        manager = ProviderManager(providers)
+        stats = manager.available_stats()
+        assert {s.provider_id for s in stats} == {0, 1}

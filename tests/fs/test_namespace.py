@@ -1,0 +1,193 @@
+"""Unit tests for the shared namespace tree (`repro.fs.namespace`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.errors import (
+    DirectoryNotEmptyError,
+    IsADirectoryError,
+    LeaseConflictError,
+    NoSuchPathError,
+    NotADirectoryError,
+    PathExistsError,
+)
+from repro.fs.namespace import NamespaceTree
+
+
+@pytest.fixture
+def tree() -> NamespaceTree[int]:
+    return NamespaceTree()
+
+
+def create(tree: NamespaceTree[int], path: str, payload: int = 0, **kwargs):
+    return tree.create_file(
+        path,
+        payload_factory=lambda: payload,
+        block_size=1024,
+        replication=1,
+        **kwargs,
+    )
+
+
+class TestDirectories:
+    def test_root_exists(self, tree):
+        assert tree.exists("/")
+        assert tree.is_dir("/")
+
+    def test_mkdirs_creates_ancestors_and_is_idempotent(self, tree):
+        tree.mkdirs("/a/b/c")
+        assert tree.is_dir("/a")
+        assert tree.is_dir("/a/b/c")
+        tree.mkdirs("/a/b/c")  # no error
+
+    def test_mkdirs_through_file_rejected(self, tree):
+        create(tree, "/a/file")
+        with pytest.raises(NotADirectoryError):
+            tree.mkdirs("/a/file/sub")
+
+    def test_list_dir_sorted(self, tree):
+        create(tree, "/dir/b")
+        create(tree, "/dir/a")
+        tree.mkdirs("/dir/z")
+        names = [path for path, _ in tree.list_dir("/dir")]
+        assert names == ["/dir/a", "/dir/b", "/dir/z"]
+
+    def test_list_missing_dir_raises(self, tree):
+        with pytest.raises(NoSuchPathError):
+            tree.list_dir("/nope")
+
+
+class TestFiles:
+    def test_create_and_get(self, tree):
+        create(tree, "/data/file.bin", payload=42)
+        entry = tree.get_file("/data/file.bin")
+        assert entry.payload == 42
+        assert entry.size == 0
+
+    def test_create_existing_without_overwrite_rejected(self, tree):
+        create(tree, "/f")
+        with pytest.raises(PathExistsError):
+            create(tree, "/f")
+
+    def test_overwrite_calls_release_hook(self, tree):
+        create(tree, "/f", payload=1)
+        released = []
+        tree.create_file(
+            "/f",
+            payload_factory=lambda: 2,
+            block_size=1,
+            replication=1,
+            overwrite=True,
+            on_overwrite=lambda entry: released.append(entry.payload),
+        )
+        assert released == [1]
+        assert tree.get_file("/f").payload == 2
+
+    def test_create_over_directory_rejected(self, tree):
+        tree.mkdirs("/dir")
+        with pytest.raises(IsADirectoryError):
+            create(tree, "/dir")
+        with pytest.raises(PathExistsError):
+            create(tree, "/")
+
+    def test_get_file_on_directory_rejected(self, tree):
+        tree.mkdirs("/d")
+        with pytest.raises(IsADirectoryError):
+            tree.get_file("/d")
+
+    def test_update_file(self, tree):
+        create(tree, "/f", payload=1)
+        tree.update_file("/f", size=100, payload=9)
+        entry = tree.get_file("/f")
+        assert entry.size == 100
+        assert entry.payload == 9
+
+    def test_walk_and_count(self, tree):
+        create(tree, "/a/1")
+        create(tree, "/a/b/2")
+        create(tree, "/c/3")
+        files = [path for path, _ in tree.walk_files()]
+        assert sorted(files) == ["/a/1", "/a/b/2", "/c/3"]
+        assert tree.count_files() == 3
+
+
+class TestDelete:
+    def test_delete_file_invokes_hook(self, tree):
+        create(tree, "/f", payload=7)
+        deleted = []
+        tree.delete("/f", on_delete_file=lambda path, entry: deleted.append((path, entry.payload)))
+        assert deleted == [("/f", 7)]
+        assert not tree.exists("/f")
+
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(NoSuchPathError):
+            tree.delete("/missing")
+
+    def test_delete_non_empty_dir_requires_recursive(self, tree):
+        create(tree, "/d/f")
+        with pytest.raises(DirectoryNotEmptyError):
+            tree.delete("/d")
+        deleted = []
+        tree.delete("/d", recursive=True, on_delete_file=lambda p, e: deleted.append(p))
+        assert deleted == ["/d/f"]
+        assert not tree.exists("/d")
+
+    def test_delete_root_rejected(self, tree):
+        with pytest.raises(DirectoryNotEmptyError):
+            tree.delete("/")
+
+    def test_delete_leased_file_rejected(self, tree):
+        create(tree, "/locked", lease_holder="writer-1")
+        with pytest.raises(LeaseConflictError):
+            tree.delete("/locked")
+
+
+class TestRename:
+    def test_rename_file(self, tree):
+        create(tree, "/src", payload=5)
+        tree.rename("/src", "/dst/inner")
+        assert not tree.exists("/src")
+        assert tree.get_file("/dst/inner").payload == 5
+
+    def test_rename_directory_moves_subtree(self, tree):
+        create(tree, "/old/a")
+        create(tree, "/old/sub/b")
+        tree.rename("/old", "/new")
+        assert tree.exists("/new/a")
+        assert tree.exists("/new/sub/b")
+        assert not tree.exists("/old")
+
+    def test_rename_to_existing_rejected(self, tree):
+        create(tree, "/a")
+        create(tree, "/b")
+        with pytest.raises(PathExistsError):
+            tree.rename("/a", "/b")
+
+    def test_rename_under_itself_rejected(self, tree):
+        tree.mkdirs("/a")
+        with pytest.raises(PathExistsError):
+            tree.rename("/a", "/a/b")
+
+    def test_rename_missing_source(self, tree):
+        with pytest.raises(NoSuchPathError):
+            tree.rename("/ghost", "/dst")
+
+
+class TestLeases:
+    def test_lease_lifecycle(self, tree):
+        create(tree, "/f")
+        tree.acquire_lease("/f", "client-a")
+        assert tree.lease_holder("/f") == "client-a"
+        with pytest.raises(LeaseConflictError):
+            tree.acquire_lease("/f", "client-b")
+        # Re-acquiring by the same holder is fine.
+        tree.acquire_lease("/f", "client-a")
+        tree.release_lease("/f", "client-a")
+        assert tree.lease_holder("/f") is None
+        tree.acquire_lease("/f", "client-b")
+
+    def test_release_by_non_holder_is_noop(self, tree):
+        create(tree, "/f", lease_holder="owner")
+        tree.release_lease("/f", "somebody-else")
+        assert tree.lease_holder("/f") == "owner"

@@ -1,0 +1,62 @@
+"""Unit tests for path handling (`repro.fs.path`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.errors import InvalidPathError
+from repro.fs import path as fspath
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            ("/", "/"),
+            ("/a", "/a"),
+            ("/a/", "/a"),
+            ("//a//b///c", "/a/b/c"),
+            ("/a/./b", "/a/b"),
+            ("/a/b/.", "/a/b"),
+        ],
+    )
+    def test_canonical_forms(self, raw, expected):
+        assert fspath.normalize(raw) == expected
+
+    @pytest.mark.parametrize("raw", ["", "relative/path", "a/b", None, 42, "/a/../b"])
+    def test_invalid_paths_rejected(self, raw):
+        with pytest.raises(InvalidPathError):
+            fspath.normalize(raw)  # type: ignore[arg-type]
+
+    def test_idempotent(self):
+        assert fspath.normalize(fspath.normalize("//x//y/")) == "/x/y"
+
+
+class TestComponentsParentBasename:
+    def test_components(self):
+        assert fspath.components("/") == []
+        assert fspath.components("/a/b/c") == ["a", "b", "c"]
+
+    def test_parent(self):
+        assert fspath.parent("/a/b/c") == "/a/b"
+        assert fspath.parent("/a") == "/"
+        assert fspath.parent("/") == "/"
+
+    def test_basename(self):
+        assert fspath.basename("/a/b/c") == "c"
+        assert fspath.basename("/") == ""
+
+
+class TestJoinAndAncestry:
+    def test_join(self):
+        assert fspath.join("/a", "b", "c") == "/a/b/c"
+        assert fspath.join("/", "x") == "/x"
+        assert fspath.join("/a/", "/b/") == "/a/b"
+        assert fspath.join("/a") == "/a"
+
+    def test_is_ancestor(self):
+        assert fspath.is_ancestor("/", "/anything/below")
+        assert fspath.is_ancestor("/a", "/a")
+        assert fspath.is_ancestor("/a", "/a/b/c")
+        assert not fspath.is_ancestor("/a/b", "/a")
+        assert not fspath.is_ancestor("/a", "/ab")

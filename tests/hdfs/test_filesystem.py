@@ -1,0 +1,132 @@
+"""HDFS-specific behaviour: write-once semantics, pipeline, replica reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProviderUnavailableError
+from repro.core import KB
+from repro.fs.errors import UnsupportedOperationError
+from repro.hdfs import HDFS, DefaultPlacementPolicy
+
+BLOCK = 16 * KB
+
+
+class TestWriteOnceSemantics:
+    def test_append_is_unsupported(self, hdfs: HDFS):
+        hdfs.write_file("/f.bin", b"data")
+        with pytest.raises(UnsupportedOperationError):
+            hdfs.append("/f.bin")
+
+    def test_closed_files_are_sealed(self, hdfs: HDFS):
+        hdfs.write_file("/sealed.bin", b"data")
+        with pytest.raises(UnsupportedOperationError):
+            hdfs.namenode.add_block("/sealed.bin")
+
+
+class TestBlockAllocationAndPipeline:
+    def test_blocks_split_at_block_size(self, hdfs: HDFS):
+        payload = b"p" * (2 * BLOCK + 500)
+        hdfs.write_file("/split.bin", payload)
+        blocks = hdfs.namenode.file_blocks("/split.bin")
+        assert [b.length for b in blocks] == [BLOCK, BLOCK, 500]
+        assert hdfs.read_file("/split.bin") == payload
+
+    def test_replication_pipeline_stores_all_replicas(self, hdfs: HDFS):
+        hdfs.write_file("/rep.bin", b"r" * BLOCK, replication=3)
+        meta = hdfs.namenode.file_blocks("/rep.bin")[0]
+        assert len(meta.locations) == 3
+        for node_id in meta.locations:
+            assert hdfs.namenode.datanode(node_id).has_block(meta.block_id)
+
+    def test_local_first_placement_with_client_host(self, hdfs: HDFS):
+        with hdfs.create("/local.bin", client_host="node-3") as out:
+            out.write(b"l" * (3 * BLOCK))
+        for meta in hdfs.namenode.file_blocks("/local.bin"):
+            first_replica = hdfs.namenode.datanode(meta.locations[0])
+            assert first_replica.host == "node-3"
+
+    def test_write_survives_partial_pipeline_failure(self, hdfs: HDFS):
+        hdfs.datanodes[1].fail()
+        hdfs.write_file("/tolerant.bin", b"t" * BLOCK, replication=3)
+        meta = hdfs.namenode.file_blocks("/tolerant.bin")[0]
+        assert 1 not in meta.locations
+        assert len(meta.locations) >= 1
+        assert hdfs.read_file("/tolerant.bin") == b"t" * BLOCK
+
+
+class TestReads:
+    def test_reader_prefers_local_replica(self, hdfs: HDFS):
+        with hdfs.create("/near.bin", client_host="node-2", replication=2) as out:
+            out.write(b"n" * BLOCK)
+        local = next(d for d in hdfs.datanodes if d.host == "node-2")
+        before = local.stats().blocks_read
+        with hdfs.open("/near.bin", client_host="node-2") as stream:
+            stream.read()
+        assert local.stats().blocks_read == before + 1
+
+    def test_read_fails_over_to_surviving_replica(self, hdfs: HDFS):
+        hdfs.write_file("/failover.bin", b"f" * BLOCK, replication=2)
+        meta = hdfs.namenode.file_blocks("/failover.bin")[0]
+        hdfs.namenode.datanode(meta.locations[0]).fail()
+        assert hdfs.read_file("/failover.bin") == b"f" * BLOCK
+
+    def test_read_with_all_replicas_down_raises(self, hdfs: HDFS):
+        hdfs.write_file("/doomed.bin", b"d" * BLOCK, replication=1)
+        meta = hdfs.namenode.file_blocks("/doomed.bin")[0]
+        hdfs.namenode.datanode(meta.locations[0]).fail()
+        with pytest.raises(ProviderUnavailableError):
+            hdfs.read_file("/doomed.bin")
+
+
+class TestNamenodeBookkeeping:
+    def test_block_locations_expose_hosts(self, hdfs: HDFS):
+        hdfs.write_file("/where.bin", b"w" * (2 * BLOCK), replication=2)
+        locations = hdfs.block_locations("/where.bin")
+        assert len(locations) == 2
+        for location in locations:
+            assert len(location.hosts) == 2
+
+    def test_delete_releases_datanode_blocks(self, hdfs: HDFS):
+        hdfs.write_file("/gone.bin", b"g" * (3 * BLOCK))
+        assert sum(d.stats().blocks_stored for d in hdfs.datanodes) > 0
+        hdfs.delete("/gone.bin")
+        assert sum(d.stats().blocks_stored for d in hdfs.datanodes) == 0
+
+    def test_overwrite_releases_old_blocks(self, hdfs: HDFS):
+        hdfs.write_file("/ow.bin", b"1" * (2 * BLOCK))
+        hdfs.write_file("/ow.bin", b"2" * 100, overwrite=True)
+        assert hdfs.read_file("/ow.bin") == b"2" * 100
+        total_bytes = sum(d.stats().bytes_stored for d in hdfs.datanodes)
+        assert total_bytes == 100 * hdfs.namenode.default_replication
+
+    def test_report_structure(self, hdfs: HDFS):
+        hdfs.write_file("/r.bin", b"r" * BLOCK)
+        report = hdfs.stats()
+        assert report["scheme"] == "hdfs"
+        assert report["files"] == 1
+        assert report["blocks"] == 1
+        assert len(report["datanodes"]) == 6
+
+    def test_abandon_file_removes_partial_write(self, hdfs: HDFS):
+        stream = hdfs.create("/partial.bin")
+        stream.write(b"x" * BLOCK)  # first block committed
+        holder = stream._lease_holder
+        hdfs.namenode.abandon_file("/partial.bin", holder)
+        assert not hdfs.exists("/partial.bin")
+
+
+class TestCustomDeployment:
+    def test_explicit_datanodes_and_policy(self):
+        from repro.hdfs import DataNode
+
+        nodes = [DataNode(i, host=f"host{i}", rack=f"r{i % 2}") for i in range(4)]
+        fs = HDFS(
+            datanodes=nodes,
+            default_block_size=BLOCK,
+            default_replication=2,
+            placement_policy=DefaultPlacementPolicy(seed=1),
+        )
+        fs.write_file("/custom.bin", b"c" * BLOCK)
+        assert fs.read_file("/custom.bin") == b"c" * BLOCK
+        assert {d.host for d in fs.datanodes} == {"host0", "host1", "host2", "host3"}

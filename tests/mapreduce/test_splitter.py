@@ -1,0 +1,154 @@
+"""Unit and property tests for input splitting and the line record reader."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import KB
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.splitter import (
+    InputSplit,
+    LineRecordReader,
+    SyntheticInputFormat,
+    TextInputFormat,
+)
+
+
+def write_lines(fs, path: str, lines: list[bytes], newline_at_end: bool = True) -> None:
+    body = b"\n".join(lines) + (b"\n" if newline_at_end else b"")
+    fs.write_file(path, body)
+
+
+class TestTextInputFormatSplits:
+    def test_one_split_per_block_by_default(self, bsfs):
+        bsfs.write_file("/in.txt", b"x" * (40 * KB))  # block size 16 KiB
+        conf = JobConf(name="j", input_paths=("/in.txt",), output_dir="/out")
+        splits = TextInputFormat().get_splits(bsfs, conf)
+        assert [s.length for s in splits] == [16 * KB, 16 * KB, 8 * KB]
+        assert [s.offset for s in splits] == [0, 16 * KB, 32 * KB]
+        assert all(s.path == "/in.txt" for s in splits)
+
+    def test_explicit_split_size(self, bsfs):
+        bsfs.write_file("/in.txt", b"x" * (10 * KB))
+        conf = JobConf(
+            name="j", input_paths=("/in.txt",), output_dir="/out", split_size=3 * KB
+        )
+        splits = TextInputFormat().get_splits(bsfs, conf)
+        assert len(splits) == 4
+        assert sum(s.length for s in splits) == 10 * KB
+
+    def test_directory_input_expands_to_files(self, bsfs):
+        bsfs.write_file("/dir/a.txt", b"a" * 100)
+        bsfs.write_file("/dir/nested/b.txt", b"b" * 100)
+        conf = JobConf(name="j", input_paths=("/dir",), output_dir="/out")
+        splits = TextInputFormat().get_splits(bsfs, conf)
+        assert {s.path for s in splits} == {"/dir/a.txt", "/dir/nested/b.txt"}
+
+    def test_empty_files_produce_no_splits(self, bsfs):
+        bsfs.write_file("/empty.txt", b"")
+        conf = JobConf(name="j", input_paths=("/empty.txt",), output_dir="/out")
+        assert TextInputFormat().get_splits(bsfs, conf) == []
+
+    def test_splits_carry_block_hosts(self, bsfs):
+        bsfs.write_file("/in.txt", b"x" * (32 * KB))
+        conf = JobConf(name="j", input_paths=("/in.txt",), output_dir="/out")
+        splits = TextInputFormat().get_splits(bsfs, conf)
+        assert all(split.hosts for split in splits)
+
+    def test_split_ids_unique_across_files(self, bsfs):
+        bsfs.write_file("/a.txt", b"a" * (20 * KB))
+        bsfs.write_file("/b.txt", b"b" * (20 * KB))
+        conf = JobConf(name="j", input_paths=("/a.txt", "/b.txt"), output_dir="/out")
+        splits = TextInputFormat().get_splits(bsfs, conf)
+        ids = [s.split_id for s in splits]
+        assert len(set(ids)) == len(ids)
+
+
+class TestLineRecordReader:
+    def test_every_line_read_exactly_once_across_splits(self, any_fs):
+        lines = [f"line-{i:05d}".encode() for i in range(500)]
+        write_lines(any_fs, "/lines.txt", lines)
+        conf = JobConf(
+            name="j", input_paths=("/lines.txt",), output_dir="/out", split_size=777
+        )
+        fmt = TextInputFormat()
+        collected: list[bytes] = []
+        for split in fmt.get_splits(any_fs, conf):
+            for _offset, line in fmt.create_reader(any_fs, split):
+                collected.append(line)
+        assert collected == lines
+
+    def test_offsets_match_byte_positions(self, bsfs):
+        lines = [b"alpha", b"beta", b"gamma"]
+        write_lines(bsfs, "/off.txt", lines)
+        split = InputSplit(0, "/off.txt", 0, bsfs.size("/off.txt"))
+        records = list(LineRecordReader(bsfs, split))
+        assert records == [(0, b"alpha"), (6, b"beta"), (11, b"gamma")]
+
+    def test_file_without_trailing_newline(self, bsfs):
+        write_lines(bsfs, "/nonl.txt", [b"one", b"two"], newline_at_end=False)
+        split = InputSplit(0, "/nonl.txt", 0, bsfs.size("/nonl.txt"))
+        assert [line for _o, line in LineRecordReader(bsfs, split)] == [b"one", b"two"]
+
+    def test_small_read_chunks_do_not_change_results(self, bsfs):
+        lines = [f"record {i} with some text".encode() for i in range(50)]
+        write_lines(bsfs, "/chunky.txt", lines)
+        size = bsfs.size("/chunky.txt")
+        split_a = InputSplit(0, "/chunky.txt", 0, size // 2)
+        split_b = InputSplit(1, "/chunky.txt", size // 2, size - size // 2)
+        collected = []
+        for split in (split_a, split_b):
+            reader = LineRecordReader(bsfs, split, read_chunk=7)
+            collected.extend(line for _o, line in reader)
+        assert collected == lines
+
+    def test_synthetic_split_rejected(self, bsfs):
+        with pytest.raises(ValueError):
+            LineRecordReader(bsfs, InputSplit(0, None, 0, 0))
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        lines=st.lists(
+            st.binary(min_size=0, max_size=30).filter(lambda b: b"\n" not in b),
+            min_size=1,
+            max_size=60,
+        ),
+        split_size=st.integers(min_value=1, max_value=400),
+        trailing=st.booleans(),
+    )
+    def test_property_split_reassembly_is_lossless(self, lines, split_size, trailing, bsfs):
+        path = f"/prop-{abs(hash((tuple(lines), split_size, trailing))) % 10**9}.txt"
+        if bsfs.exists(path):
+            bsfs.delete(path)
+        write_lines(bsfs, path, lines, newline_at_end=trailing)
+        size = bsfs.size(path)
+        fmt = TextInputFormat(split_size=split_size)
+        conf = JobConf(name="p", input_paths=(path,), output_dir="/out", split_size=split_size)
+        collected: list[bytes] = []
+        for split in fmt.get_splits(bsfs, conf):
+            collected.extend(line for _o, line in fmt.create_reader(bsfs, split))
+        expected = list(lines)
+        if not trailing and expected and expected[-1] == b"":
+            # A trailing empty line without a final newline does not exist as a record.
+            expected = expected[:-1]
+        assert collected == expected
+
+
+class TestSyntheticInputFormat:
+    def test_one_split_per_map_task(self, bsfs):
+        conf = JobConf(name="gen", output_dir="/out", num_reduce_tasks=0, num_map_tasks=5)
+        splits = SyntheticInputFormat().get_splits(bsfs, conf)
+        assert len(splits) == 5
+        assert all(s.is_synthetic for s in splits)
+
+    def test_reader_yields_single_record(self, bsfs):
+        fmt = SyntheticInputFormat()
+        split = fmt.get_splits(bsfs, JobConf(name="g", output_dir="/o", num_map_tasks=3, num_reduce_tasks=0))[2]
+        records = list(fmt.create_reader(bsfs, split))
+        assert records == [(2, 2)]

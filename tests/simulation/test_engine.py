@@ -1,0 +1,92 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order: list[str] = []
+        engine.schedule(3.0, order.append, "c")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(2.0, order.append, "b")
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 3.0
+        assert engine.events_processed == 3
+
+    def test_equal_timestamps_run_fifo(self):
+        engine = SimulationEngine()
+        order: list[int] = []
+        for i in range(5):
+            engine.schedule(1.0, order.append, i)
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        engine = SimulationEngine()
+        seen: list[float] = []
+
+        def first():
+            seen.append(engine.now)
+            engine.schedule(2.0, second)
+
+        def second():
+            seen.append(engine.now)
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == [1.0, 3.0]
+
+    def test_schedule_at_absolute_time(self):
+        engine = SimulationEngine()
+        times: list[float] = []
+        engine.schedule_at(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [5.0]
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        engine = SimulationEngine()
+        fired: list[str] = []
+        event = engine.schedule(1.0, fired.append, "cancelled")
+        engine.schedule(2.0, fired.append, "kept")
+        event.cancel()
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_run_until_limit(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, fired.append, t)
+        engine.run(until=2.5)
+        assert fired == [1.0, 2.0]
+        assert engine.now == 2.5
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for t in range(10):
+            engine.schedule(float(t + 1), lambda: None)
+        engine.run(max_events=4)
+        assert engine.events_processed == 4
+
+    def test_step_and_reset(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False
+        engine.schedule(1.0, lambda: None)
+        engine.reset()
+        assert engine.pending_events == 0
+        assert engine.now == 0.0

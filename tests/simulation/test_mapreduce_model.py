@@ -1,0 +1,135 @@
+"""Tests for the simulated MapReduce completion-time model (E4/E5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GB, MB
+from repro.simulation import (
+    SimulatedBSFS,
+    SimulatedHDFS,
+    SimJobSpec,
+    SimMapTask,
+    SimReduceTask,
+    distributed_grep_spec,
+    random_text_writer_spec,
+    simulate_job,
+    small_cluster,
+)
+
+
+@pytest.fixture
+def topology():
+    return small_cluster(num_nodes=16, num_racks=4)
+
+
+def bsfs(topology):
+    return SimulatedBSFS(topology, block_size=32 * MB, replication=1)
+
+
+def hdfs(topology):
+    return SimulatedHDFS(topology, block_size=32 * MB, replication=1)
+
+
+class TestSpecFactories:
+    def test_random_text_writer_spec(self):
+        spec = random_text_writer_spec(num_map_tasks=5, bytes_per_map=10 * MB)
+        assert len(spec.map_tasks) == 5
+        assert spec.reduce_tasks == []
+        assert all(t.output_bytes == 10 * MB for t in spec.map_tasks)
+        assert all(t.input_file is None for t in spec.map_tasks)
+
+    def test_distributed_grep_spec_splits_input(self, topology):
+        storage = bsfs(topology)
+        spec = distributed_grep_spec(
+            storage, input_file="huge", input_bytes=160 * MB, writer_node=0
+        )
+        assert len(spec.map_tasks) == 5  # 160 MB / 32 MB blocks
+        assert sum(t.input_length for t in spec.map_tasks) == 160 * MB
+        assert len(spec.reduce_tasks) == 1
+        assert storage.file_blocks("huge") == 5
+
+
+class TestSimulateJob:
+    def test_map_only_job_completes(self, topology):
+        storage = bsfs(topology)
+        spec = random_text_writer_spec(
+            num_map_tasks=8, bytes_per_map=32 * MB, compute_seconds_per_map=0.5
+        )
+        result = simulate_job(topology, storage, spec)
+        assert result.completion_time > 0.5
+        assert result.map_tasks == 8
+        assert result.reduce_tasks == 0
+        assert result.reduce_phase_time == 0.0
+        row = result.as_row()
+        assert row["system"] == "bsfs"
+
+    def test_job_with_reducers_has_reduce_phase(self, topology):
+        storage = bsfs(topology)
+        spec = distributed_grep_spec(
+            storage, input_file="in", input_bytes=128 * MB, writer_node=0
+        )
+        result = simulate_job(topology, storage, spec)
+        assert result.reduce_tasks == 1
+        assert result.completion_time >= result.map_phase_time
+
+    def test_waves_make_jobs_longer_than_single_task(self, topology):
+        storage = bsfs(topology)
+        single = simulate_job(
+            topology,
+            storage,
+            SimJobSpec(
+                name="one",
+                map_tasks=[SimMapTask(0, None, 0, 0, 32 * MB, 1.0)],
+                slots_per_node=1,
+            ),
+        )
+        many_tasks = [SimMapTask(i, None, 0, 0, 32 * MB, 1.0) for i in range(64)]
+        many = simulate_job(
+            topology,
+            storage,
+            SimJobSpec(name="many", map_tasks=many_tasks, slots_per_node=1),
+            tasktracker_nodes=list(range(16)),
+        )
+        # 64 tasks over 16 single-slot nodes -> at least 4 waves.
+        assert many.completion_time > 2 * single.completion_time
+
+    def test_locality_high_for_bsfs_grep(self, topology):
+        storage = bsfs(topology)
+        spec = distributed_grep_spec(
+            storage, input_file="in", input_bytes=256 * MB, writer_node=0
+        )
+        result = simulate_job(topology, storage, spec)
+        assert 0.0 <= result.locality_ratio <= 1.0
+
+    def test_reduce_only_job(self, topology):
+        storage = bsfs(topology)
+        spec = SimJobSpec(
+            name="reduce-only",
+            map_tasks=[SimMapTask(0, None, 0, 0, 0, 0.0)],
+            reduce_tasks=[SimReduceTask(0, shuffle_bytes=8 * MB, output_bytes=8 * MB)],
+        )
+        result = simulate_job(topology, storage, spec)
+        assert result.completion_time > 0
+
+
+class TestPaperApplicationShapes:
+    def test_random_text_writer_faster_on_bsfs(self, topology):
+        spec_args = dict(num_map_tasks=24, bytes_per_map=64 * MB, compute_seconds_per_map=1.0)
+        bsfs_result = simulate_job(topology, bsfs(topology), random_text_writer_spec(**spec_args))
+        hdfs_result = simulate_job(topology, hdfs(topology), random_text_writer_spec(**spec_args))
+        assert bsfs_result.completion_time < hdfs_result.completion_time
+
+    def test_distributed_grep_faster_on_bsfs(self, topology):
+        input_bytes = 1 * GB
+        bsfs_storage = bsfs(topology)
+        hdfs_storage = hdfs(topology)
+        bsfs_spec = distributed_grep_spec(
+            bsfs_storage, input_file="huge", input_bytes=input_bytes, writer_node=0
+        )
+        hdfs_spec = distributed_grep_spec(
+            hdfs_storage, input_file="huge", input_bytes=input_bytes, writer_node=0
+        )
+        bsfs_result = simulate_job(topology, bsfs_storage, bsfs_spec)
+        hdfs_result = simulate_job(topology, hdfs_storage, hdfs_spec)
+        assert bsfs_result.completion_time < hdfs_result.completion_time

@@ -1,0 +1,170 @@
+"""Unit and property tests for the flow-level network model (max-min fairness)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import FlowNetwork
+from repro.simulation.topology import MBps, small_cluster
+
+
+def make_network(num_nodes: int = 8, num_racks: int = 2):
+    engine = SimulationEngine()
+    topology = small_cluster(num_nodes=num_nodes, num_racks=num_racks)
+    return engine, topology, FlowNetwork(topology, engine)
+
+
+class TestSingleFlows:
+    def test_remote_transfer_bounded_by_disk_write(self):
+        engine, topo, network = make_network()
+        done = []
+        network.start_transfer(0, 2, 60 * MBps, on_complete=done.append)
+        engine.run()
+        assert len(done) == 1
+        flow = done[0]
+        # Bottleneck: destination disk write at 60 MB/s -> 1 second.
+        assert flow.finished_at == pytest.approx(1.0, rel=1e-3)
+        assert flow.throughput == pytest.approx(60 * MBps, rel=1e-3)
+
+    def test_memory_only_transfer_bounded_by_nic(self):
+        engine, topo, network = make_network()
+        done = []
+        network.start_transfer(
+            0, 1, 117 * MBps, src_disk=False, dst_disk=False, on_complete=done.append
+        )
+        engine.run()
+        assert done[0].finished_at == pytest.approx(1.0, rel=1e-3)
+
+    def test_local_disk_copy(self):
+        engine, topo, network = make_network()
+        done = []
+        network.start_transfer(3, 3, 60 * MBps, on_complete=done.append)
+        engine.run()
+        # Bottleneck is the local disk write (60 MB/s), slower than disk read.
+        assert done[0].finished_at == pytest.approx(1.0, rel=1e-3)
+
+    def test_zero_byte_transfer_completes_immediately(self):
+        engine, topo, network = make_network()
+        done = []
+        network.start_transfer(0, 1, 0, on_complete=done.append)
+        engine.run()
+        assert done[0].finished_at == 0.0
+
+    def test_negative_size_rejected(self):
+        engine, topo, network = make_network()
+        with pytest.raises(ValueError):
+            network.start_transfer(0, 1, -5)
+
+    def test_stats_accumulate(self):
+        engine, topo, network = make_network()
+        network.start_transfer(0, 1, 10 * MBps)
+        network.start_transfer(2, 3, 10 * MBps)
+        engine.run()
+        stats = network.stats()
+        assert stats.flows_completed == 2
+        assert stats.bytes_transferred == pytest.approx(20 * MBps)
+        assert stats.aggregate_throughput > 0
+
+
+class TestFairSharing:
+    def test_two_flows_share_a_disk_equally(self):
+        engine, topo, network = make_network()
+        finished = {}
+        # Two different sources write to the same destination disk (60 MB/s).
+        network.start_transfer(
+            0, 2, 60 * MBps, src_disk=False, on_complete=lambda f: finished.setdefault("a", f)
+        )
+        network.start_transfer(
+            4, 2, 60 * MBps, src_disk=False, on_complete=lambda f: finished.setdefault("b", f)
+        )
+        engine.run()
+        # Each gets ~30 MB/s -> both finish around t=2.
+        assert finished["a"].finished_at == pytest.approx(2.0, rel=0.05)
+        assert finished["b"].finished_at == pytest.approx(2.0, rel=0.05)
+
+    def test_short_flow_finishes_first_and_frees_bandwidth(self):
+        engine, topo, network = make_network()
+        order = []
+        network.start_transfer(
+            0, 2, 10 * MBps, src_disk=False, on_complete=lambda f: order.append("short")
+        )
+        network.start_transfer(
+            4, 2, 100 * MBps, src_disk=False, on_complete=lambda f: order.append("long")
+        )
+        engine.run()
+        assert order == ["short", "long"]
+        # Total work is 110 MB through a 60 MB/s disk: finishes near t=110/60.
+        assert engine.now == pytest.approx(110 / 60, rel=0.05)
+
+    def test_independent_flows_do_not_interfere(self):
+        engine, topo, network = make_network()
+        finished = []
+        network.start_transfer(0, 2, 60 * MBps, src_disk=False, on_complete=finished.append)
+        network.start_transfer(1, 3, 60 * MBps, src_disk=False, on_complete=finished.append)
+        engine.run()
+        for flow in finished:
+            assert flow.finished_at == pytest.approx(1.0, rel=0.05)
+
+    def test_hotspot_degrades_per_flow_throughput(self):
+        engine, topo, network = make_network()
+        readers = 6
+        finished = []
+        for i in range(readers):
+            # Six clients read from node 0's disk (70 MB/s) concurrently.
+            network.start_transfer(
+                0, i + 1, 70 * MBps, dst_disk=False, on_complete=finished.append
+            )
+        engine.run()
+        assert len(finished) == readers
+        # Fair share is ~70/6 MB/s, so each 70 MB transfer takes ~6 s.
+        for flow in finished:
+            assert flow.finished_at == pytest.approx(6.0, rel=0.1)
+
+    def test_conservation_of_work(self):
+        engine, topo, network = make_network()
+        sizes = [10 * MBps, 25 * MBps, 40 * MBps]
+        for i, size in enumerate(sizes):
+            network.start_transfer(i, 5, size, src_disk=False)
+        engine.run()
+        # All bytes must go through node 5's disk at 60 MB/s: the makespan is
+        # at least total/60 and close to it (single shared bottleneck).
+        total = sum(sizes)
+        assert engine.now >= total / (60 * MBps) * 0.999
+        assert engine.now == pytest.approx(total / (60 * MBps), rel=0.1)
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1e5, max_value=5e8, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_all_flows_complete_and_bytes_are_conserved(self, sizes, seed):
+        import random
+
+        rng = random.Random(seed)
+        engine, topo, network = make_network(num_nodes=6, num_racks=2)
+        finished = []
+        for size in sizes:
+            src = rng.randrange(6)
+            dst = rng.randrange(6)
+            network.start_transfer(src, dst, size, on_complete=finished.append)
+        engine.run()
+        assert len(finished) == len(sizes)
+        stats = network.stats()
+        assert stats.bytes_transferred == pytest.approx(sum(sizes), rel=1e-6)
+        assert not network.active_flows
+        # Nothing finishes faster than the theoretical minimum (best resource
+        # 1200 MB/s uplink is never the bottleneck; NIC 117 MB/s caps remote,
+        # disk read 70 MB/s caps everything that touches a disk).
+        for flow in finished:
+            if flow.size > 0 and flow.path:
+                slowest = min(topo.resource_capacities()[r] for r in flow.path)
+                assert flow.elapsed >= flow.size / slowest * 0.999

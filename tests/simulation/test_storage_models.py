@@ -1,0 +1,132 @@
+"""Unit tests for the simulated BSFS/HDFS storage models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MB
+from repro.simulation.storage_models import SimulatedBSFS, SimulatedHDFS
+from repro.simulation.topology import small_cluster
+
+
+@pytest.fixture
+def topology():
+    return small_cluster(num_nodes=12, num_racks=3)
+
+
+class TestSimulatedBSFS:
+    def test_write_block_stripes_across_providers(self, topology):
+        storage = SimulatedBSFS(topology, block_size=64 * MB, fragments_per_block=8)
+        transfers = storage.write_block(0, "f", 64 * MB)
+        assert len(transfers) == 8
+        assert sum(t.nbytes for t in transfers) == pytest.approx(64 * MB)
+        destinations = {t.dst for t in transfers}
+        assert len(destinations) >= 6  # spread wide, not piled on one node
+        assert all(t.src == 0 and t.dst_disk and not t.src_disk for t in transfers)
+
+    def test_successive_writes_stay_balanced(self, topology):
+        storage = SimulatedBSFS(topology, block_size=8 * MB, fragments_per_block=4)
+        for client in range(6):
+            for _ in range(4):
+                storage.write_block(client, f"file-{client}", 8 * MB)
+        distribution = storage.storage_distribution()
+        loads = [v for v in distribution.values()]
+        assert max(loads) <= 2.5 * (sum(loads) / len(loads))
+
+    def test_read_block_pulls_from_stored_fragments(self, topology):
+        storage = SimulatedBSFS(topology, block_size=16 * MB, fragments_per_block=4)
+        storage.write_block(1, "f", 16 * MB)
+        transfers = storage.read_block(5, "f", 0)
+        assert sum(t.nbytes for t in transfers) == pytest.approx(16 * MB)
+        assert all(t.dst == 5 and t.src_disk and not t.dst_disk for t in transfers)
+
+    def test_replicated_fragments_use_distinct_nodes(self, topology):
+        storage = SimulatedBSFS(
+            topology, block_size=8 * MB, fragments_per_block=4, replication=2
+        )
+        transfers = storage.write_block(0, "f", 8 * MB)
+        assert len(transfers) == 8  # 4 fragments x 2 replicas
+        # Each fragment's replicas are distinct nodes.
+        placement = storage._files["f"][0][1]
+        for _bytes, replicas in placement:
+            assert len(set(replicas)) == 2
+
+    def test_populate_file_and_block_hosts(self, topology):
+        storage = SimulatedBSFS(topology, block_size=16 * MB, fragments_per_block=4)
+        storage.populate_file("input", 48 * MB, writer=0)
+        assert storage.file_blocks("input") == 3
+        assert storage.file_size("input") == 48 * MB
+        hosts = storage.block_hosts("input", 0)
+        assert 1 <= len(hosts) <= 3
+        assert all(h in storage.storage_nodes for h in hosts)
+
+    def test_read_range_covers_partial_blocks(self, topology):
+        storage = SimulatedBSFS(topology, block_size=16 * MB, fragments_per_block=4)
+        storage.populate_file("input", 64 * MB, writer=0)
+        steps = storage.read_range(2, "input", 8 * MB, 32 * MB)
+        assert len(steps) == 3  # half of block 0, block 1, half of block 2
+        total = sum(t.nbytes for step in steps for t in step)
+        assert total == pytest.approx(32 * MB)
+
+    def test_unknown_file_raises(self, topology):
+        storage = SimulatedBSFS(topology)
+        with pytest.raises(KeyError):
+            storage.read_block(0, "ghost", 0)
+        with pytest.raises(KeyError):
+            storage.read_range(0, "ghost", 0, 10)
+
+    def test_validation(self, topology):
+        with pytest.raises(ValueError):
+            SimulatedBSFS(topology, fragments_per_block=0)
+        with pytest.raises(ValueError):
+            SimulatedBSFS(topology, replication=0)
+        with pytest.raises(ValueError):
+            SimulatedBSFS(topology, replication=99)
+        with pytest.raises(ValueError):
+            SimulatedBSFS(topology, storage_nodes=[])
+
+
+class TestSimulatedHDFS:
+    def test_first_replica_local(self, topology):
+        storage = SimulatedHDFS(topology, block_size=64 * MB, replication=3)
+        transfers = storage.write_block(4, "f", 64 * MB)
+        assert len(transfers) == 3  # pipeline hops
+        assert transfers[0].src == 4
+        assert transfers[0].dst == 4  # local first replica
+        # Pipeline forwards from replica to replica.
+        assert transfers[1].src == transfers[0].dst
+        assert transfers[2].src == transfers[1].dst
+
+    def test_rack_aware_placement(self, topology):
+        storage = SimulatedHDFS(topology, replication=3)
+        storage.write_block(0, "f", 1 * MB)
+        placement = storage._files["f"][0][1]
+        racks = [topology.node(n).rack for n in placement]
+        assert racks[1] == racks[0]
+        assert racks[2] != racks[0]
+
+    def test_single_writer_concentrates_blocks(self, topology):
+        storage = SimulatedHDFS(topology, replication=1)
+        storage.populate_file("huge", 10 * 64 * MB, writer=7)
+        for index in range(10):
+            assert storage.block_hosts("huge", index) == [7]
+
+    def test_read_block_single_source(self, topology):
+        storage = SimulatedHDFS(topology, replication=2)
+        storage.populate_file("data", 64 * MB, writer=0)
+        transfers = storage.read_block(5, "data", 0)
+        assert len(transfers) == 1
+        assert transfers[0].nbytes == pytest.approx(64 * MB)
+        assert transfers[0].src in storage.block_hosts("data", 0)
+
+    def test_reader_prefers_local_then_same_rack(self, topology):
+        storage = SimulatedHDFS(topology, replication=2)
+        storage.populate_file("data", 64 * MB, writer=3)
+        # Reading from the writer node itself: local replica chosen.
+        transfers = storage.read_block(3, "data", 0)
+        assert transfers[0].src == 3
+
+    def test_write_load_tracked(self, topology):
+        storage = SimulatedHDFS(topology, replication=1)
+        storage.write_block(2, "f", 5 * MB)
+        assert storage.storage_distribution()[2] == 5 * MB

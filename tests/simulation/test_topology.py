@@ -1,0 +1,68 @@
+"""Unit tests for cluster topologies and transfer paths."""
+
+from __future__ import annotations
+
+from repro.simulation.topology import MBps, grid5000_like, small_cluster
+
+
+class TestFactories:
+    def test_grid5000_defaults(self):
+        topo = grid5000_like()
+        assert topo.num_nodes == 270
+        assert len(topo.racks) == 9
+        assert topo.node(0).nic_out_bw == 117 * MBps
+        assert len(topo.hosts()) == 270
+
+    def test_small_cluster(self):
+        topo = small_cluster(num_nodes=8, num_racks=2)
+        assert topo.num_nodes == 8
+        racks = {n.rack for n in topo.nodes}
+        assert racks == {"rack-0", "rack-1"}
+
+    def test_lookups(self):
+        topo = small_cluster(num_nodes=4, num_racks=2)
+        node = topo.node(3)
+        assert topo.node_by_host(node.host) == node
+        assert topo.rack_of(3).name == node.rack
+        assert topo.same_rack(0, 2)
+        assert not topo.same_rack(0, 1)
+
+
+class TestResourceCapacities:
+    def test_every_node_and_rack_has_resources(self):
+        topo = small_cluster(num_nodes=4, num_racks=2)
+        capacities = topo.resource_capacities()
+        assert len(capacities) == 4 * 4 + 2 * 2
+        assert capacities["node:0:disk_read"] == 70 * MBps
+        assert capacities["rack:rack-0:in"] == 1200 * MBps
+
+
+class TestTransferPaths:
+    def test_local_transfer_only_touches_disks(self):
+        topo = small_cluster(num_nodes=4, num_racks=2)
+        path = topo.transfer_path(1, 1)
+        assert path == ["node:1:disk_read", "node:1:disk_write"]
+
+    def test_same_rack_transfer_skips_uplinks(self):
+        topo = small_cluster(num_nodes=4, num_racks=2)
+        path = topo.transfer_path(0, 2)  # both in rack-0
+        assert "rack:rack-0:out" not in path
+        assert "node:0:nic_out" in path
+        assert "node:2:nic_in" in path
+
+    def test_cross_rack_transfer_uses_both_uplinks(self):
+        topo = small_cluster(num_nodes=4, num_racks=2)
+        path = topo.transfer_path(0, 1)
+        assert "rack:rack-0:out" in path
+        assert "rack:rack-1:in" in path
+
+    def test_disk_flags(self):
+        topo = small_cluster(num_nodes=4, num_racks=2)
+        path = topo.transfer_path(0, 1, src_disk=False, dst_disk=False)
+        assert "node:0:disk_read" not in path
+        assert "node:1:disk_write" not in path
+        assert "node:0:nic_out" in path
+
+    def test_memory_to_memory_local_transfer_is_empty(self):
+        topo = small_cluster(num_nodes=2, num_racks=1)
+        assert topo.transfer_path(0, 0, src_disk=False, dst_disk=False) == []

@@ -1,0 +1,155 @@
+"""Tests for the simulated microbenchmark drivers — including the paper's
+qualitative claims (who wins, and how the gap behaves as concurrency grows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MB
+from repro.simulation import (
+    SimulatedBSFS,
+    SimulatedHDFS,
+    run_append_same_file,
+    run_read_different_files,
+    run_read_same_file,
+    run_write_different_files,
+    small_cluster,
+)
+
+BYTES_PER_CLIENT = 64 * MB
+BLOCK = 32 * MB
+
+
+@pytest.fixture
+def topology():
+    return small_cluster(num_nodes=16, num_racks=4)
+
+
+def bsfs(topology):
+    return SimulatedBSFS(topology, block_size=BLOCK, replication=1)
+
+
+def hdfs(topology):
+    return SimulatedHDFS(topology, block_size=BLOCK, replication=1)
+
+
+class TestDriverMechanics:
+    def test_result_structure(self, topology):
+        result = run_write_different_files(
+            topology, bsfs(topology), num_clients=4, bytes_per_client=BYTES_PER_CLIENT
+        )
+        assert result.num_clients == 4
+        assert len(result.clients) == 4
+        assert result.makespan > 0
+        assert result.aggregate_throughput_mbps > 0
+        assert result.mean_client_throughput_mbps >= result.min_client_throughput_mbps
+        row = result.as_row()
+        assert row["system"] == "bsfs"
+        assert row["clients"] == 4
+
+    def test_every_client_moves_its_bytes(self, topology):
+        result = run_read_different_files(
+            topology, hdfs(topology), num_clients=5, bytes_per_client=BYTES_PER_CLIENT
+        )
+        for client in result.clients:
+            assert client.total_bytes == BYTES_PER_CLIENT
+            assert client.finished_at > client.started_at
+
+    def test_append_same_file_runs_on_bsfs(self, topology):
+        storage = bsfs(topology)
+        result = run_append_same_file(
+            topology, storage, num_clients=4, bytes_per_client=BYTES_PER_CLIENT
+        )
+        assert result.pattern == "append_same_file"
+        assert storage.file_size("shared-append") == 4 * BYTES_PER_CLIENT
+
+    def test_explicit_client_nodes(self, topology):
+        nodes = [1, 3, 5]
+        result = run_write_different_files(
+            topology,
+            bsfs(topology),
+            num_clients=3,
+            bytes_per_client=BYTES_PER_CLIENT,
+            client_nodes=nodes,
+        )
+        assert [c.node for c in result.clients] == nodes
+
+
+class TestPaperShapes:
+    """The qualitative results of Section IV.B must hold in the simulator."""
+
+    def test_bsfs_beats_hdfs_for_concurrent_writes(self, topology):
+        n = 12
+        bsfs_result = run_write_different_files(
+            topology, bsfs(topology), num_clients=n, bytes_per_client=BYTES_PER_CLIENT
+        )
+        hdfs_result = run_write_different_files(
+            topology, hdfs(topology), num_clients=n, bytes_per_client=BYTES_PER_CLIENT
+        )
+        assert (
+            bsfs_result.mean_client_throughput_mbps
+            > 1.3 * hdfs_result.mean_client_throughput_mbps
+        )
+
+    def test_bsfs_sustains_reads_of_shared_file_while_hdfs_collapses(self, topology):
+        n = 12
+        bsfs_result = run_read_same_file(
+            topology, bsfs(topology), num_clients=n, bytes_per_client=BYTES_PER_CLIENT
+        )
+        hdfs_result = run_read_same_file(
+            topology, hdfs(topology), num_clients=n, bytes_per_client=BYTES_PER_CLIENT
+        )
+        # The HDFS layout concentrates the shared file on its single writer
+        # node, so per-client throughput collapses with concurrency.
+        assert (
+            bsfs_result.mean_client_throughput_mbps
+            > 3 * hdfs_result.mean_client_throughput_mbps
+        )
+
+    def test_bsfs_throughput_is_sustained_as_clients_grow(self, topology):
+        few = run_read_same_file(
+            topology, bsfs(topology), num_clients=2, bytes_per_client=BYTES_PER_CLIENT
+        )
+        many = run_read_same_file(
+            topology, bsfs(topology), num_clients=12, bytes_per_client=BYTES_PER_CLIENT
+        )
+        assert (
+            many.mean_client_throughput_mbps
+            >= 0.6 * few.mean_client_throughput_mbps
+        )
+
+    def test_hdfs_shared_read_gets_worse_with_more_clients(self, topology):
+        few = run_read_same_file(
+            topology, hdfs(topology), num_clients=2, bytes_per_client=BYTES_PER_CLIENT
+        )
+        many = run_read_same_file(
+            topology, hdfs(topology), num_clients=12, bytes_per_client=BYTES_PER_CLIENT
+        )
+        assert (
+            many.mean_client_throughput_mbps
+            < 0.5 * few.mean_client_throughput_mbps
+        )
+
+    def test_read_different_files_bsfs_wins(self, topology):
+        n = 10
+        bsfs_result = run_read_different_files(
+            topology, bsfs(topology), num_clients=n, bytes_per_client=BYTES_PER_CLIENT
+        )
+        hdfs_result = run_read_different_files(
+            topology, hdfs(topology), num_clients=n, bytes_per_client=BYTES_PER_CLIENT
+        )
+        assert (
+            bsfs_result.mean_client_throughput_mbps
+            > hdfs_result.mean_client_throughput_mbps
+        )
+
+    def test_aggregate_throughput_scales_for_bsfs_writes(self, topology):
+        one = run_write_different_files(
+            topology, bsfs(topology), num_clients=1, bytes_per_client=BYTES_PER_CLIENT
+        )
+        eight = run_write_different_files(
+            topology, bsfs(topology), num_clients=8, bytes_per_client=BYTES_PER_CLIENT
+        )
+        assert (
+            eight.aggregate_throughput_mbps > 4 * one.aggregate_throughput_mbps
+        )

@@ -1,0 +1,89 @@
+"""Tests for workload generators and the functional microbenchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KB
+from repro.fs.errors import UnsupportedOperationError
+from repro.workloads import (
+    concurrent_appends_same_file,
+    concurrent_reads_different_files,
+    concurrent_reads_same_file,
+    concurrent_writes_different_files,
+    deterministic_bytes,
+    random_text,
+    text_file_lines,
+    write_binary_file,
+    write_text_file,
+)
+
+
+class TestGenerators:
+    def test_deterministic_bytes_reproducible(self):
+        a = deterministic_bytes(1000, seed=7)
+        b = deterministic_bytes(1000, seed=7)
+        c = deterministic_bytes(1000, seed=8)
+        assert a == b
+        assert a != c
+        assert len(a) == 1000
+        assert deterministic_bytes(0) == b""
+        with pytest.raises(ValueError):
+            deterministic_bytes(-1)
+
+    def test_random_text_is_newline_separated(self):
+        text = random_text(2000, seed=1)
+        assert len(text) >= 2000
+        assert text.endswith(b"\n")
+        assert all(line for line in text.strip().split(b"\n"))
+
+    def test_text_file_lines_deterministic(self):
+        assert text_file_lines(10, seed=3) == text_file_lines(10, seed=3)
+        assert len(text_file_lines(10, seed=3)) == 10
+
+    def test_write_text_and_binary_files(self, bsfs):
+        size = write_text_file(bsfs, "/gen/text.txt", num_lines=100, seed=1)
+        assert bsfs.size("/gen/text.txt") == size
+        assert bsfs.read_file("/gen/text.txt").count(b"\n") == 100
+        size = write_binary_file(bsfs, "/gen/blob.bin", 10 * KB, seed=2)
+        assert size == 10 * KB
+        assert bsfs.size("/gen/blob.bin") == 10 * KB
+
+
+class TestFunctionalMicrobenchmarks:
+    @pytest.mark.parametrize("num_clients", [1, 4])
+    def test_concurrent_writes_different_files(self, any_fs, num_clients):
+        result = concurrent_writes_different_files(
+            any_fs, num_clients=num_clients, bytes_per_client=32 * KB
+        )
+        assert result.succeeded
+        assert result.num_clients == num_clients
+        files = any_fs.list_files("/bench/write")
+        assert len(files) == num_clients
+        assert all(f.size == 32 * KB for f in files)
+        assert result.as_row()["system"] == any_fs.scheme
+
+    def test_concurrent_reads_different_files(self, any_fs):
+        result = concurrent_reads_different_files(
+            any_fs, num_clients=3, bytes_per_client=32 * KB
+        )
+        assert result.succeeded
+        assert result.aggregate_throughput > 0
+
+    def test_concurrent_reads_same_file(self, any_fs):
+        result = concurrent_reads_same_file(
+            any_fs, num_clients=4, bytes_per_client=16 * KB
+        )
+        assert result.succeeded
+        assert any_fs.size("/bench/shared-input.bin") == 4 * 16 * KB
+
+    def test_concurrent_appends_only_on_bsfs(self, bsfs, hdfs):
+        result = concurrent_appends_same_file(
+            bsfs, num_clients=4, appends_per_client=5, append_size=1 * KB
+        )
+        assert result.succeeded
+        assert bsfs.size("/bench/shared-append.log") == 4 * 5 * KB
+        with pytest.raises(UnsupportedOperationError):
+            concurrent_appends_same_file(
+                hdfs, num_clients=2, appends_per_client=2, append_size=1 * KB
+            )
