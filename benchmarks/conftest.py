@@ -22,11 +22,48 @@ from dataclasses import dataclass, field
 
 import pytest
 
-from repro.core import GB, MB
+from repro.core import GB, KB, MB, BlobSeerConfig
+from repro.fs import clear_instance_cache, get_filesystem, registered_schemes
 
 
 def _paper_scale() -> bool:
     return bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+
+#: Per-scheme factory options for the functional benchmarks — small block
+#: sizes so files span several blocks at laptop scale.  Every registered
+#: scheme gets an entry; a scheme registered by a third party simply runs
+#: with its factory defaults.
+FUNCTIONAL_FS_OPTIONS: dict[str, dict] = {
+    "bsfs": dict(
+        config=BlobSeerConfig(page_size=64 * KB, num_providers=16, rng_seed=23),
+        default_block_size=256 * KB,
+    ),
+    "hdfs": dict(
+        num_datanodes=16, racks=4, default_block_size=256 * KB, default_replication=1
+    ),
+    "file": dict(default_block_size=256 * KB),
+}
+
+
+def make_functional_fs(scheme: str, authority: str = "bench"):
+    """Build (or fetch) the functional benchmark deployment of one scheme."""
+    return get_filesystem(
+        f"{scheme}://{authority}", **FUNCTIONAL_FS_OPTIONS.get(scheme, {})
+    )
+
+
+@pytest.fixture(params=sorted(registered_schemes()))
+def fs_uri(request) -> str:
+    """One URI per registered backend scheme — benchmarks parameterize over
+    every pluggable file system by addressing it purely through this string.
+    The deployment is pre-built with the functional sizing options, so
+    later option-less ``get_filesystem(fs_uri)`` calls inside the workloads
+    resolve to it."""
+    scheme = request.param
+    fs = make_functional_fs(scheme, authority=f"bench-{scheme}")
+    yield fs.uri
+    clear_instance_cache(scheme)
 
 
 @dataclass(frozen=True)

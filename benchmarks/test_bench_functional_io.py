@@ -2,21 +2,25 @@
 
 Unlike E1–E5, which replay the paper's cluster-scale experiments on the
 simulator, this benchmark exercises the *functional* Python implementations
-of BSFS and HDFS with real bytes and real threads: the three access
-patterns of Section IV.B at laptop scale.  It demonstrates that the
-implementations are correct and remain functional under concurrency; the
-absolute MB/s numbers characterise the Python prototype, not the paper's
-testbed.
+with real bytes and real threads: the three access patterns of Section IV.B
+at laptop scale.  It demonstrates that the implementations are correct and
+remain functional under concurrency; the absolute MB/s numbers
+characterise the Python prototype, not the paper's testbed.
+
+The storage backends are selected purely through URI strings resolved by
+the scheme registry (:mod:`repro.fs.registry`), so the benchmark
+automatically covers every registered file system — BSFS, the HDFS
+baseline, and the ``file://`` LocalFS backend — and any scheme a plugin
+registers on top.
 """
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import make_functional_fs, run_once
 
 from repro.analysis import ExperimentReport
-from repro.bsfs import BSFS
-from repro.core import KB, BlobSeerConfig
-from repro.hdfs import HDFS
+from repro.core import KB
+from repro.fs import registered_schemes
 from repro.workloads import (
     concurrent_appends_same_file,
     concurrent_reads_different_files,
@@ -28,18 +32,15 @@ EXPERIMENT = "F1"
 
 
 def _make_filesystems():
-    bsfs = BSFS(
-        config=BlobSeerConfig(page_size=64 * KB, num_providers=16, rng_seed=23),
-        default_block_size=256 * KB,
-    )
-    hdfs = HDFS(num_datanodes=16, racks=4, default_block_size=256 * KB, default_replication=1)
-    return [bsfs, hdfs]
+    """One deployment per registered scheme, addressed by URI only."""
+    return [make_functional_fs(scheme) for scheme in registered_schemes()]
 
 
 def _run(scale):
     report = ExperimentReport(
         EXPERIMENT,
-        "Functional concurrent I/O (real bytes, one thread per client)",
+        "Functional concurrent I/O (real bytes, one thread per client, "
+        "one backend per registered URI scheme)",
     )
     runs = []
     for fs in _make_filesystems():
@@ -82,4 +83,26 @@ def _run(scale):
 def test_bench_functional_io(benchmark, scale):
     report, runs = run_once(benchmark, _run, scale)
     report.print()
+    assert all(run.succeeded for run in runs)
+
+
+def test_bench_functional_io_per_scheme(benchmark, scale, fs_uri):
+    """Per-scheme write/read round trip, backend chosen by the URI alone."""
+
+    def _round_trip():
+        runs = [
+            concurrent_writes_different_files(
+                fs_uri,
+                num_clients=max(scale.functional_clients),
+                bytes_per_client=scale.functional_bytes_per_client,
+            ),
+            concurrent_reads_different_files(
+                fs_uri,
+                num_clients=max(scale.functional_clients),
+                bytes_per_client=scale.functional_bytes_per_client,
+            ),
+        ]
+        return runs
+
+    runs = run_once(benchmark, _round_trip)
     assert all(run.succeeded for run in runs)

@@ -5,22 +5,26 @@ Run with::
 
     python examples/concurrent_storage_access.py
 
-One thread per client hammers the real (in-process) BSFS and HDFS
-implementations with the paper's three microbenchmark patterns, plus the
-concurrent-append extension that only BSFS supports.  This demonstrates the
-thread-safety and concurrency semantics of the storage layer — the property
-the paper's design revolves around — on data sizes small enough to run on a
-laptop.  The Grid'5000-scale throughput curves are produced by the
-simulation benchmarks instead.
+One thread per client hammers the real (in-process) storage backends with
+the paper's three microbenchmark patterns, plus the concurrent-append
+extension that HDFS does not support.  This demonstrates the thread-safety
+and concurrency semantics of the storage layer — the property the paper's
+design revolves around — on data sizes small enough to run on a laptop.
+The Grid'5000-scale throughput curves are produced by the simulation
+benchmarks instead.
+
+Each backend is selected by a URI string (edit ``BACKENDS`` to swap): the
+scheme registry resolves ``bsfs://``, ``hdfs://`` and ``file://`` to live
+deployments, so the storage layer of the whole example is a one-string
+choice.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.bsfs import BSFS
 from repro.core import KB, BlobSeerConfig
+from repro.fs import get_filesystem
 from repro.fs.errors import UnsupportedOperationError
-from repro.hdfs import HDFS
 from repro.workloads import (
     concurrent_appends_same_file,
     concurrent_reads_different_files,
@@ -31,14 +35,25 @@ from repro.workloads import (
 NUM_CLIENTS = 8
 BYTES_PER_CLIENT = 512 * KB
 
+#: One URI per backend under test — the whole storage choice of the example.
+BACKENDS = ("bsfs://concurrency", "hdfs://concurrency", "file://concurrency")
 
-def build_filesystems():
-    bsfs = BSFS(
+BACKEND_OPTIONS = {
+    "bsfs://concurrency": dict(
         config=BlobSeerConfig(page_size=64 * KB, num_providers=16, replication=2),
         default_block_size=256 * KB,
-    )
-    hdfs = HDFS(num_datanodes=16, default_block_size=256 * KB, default_replication=2)
-    return [bsfs, hdfs]
+    ),
+    "hdfs://concurrency": dict(
+        num_datanodes=16, default_block_size=256 * KB, default_replication=2
+    ),
+    "file://concurrency": dict(default_block_size=256 * KB),
+}
+
+
+def build_filesystems():
+    return [
+        get_filesystem(uri, **BACKEND_OPTIONS.get(uri, {})) for uri in BACKENDS
+    ]
 
 
 def main() -> None:
@@ -84,12 +99,13 @@ def main() -> None:
         )
     )
 
-    # Show that the concurrent appends really interleaved without loss.
-    bsfs = build_filesystems()[0]
+    # Show that the concurrent appends really interleaved without loss, on a
+    # fresh deployment selected purely by URI.
+    demo_uri = "bsfs://append-demo"
     result = concurrent_appends_same_file(
-        bsfs, num_clients=4, appends_per_client=8, append_size=1 * KB
+        demo_uri, num_clients=4, appends_per_client=8, append_size=1 * KB
     )
-    size = bsfs.status("/bench/shared-append.log").size
+    size = get_filesystem(demo_uri).status("/bench/shared-append.log").size
     print(
         f"\nBSFS shared append file: {size} bytes "
         f"(expected {4 * 8 * 1 * KB}) — no append was lost, result: {result.succeeded}"

@@ -25,10 +25,13 @@ import threading
 
 from repro.bsfs import BSFS
 from repro.core import KB, BlobSeerConfig
+from repro.fs import copy_uri, get_filesystem
 from repro.mapreduce import make_cluster
 from repro.mapreduce.applications import make_distributed_grep_job, make_wordcount_job
 from repro.mapreduce.splitter import TextInputFormat
 
+#: The BSFS deployment running the workflow, addressed by URI.
+STORAGE = "bsfs://workflow"
 DATASET = "/warehouse/events.log"
 
 
@@ -83,7 +86,8 @@ class _SnapshotView:
 
 
 def main() -> None:
-    bsfs = BSFS(
+    bsfs: BSFS = get_filesystem(
+        STORAGE,
         config=BlobSeerConfig(page_size=64 * KB, num_providers=8),
         default_block_size=256 * KB,
     )
@@ -150,12 +154,19 @@ def main() -> None:
           f"({live_size - snapshot_size} bytes appended concurrently)")
 
     final_grep = make_distributed_grep_job(
-        "status=new", [DATASET], output_dir="/jobs/grep-live", split_size=128 * KB
+        "status=new",
+        [f"{STORAGE}{DATASET}"],
+        output_dir=f"{STORAGE}/jobs/grep-live",
+        split_size=128 * KB,
     )
     final_result = jobtracker.run(final_grep)
     print(
         f"grep over latest version: {final_result.counter('grep.matches')} new records visible"
     )
+
+    # Stage the live dataset out to local disk with one URI-to-URI copy.
+    exported = copy_uri(f"{STORAGE}{DATASET}", "file://workflow/exports/events.log")
+    print(f"exported {exported} bytes to file://workflow/exports/events.log")
 
 
 if __name__ == "__main__":

@@ -197,8 +197,19 @@ class InputStream(ABC):
 class FileSystem(ABC):
     """Hadoop-style file system API implemented by BSFS and the HDFS baseline."""
 
-    #: Human-readable scheme name (``"bsfs"``, ``"hdfs"``), used in reports.
+    #: Human-readable scheme name (``"bsfs"``, ``"hdfs"``, ``"file"``), used
+    #: in reports and by the URI registry (:mod:`repro.fs.registry`).
     scheme: str = "fs"
+
+    #: Deployment label from the resolving URI (``"demo"`` in
+    #: ``bsfs://demo``); stamped by the registry, empty for instances built
+    #: directly from the constructor.
+    authority: str = ""
+
+    @property
+    def uri(self) -> str:
+        """The URI addressing this deployment (``scheme://authority``)."""
+        return f"{self.scheme}://{self.authority}"
 
     # -- file creation / access ----------------------------------------------------
     @abstractmethod
@@ -294,7 +305,14 @@ class FileSystem(ABC):
             stream.write(data)
 
     def list_files(self, path: str, *, recursive: bool = False) -> list[FileStatus]:
-        """List the regular files under ``path`` (optionally recursively)."""
+        """List the regular files under ``path`` (optionally recursively).
+
+        When ``path`` itself names a regular file its own status is
+        returned, matching Hadoop's ``listStatus`` globbing behaviour.
+        """
+        status = self.status(path)
+        if status.is_file:
+            return [status]
         result: list[FileStatus] = []
         for entry in self.list_dir(path):
             if entry.is_dir:

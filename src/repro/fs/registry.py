@@ -1,0 +1,254 @@
+"""Pluggable scheme registry: URI strings to live ``FileSystem`` instances.
+
+This is the reproduction's counterpart of Hadoop's ``FileSystem.get(uri,
+conf)``: backends register a factory under a scheme name, and application
+code addresses storage purely through URI strings —
+
+    >>> from repro.fs import get_filesystem
+    >>> fs = get_filesystem("bsfs://demo")        # a BSFS deployment
+    >>> fs = get_filesystem("hdfs://demo")        # the HDFS baseline
+    >>> fs = get_filesystem("file:///tmp/data")   # local disk (sandboxed)
+
+Swapping the storage backend of an example, a benchmark or a MapReduce job
+is therefore a one-string change, exactly the drop-in substitution the
+paper claims for BSFS under Hadoop.
+
+Instances are cached per ``(scheme, authority, options)`` so that every
+component naming ``bsfs://demo`` talks to the *same* deployment — the
+authority plays the role of Hadoop's namenode address.  The built-in
+schemes (``bsfs``, ``hdfs``, ``file``) are registered when :mod:`repro.fs`
+is imported; third-party backends can call :func:`register_scheme` with
+their own factory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from .errors import FileSystemError
+from .interface import FileSystem, copy_path
+from .uri import FsUri
+
+__all__ = [
+    "UnknownSchemeError",
+    "FileSystemFactory",
+    "register_scheme",
+    "unregister_scheme",
+    "registered_schemes",
+    "is_registered",
+    "get_filesystem",
+    "open_fs",
+    "copy_uri",
+    "clear_instance_cache",
+]
+
+#: A factory building one file-system deployment for one authority.
+FileSystemFactory = Callable[..., FileSystem]
+
+
+class UnknownSchemeError(FileSystemError):
+    """Raised when a URI names a scheme no backend has registered."""
+
+    def __init__(self, scheme: str | None, known: list[str]) -> None:
+        shown = scheme if scheme is not None else "<none>"
+        super().__init__(
+            f"no file system registered for scheme {shown!r} "
+            f"(registered schemes: {', '.join(known) or 'none'})"
+        )
+        self.scheme = scheme
+        self.known = known
+
+
+_registry_lock = threading.Lock()
+_factories: dict[str, FileSystemFactory] = {}
+#: Live deployments keyed by (scheme, authority); the string remembers the
+#: options the instance was built with so conflicting re-requests fail loudly.
+_instances: dict[tuple[str, str], tuple[FileSystem, str]] = {}
+
+
+def register_scheme(
+    scheme: str, factory: FileSystemFactory, *, overwrite: bool = False
+) -> None:
+    """Register ``factory`` as the implementation of ``scheme``.
+
+    The factory is called as ``factory(authority, **options)`` and must
+    return a :class:`~repro.fs.interface.FileSystem`.  Registering an
+    already-registered scheme raises unless ``overwrite=True``.
+    """
+    key = scheme.lower()
+    with _registry_lock:
+        if key in _factories and not overwrite:
+            raise ValueError(f"scheme {key!r} is already registered")
+        _factories[key] = factory
+
+
+def unregister_scheme(scheme: str) -> None:
+    """Remove ``scheme`` from the registry (and drop its cached instances)."""
+    key = scheme.lower()
+    with _registry_lock:
+        if key not in _factories:
+            raise UnknownSchemeError(key, sorted(_factories))
+        del _factories[key]
+        for cache_key in [k for k in _instances if k[0] == key]:
+            del _instances[cache_key]
+
+
+def registered_schemes() -> list[str]:
+    """The sorted list of registered scheme names."""
+    with _registry_lock:
+        return sorted(_factories)
+
+
+def is_registered(scheme: str) -> bool:
+    """Whether ``scheme`` has a registered implementation."""
+    with _registry_lock:
+        return scheme.lower() in _factories
+
+
+def _options_key(options: dict) -> str:
+    """Stable cache-key fragment for factory options (repr-based)."""
+    return repr(sorted((name, repr(value)) for name, value in options.items()))
+
+
+def get_filesystem(uri: FsUri | str, **options) -> FileSystem:
+    """Resolve ``uri`` to a (cached) file-system instance.
+
+    Every ``(scheme, authority)`` pair names exactly one deployment, so all
+    components addressing ``bsfs://demo`` share one instance while distinct
+    authorities (``bsfs://demo`` vs ``bsfs://other``) get independent ones —
+    the authority plays the role of Hadoop's namenode address.
+
+    ``options`` are forwarded to the backend factory when the deployment is
+    first built; later calls either pass no options (getting the existing
+    instance back) or the same options.  Re-requesting an existing
+    deployment with *different* options raises ``ValueError`` — use a new
+    authority or :func:`clear_instance_cache` instead of silently getting
+    an instance configured some other way.
+    """
+    parsed = FsUri.parse(uri)
+    if parsed.scheme is None:
+        raise UnknownSchemeError(None, registered_schemes())
+    cache_key = (parsed.scheme, parsed.authority)
+
+    def _lookup() -> FileSystem | None:
+        cached = _instances.get(cache_key)
+        if cached is None:
+            return None
+        instance, built_with = cached
+        if options and _options_key(options) != built_with:
+            raise ValueError(
+                f"deployment {parsed.filesystem_uri!r} already exists with "
+                "different options; use another authority or "
+                "clear_instance_cache() first"
+            )
+        return instance
+
+    with _registry_lock:
+        factory = _factories.get(parsed.scheme)
+        if factory is None:
+            raise UnknownSchemeError(parsed.scheme, sorted(_factories))
+        existing = _lookup()
+    if existing is not None:
+        return existing
+    # Build outside the lock: factories may be slow (a whole in-process
+    # deployment) or themselves resolve other URIs; holding a
+    # non-reentrant lock across the call would serialise or deadlock them.
+    instance = factory(parsed.authority, **options)
+    instance.authority = parsed.authority
+    with _registry_lock:
+        winner = _lookup()
+        if winner is None:
+            _instances[cache_key] = (instance, _options_key(options))
+            return instance
+    # Another thread built the deployment first; discard ours.
+    closer = getattr(instance, "close", None)
+    if callable(closer):
+        closer()
+    return winner
+
+
+def open_fs(uri: FsUri | str, **options) -> tuple[FileSystem, str]:
+    """Resolve ``uri`` to ``(filesystem, path)``.
+
+    The convenience for code handed a full file URI: returns the backend
+    instance plus the in-filesystem path, ready for ``fs.open(path)``.
+    """
+    parsed = FsUri.parse(uri)
+    return get_filesystem(parsed.filesystem_uri, **options), parsed.path
+
+
+def copy_uri(
+    source: FsUri | str,
+    target: FsUri | str,
+    *,
+    chunk_size: int = 4 * 1024 * 1024,
+    overwrite: bool = False,
+) -> int:
+    """Copy one file between URI-addressed locations (possibly cross-backend).
+
+    The URI-level counterpart of :func:`repro.fs.interface.copy_path`;
+    returns the number of bytes copied.
+    """
+    source_fs, source_path = open_fs(source)
+    target_fs, target_path = open_fs(target)
+    return copy_path(
+        source_fs,
+        source_path,
+        target_fs,
+        target_path,
+        chunk_size=chunk_size,
+        overwrite=overwrite,
+    )
+
+
+def clear_instance_cache(scheme: str | None = None) -> None:
+    """Drop cached instances (of one scheme, or all) so fresh ones are built.
+
+    Used by tests and benchmarks that want deployment isolation while still
+    addressing backends through URIs.
+    """
+    with _registry_lock:
+        if scheme is None:
+            _instances.clear()
+        else:
+            key = scheme.lower()
+            for cache_key in [k for k in _instances if k[0] == key]:
+                del _instances[cache_key]
+
+
+# -- built-in schemes ---------------------------------------------------------------
+# The factories import lazily so that registering them here (at
+# ``repro.fs`` import time) cannot create circular imports with the
+# backend packages, which themselves import ``repro.fs``.
+
+
+def _bsfs_factory(authority: str, **options) -> FileSystem:
+    from ..bsfs import BSFS
+
+    return BSFS(**options)
+
+
+def _hdfs_factory(authority: str, **options) -> FileSystem:
+    from ..hdfs import HDFS
+
+    return HDFS(**options)
+
+
+def _local_factory(authority: str, **options) -> FileSystem:
+    from .local import LocalFS
+
+    return LocalFS(**options)
+
+
+def _register_builtin_schemes() -> None:
+    for scheme, factory in (
+        ("bsfs", _bsfs_factory),
+        ("hdfs", _hdfs_factory),
+        ("file", _local_factory),
+    ):
+        if not is_registered(scheme):
+            register_scheme(scheme, factory)
+
+
+_register_builtin_schemes()

@@ -1,0 +1,141 @@
+"""URI-addressed paths: ``scheme://authority/path`` parsing and formatting.
+
+Hadoop resolves its pluggable ``FileSystem`` implementations from path URIs
+(``hdfs://namenode/...``, ``file:///...``) rather than from concrete
+classes.  This module gives the reproduction the same addressing layer: a
+small, immutable :class:`FsUri` value type that splits a URI string into
+
+* a **scheme** naming the file-system implementation (``bsfs``, ``hdfs``,
+  ``file``) — ``None`` for scheme-less plain paths, which keep working
+  everywhere for backward compatibility;
+* an **authority** naming one deployment of that implementation (Hadoop's
+  ``namenode:port``; here a free-form label such as ``demo`` or ``bench``),
+  so several independent instances of one backend can coexist; and
+* an absolute **path** inside that file system, normalised with the shared
+  :mod:`repro.fs.path` helpers so URI paths and plain paths have identical
+  semantics (no ``..``, collapsed slashes, no trailing slash).
+
+:mod:`repro.fs.registry` maps ``(scheme, authority)`` pairs to live
+:class:`~repro.fs.interface.FileSystem` instances.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from . import path as fspath
+from .errors import InvalidPathError
+
+__all__ = ["FsUri", "parse", "is_uri", "format_uri"]
+
+#: RFC-3986-shaped scheme: a letter followed by letters/digits/``+``/``-``/``.``.
+_SCHEME_RE = re.compile(r"^(?P<scheme>[A-Za-z][A-Za-z0-9+.\-]*)://(?P<rest>.*)$")
+
+#: Characters allowed in an authority label (a deployment name, not a host).
+_AUTHORITY_RE = re.compile(r"^[A-Za-z0-9_.\-:]*$")
+
+
+def is_uri(value: str) -> bool:
+    """Whether ``value`` carries an explicit ``scheme://`` prefix."""
+    return isinstance(value, str) and _SCHEME_RE.match(value) is not None
+
+
+def format_uri(scheme: str | None, authority: str, path: str) -> str:
+    """Assemble a URI string from its parts (plain path when ``scheme`` is None)."""
+    norm = fspath.normalize(path)
+    if scheme is None:
+        return norm
+    # The root path is left implicit (``bsfs://demo``), matching Hadoop.
+    tail = "" if norm == fspath.ROOT else norm
+    return f"{scheme}://{authority}{tail}"
+
+
+@dataclass(frozen=True, slots=True)
+class FsUri:
+    """An immutable ``scheme://authority/path`` address.
+
+    ``scheme`` is ``None`` for plain scheme-less paths; ``authority`` is the
+    empty string when the URI names no deployment (``file:///tmp/x``).  The
+    ``path`` is always in the canonical form of :func:`repro.fs.path.normalize`.
+    """
+
+    scheme: str | None
+    authority: str
+    path: str
+
+    def __post_init__(self) -> None:
+        if self.scheme is not None:
+            if not re.match(r"^[A-Za-z][A-Za-z0-9+.\-]*$", self.scheme):
+                raise InvalidPathError(self.scheme, "malformed URI scheme")
+            object.__setattr__(self, "scheme", self.scheme.lower())
+        if not _AUTHORITY_RE.match(self.authority):
+            raise InvalidPathError(self.authority, "malformed URI authority")
+        if self.scheme is None and self.authority:
+            raise InvalidPathError(
+                self.authority, "an authority requires a scheme"
+            )
+        object.__setattr__(self, "path", fspath.normalize(self.path))
+
+    # -- parsing / formatting --------------------------------------------------------
+    @classmethod
+    def parse(cls, value: "FsUri | str") -> "FsUri":
+        """Parse a URI string (or pass an :class:`FsUri` through unchanged).
+
+        Accepted forms::
+
+            bsfs://demo/data/input.txt   -> ("bsfs", "demo", "/data/input.txt")
+            hdfs://demo                  -> ("hdfs", "demo", "/")
+            file:///tmp/scratch          -> ("file", "",     "/tmp/scratch")
+            /plain/path                  -> (None,   "",     "/plain/path")
+        """
+        if isinstance(value, FsUri):
+            return value
+        if not isinstance(value, str) or not value:
+            raise InvalidPathError(value, "URIs must be non-empty strings")
+        match = _SCHEME_RE.match(value)
+        if match is None:
+            # No scheme: must be a plain absolute path.
+            return cls(scheme=None, authority="", path=value)
+        rest = match.group("rest")
+        slash = rest.find("/")
+        if slash < 0:
+            authority, path = rest, fspath.ROOT
+        else:
+            authority, path = rest[:slash], rest[slash:]
+        return cls(scheme=match.group("scheme"), authority=authority, path=path)
+
+    def __str__(self) -> str:
+        return format_uri(self.scheme, self.authority, self.path)
+
+    # -- derived addresses -----------------------------------------------------------
+    @property
+    def has_scheme(self) -> bool:
+        """Whether the address names an explicit backend scheme."""
+        return self.scheme is not None
+
+    @property
+    def filesystem_uri(self) -> str:
+        """The address of the file system alone (path stripped to the root)."""
+        return format_uri(self.scheme, self.authority, fspath.ROOT)
+
+    def with_path(self, path: str) -> "FsUri":
+        """Same file system, different path."""
+        return replace(self, path=path)
+
+    def join(self, *parts: str) -> "FsUri":
+        """Join path fragments under this address (see :func:`repro.fs.path.join`)."""
+        return self.with_path(fspath.join(self.path, *parts))
+
+    def parent(self) -> "FsUri":
+        """The parent directory address (the root is its own parent)."""
+        return self.with_path(fspath.parent(self.path))
+
+    def basename(self) -> str:
+        """The last path component (empty string for the root)."""
+        return fspath.basename(self.path)
+
+
+def parse(value: FsUri | str) -> FsUri:
+    """Module-level alias of :meth:`FsUri.parse`."""
+    return FsUri.parse(value)

@@ -12,8 +12,13 @@ counts; the jobtracker executes it over any
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..fs.uri import FsUri
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fs.interface import FileSystem
 
 __all__ = [
     "JobConf",
@@ -59,6 +64,42 @@ class JobConf:
     def get(self, key: str, default: Any = None) -> Any:
         """Look up a free-form job property (mirrors Hadoop's ``conf.get``)."""
         return self.properties.get(key, default)
+
+    def resolve_for(self, fs: "FileSystem") -> "JobConf":
+        """Reduce URI inputs/outputs to plain in-filesystem paths.
+
+        Input paths and the output directory may be full URIs
+        (``bsfs://demo/data``); this validates that every URI addresses the
+        file system the job actually runs on and strips it down to the path
+        the storage layer understands.  Scheme-less paths pass through
+        normalised, so pre-URI job configurations keep working unchanged.
+        """
+        inputs = tuple(_resolve_job_path(p, fs) for p in self.input_paths)
+        output = _resolve_job_path(self.output_dir, fs)
+        if inputs == self.input_paths and output == self.output_dir:
+            return self
+        return replace(self, input_paths=inputs, output_dir=output)
+
+
+def _resolve_job_path(path: str, fs: "FileSystem") -> str:
+    """Strip (and validate) the scheme/authority of one job path."""
+    parsed = FsUri.parse(path)
+    if parsed.scheme is None:
+        return parsed.path
+    if parsed.scheme != fs.scheme:
+        raise ValueError(
+            f"job path {path!r} addresses scheme {parsed.scheme!r} but the "
+            f"job runs on a {fs.scheme!r} file system"
+        )
+    if parsed.authority and parsed.authority != fs.authority:
+        # A URI naming a specific deployment must run on that deployment —
+        # including when the job's fs was built directly from a constructor
+        # and therefore carries no authority at all.
+        raise ValueError(
+            f"job path {path!r} addresses deployment {parsed.authority!r} "
+            f"but the job runs on {fs.uri!r}"
+        )
+    return parsed.path
 
 
 class Counters:

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..fs.interface import FileSystem
+from ..fs.registry import get_filesystem
 from .job import Counters, Job
 from .scheduler import LocalityAwareScheduler, LocalityStats
 from .shuffle import TextOutputFormat, merge_map_outputs
@@ -67,7 +68,7 @@ class JobTracker:
 
     def __init__(
         self,
-        fs: FileSystem,
+        fs: FileSystem | str,
         trackers: list[TaskTracker],
         *,
         parallel: bool = True,
@@ -77,7 +78,9 @@ class JobTracker:
         Parameters
         ----------
         fs:
-            File system used for job input and output (BSFS or HDFS).
+            File system used for job input and output: a concrete
+            instance (BSFS, HDFS, LocalFS) or a URI string such as
+            ``"bsfs://demo"`` resolved through the scheme registry.
         trackers:
             Worker task trackers (typically one per storage node so
             locality is possible).
@@ -88,13 +91,23 @@ class JobTracker:
         """
         if not trackers:
             raise ValueError("a job tracker needs at least one task tracker")
+        if isinstance(fs, str):
+            fs = get_filesystem(fs)
         self.fs = fs
         self.trackers = list(trackers)
         self.parallel = parallel
 
     # -- public API -----------------------------------------------------------------
     def run(self, job: Job) -> JobResult:
-        """Execute ``job`` to completion and return its result."""
+        """Execute ``job`` to completion and return its result.
+
+        Input paths and the output directory of the job configuration may
+        be URIs; they are validated against this tracker's file system and
+        reduced to plain paths before splitting.
+        """
+        resolved_conf = job.conf.resolve_for(self.fs)
+        if resolved_conf is not job.conf:
+            job = replace(job, conf=resolved_conf)
         started = time.perf_counter()
         counters = Counters()
         scheduler = LocalityAwareScheduler(self.trackers)
@@ -174,7 +187,7 @@ class JobTracker:
 
 
 def make_cluster(
-    fs: FileSystem,
+    fs: FileSystem | str,
     *,
     hosts: list[str] | None = None,
     num_trackers: int = 4,
@@ -183,11 +196,16 @@ def make_cluster(
 ) -> JobTracker:
     """Convenience factory building a jobtracker with one tracker per host.
 
-    When ``hosts`` is omitted the tracker hosts are derived from the file
-    system's storage nodes (BlobSeer providers for BSFS, datanodes for
-    HDFS) so that data-local scheduling is possible, mirroring the paper's
-    co-deployment of Hadoop tasktrackers and storage daemons.
+    ``fs`` may be a file-system instance or a URI string (``"hdfs://demo"``)
+    resolved through the scheme registry, making the storage backend of a
+    whole MapReduce cluster a one-string choice.  When ``hosts`` is omitted
+    the tracker hosts are derived from the file system's storage nodes
+    (BlobSeer providers for BSFS, datanodes for HDFS) so that data-local
+    scheduling is possible, mirroring the paper's co-deployment of Hadoop
+    tasktrackers and storage daemons.
     """
+    if isinstance(fs, str):
+        fs = get_filesystem(fs)
     if hosts is None:
         hosts = []
         blobseer = getattr(fs, "blobseer", None)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..fs.interface import FileSystem
+from ..fs.registry import get_filesystem
 from .generators import deterministic_bytes
 
 __all__ = [
@@ -26,6 +27,13 @@ __all__ = [
     "concurrent_reads_same_file",
     "concurrent_appends_same_file",
 ]
+
+
+def _as_filesystem(fs: FileSystem | str) -> FileSystem:
+    """Accept a file-system instance or a URI string (``"bsfs://bench"``)."""
+    if isinstance(fs, str):
+        return get_filesystem(fs)
+    return fs
 
 
 @dataclass
@@ -88,7 +96,7 @@ def _run_threads(workers: list[Callable[[], None]]) -> tuple[float, list[str]]:
 
 
 def concurrent_writes_different_files(
-    fs: FileSystem,
+    fs: FileSystem | str,
     *,
     num_clients: int,
     bytes_per_client: int,
@@ -96,6 +104,7 @@ def concurrent_writes_different_files(
     chunk_size: int = 256 * 1024,
 ) -> FunctionalRunResult:
     """Every client writes its own file (the paper's Reduce-phase pattern)."""
+    fs = _as_filesystem(fs)
     fs.mkdirs(directory)
 
     def _writer(index: int) -> Callable[[], None]:
@@ -122,7 +131,7 @@ def concurrent_writes_different_files(
 
 
 def concurrent_reads_different_files(
-    fs: FileSystem,
+    fs: FileSystem | str,
     *,
     num_clients: int,
     bytes_per_client: int,
@@ -130,6 +139,7 @@ def concurrent_reads_different_files(
     chunk_size: int = 256 * 1024,
 ) -> FunctionalRunResult:
     """Every client reads its own pre-written file (Map-phase pattern)."""
+    fs = _as_filesystem(fs)
     fs.mkdirs(directory)
     for index in range(num_clients):
         path = f"{directory}/client-{index}.bin"
@@ -170,7 +180,7 @@ def concurrent_reads_different_files(
 
 
 def concurrent_reads_same_file(
-    fs: FileSystem,
+    fs: FileSystem | str,
     *,
     num_clients: int,
     bytes_per_client: int,
@@ -178,6 +188,7 @@ def concurrent_reads_same_file(
     chunk_size: int = 256 * 1024,
 ) -> FunctionalRunResult:
     """Clients read disjoint ranges of one shared file (Map-phase pattern)."""
+    fs = _as_filesystem(fs)
     total_size = num_clients * bytes_per_client
     if not fs.exists(path) or fs.status(path).size < total_size:
         if fs.exists(path):
@@ -218,7 +229,7 @@ def concurrent_reads_same_file(
 
 
 def concurrent_appends_same_file(
-    fs: FileSystem,
+    fs: FileSystem | str,
     *,
     num_clients: int,
     appends_per_client: int,
@@ -227,9 +238,11 @@ def concurrent_appends_same_file(
 ) -> FunctionalRunResult:
     """Clients append concurrently to one shared file (the §V extension).
 
-    Requires a file system exposing ``concurrent_append`` (BSFS); the HDFS
-    baseline raises, which the benchmark reports as an unsupported run.
+    Requires a file system exposing ``concurrent_append`` (BSFS and
+    LocalFS); the HDFS baseline raises, which the benchmark reports as an
+    unsupported run.
     """
+    fs = _as_filesystem(fs)
     concurrent_append = getattr(fs, "concurrent_append", None)
     if concurrent_append is None:
         from ..fs.errors import UnsupportedOperationError

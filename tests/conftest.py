@@ -11,6 +11,7 @@ import pytest
 
 from repro.bsfs import BSFS
 from repro.core import BlobSeer, BlobSeerConfig, KB
+from repro.fs import LocalFS
 from repro.hdfs import HDFS
 
 #: Small page size used across the test suite (keeps blobs multi-page).
@@ -78,7 +79,13 @@ def hdfs() -> HDFS:
     )
 
 
-@pytest.fixture(params=["bsfs", "hdfs"])
-def any_fs(request, bsfs: BSFS, hdfs: HDFS):
-    """Parametrised fixture yielding both file systems (shared-semantics tests)."""
-    return bsfs if request.param == "bsfs" else hdfs
+@pytest.fixture
+def local_fs(tmp_path) -> LocalFS:
+    """A LocalFS (``file://``) sandboxed under pytest's tmp_path."""
+    return LocalFS(root=str(tmp_path / "localfs"), default_block_size=TEST_BLOCK_SIZE)
+
+
+@pytest.fixture(params=["bsfs", "hdfs", "file"])
+def any_fs(request, bsfs: BSFS, hdfs: HDFS, local_fs: LocalFS):
+    """Parametrised fixture yielding every backend (shared-semantics tests)."""
+    return {"bsfs": bsfs, "hdfs": hdfs, "file": local_fs}[request.param]

@@ -1,0 +1,150 @@
+"""Differential test: one scripted workload, three backends, one behaviour.
+
+LocalFS's data path is plain ``os`` file I/O, which makes it a trustworthy
+ground-truth oracle: the same read/write/append/rename/delete script is run
+against ``file://``, ``bsfs://`` and ``hdfs://`` deployments and every
+observable outcome — returned bytes, statuses, listings, raised error types
+— must be identical across backends.  The only tolerated divergence is
+HDFS's documented lack of append support, which must surface as
+``UnsupportedOperationError`` exactly where the other backends succeed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+from repro.fs.errors import FileSystemError, UnsupportedOperationError
+from repro.fs.interface import FileStatus, FileSystem
+
+Step = tuple[str, Callable[[FileSystem], Any]]
+
+
+def _observable(value: Any) -> Any:
+    """Normalise a return value to its backend-independent observable part."""
+    if isinstance(value, FileStatus):
+        return (value.path, value.is_dir, value.size)
+    if isinstance(value, list):
+        return [_observable(item) for item in value]
+    if value is None or isinstance(value, (bytes, str, int, bool)):
+        return value
+    return repr(type(value))
+
+
+def _append(fs: FileSystem, path: str, data: bytes) -> None:
+    with fs.append(path) as stream:
+        stream.write(data)
+
+
+#: The scripted workload.  Every step is (label, action); labels starting
+#: with "append" are the ones HDFS is allowed to reject.
+SCRIPT: list[Step] = [
+    ("mkdirs", lambda fs: fs.mkdirs("/data/sub")),
+    ("write-a", lambda fs: fs.write_file("/data/a.bin", b"alpha" * 1000)),
+    ("write-b", lambda fs: fs.write_file("/data/sub/b.bin", b"beta" * 500)),
+    ("read-a", lambda fs: fs.read_file("/data/a.bin")),
+    ("size-a", lambda fs: fs.size("/data/a.bin")),
+    ("exists-a", lambda fs: fs.exists("/data/a.bin")),
+    ("exists-missing", lambda fs: fs.exists("/data/missing")),
+    ("status-a", lambda fs: _observable(fs.status("/data/a.bin"))),
+    ("status-dir", lambda fs: _observable(fs.status("/data/sub"))),
+    ("list-data", lambda fs: _observable(fs.list_dir("/data"))),
+    ("list-files-recursive", lambda fs: _observable(fs.list_files("/data", recursive=True))),
+    ("list-files-on-file", lambda fs: _observable(fs.list_files("/data/a.bin"))),
+    ("append-a", lambda fs: _append(fs, "/data/a.bin", b"+tail")),
+    ("read-after-append", lambda fs: fs.read_file("/data/a.bin")),
+    ("size-after-append", lambda fs: fs.size("/data/a.bin")),
+    ("create-no-overwrite", lambda fs: fs.write_file("/data/a.bin", b"clobber")),
+    ("overwrite-b", lambda fs: fs.write_file("/data/sub/b.bin", b"fresh", overwrite=True)),
+    ("read-overwritten-b", lambda fs: fs.read_file("/data/sub/b.bin")),
+    ("rename-b", lambda fs: fs.rename("/data/sub/b.bin", "/data/renamed.bin")),
+    ("read-renamed", lambda fs: fs.read_file("/data/renamed.bin")),
+    ("rename-missing", lambda fs: fs.rename("/data/ghost", "/data/whatever")),
+    ("rename-onto-existing", lambda fs: fs.rename("/data/renamed.bin", "/data/a.bin")),
+    ("open-missing", lambda fs: fs.read_file("/nowhere")),
+    ("status-missing", lambda fs: _observable(fs.status("/nowhere"))),
+    ("open-directory", lambda fs: fs.read_file("/data/sub")),
+    ("delete-nonempty-dir", lambda fs: fs.delete("/data")),
+    ("delete-file", lambda fs: fs.delete("/data/renamed.bin")),
+    ("delete-missing", lambda fs: fs.delete("/data/renamed.bin")),
+    ("delete-recursive", lambda fs: fs.delete("/data", recursive=True)),
+    ("gone-after-delete", lambda fs: fs.exists("/data")),
+    ("positional-setup", lambda fs: fs.write_file("/p.bin", bytes(range(256)) * 64)),
+    ("positional-read", lambda fs: _pread(fs)),
+]
+
+
+def _pread(fs: FileSystem) -> bytes:
+    with fs.open("/p.bin") as stream:
+        head = stream.pread(0, 16)
+        tail = stream.pread(256 * 64 - 8, 100)
+        beyond = stream.pread(10**6, 10)
+    return head + tail + beyond
+
+
+def _run_script(fs: FileSystem) -> list[tuple[str, str, Any]]:
+    """Execute the script, recording (label, outcome-kind, observable)."""
+    trace: list[tuple[str, str, Any]] = []
+    for label, action in SCRIPT:
+        try:
+            trace.append((label, "ok", _observable(action(fs))))
+        except FileSystemError as exc:
+            trace.append((label, "error", type(exc).__name__))
+    return trace
+
+
+def test_backends_behave_identically(bsfs, hdfs, local_fs):
+    oracle = _run_script(local_fs)
+    bsfs_trace = _run_script(bsfs)
+    hdfs_trace = _run_script(hdfs)
+
+    # BSFS must match the local-disk oracle step for step.
+    assert bsfs_trace == oracle
+
+    # HDFS matches everywhere except the append step (which the paper says
+    # it must refuse) and the two follow-up reads that observe the tail.
+    for (label, kind, value), (_, hdfs_kind, hdfs_value) in zip(oracle, hdfs_trace):
+        if label == "append-a":
+            assert hdfs_kind == "error"
+            assert hdfs_value == UnsupportedOperationError.__name__
+        elif label == "read-after-append":
+            # HDFS never gained the appended tail; content differs by it.
+            assert hdfs_kind == "ok"
+            assert hdfs_value == value.replace(b"+tail", b"")
+        elif label == "size-after-append":
+            assert hdfs_kind == "ok"
+            assert hdfs_value == value - len(b"+tail")
+        else:
+            assert (hdfs_kind, hdfs_value) == (kind, value), label
+    assert len(hdfs_trace) == len(oracle)
+
+
+def test_every_registered_scheme_runs_the_script():
+    """The script must complete (no crash) on every registry-built backend."""
+    from repro.fs.registry import clear_instance_cache, get_filesystem, registered_schemes
+
+    clear_instance_cache()
+    try:
+        for scheme in registered_schemes():
+            fs = get_filesystem(f"{scheme}://differential")
+            trace = _run_script(fs)
+            assert len(trace) == len(SCRIPT)
+            kinds = {kind for _label, kind, _value in trace}
+            assert kinds <= {"ok", "error"}
+    finally:
+        clear_instance_cache()
+
+
+@pytest.mark.parametrize("first,second", [("bsfs", "file"), ("file", "bsfs")])
+def test_append_backends_agree_both_ways(first, second, bsfs, local_fs):
+    """Order-independence spot check for the two append-capable backends."""
+    systems = {"bsfs": bsfs, "file": local_fs}
+    a, b = systems[first], systems[second]
+    a.write_file("/spot.bin", b"spot")
+    b.write_file("/spot.bin", b"spot")
+    with a.append("/spot.bin") as out:
+        out.write(b"!")
+    with b.append("/spot.bin") as out:
+        out.write(b"!")
+    assert a.read_file("/spot.bin") == b.read_file("/spot.bin") == b"spot!"

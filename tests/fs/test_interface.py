@@ -65,6 +65,14 @@ class TestCommonFileSystemSemantics:
         files = [status.path for status in any_fs.list_files("/tree", recursive=True)]
         assert files == ["/tree/a.txt", "/tree/sub/b.txt"]
 
+    def test_list_files_on_a_regular_file(self, any_fs):
+        any_fs.write_file("/tree/only.txt", b"payload")
+        statuses = any_fs.list_files("/tree/only.txt")
+        assert [s.path for s in statuses] == ["/tree/only.txt"]
+        assert statuses[0].is_file and statuses[0].size == 7
+        with pytest.raises(NoSuchPathError):
+            any_fs.list_files("/tree/absent.txt")
+
     def test_delete_and_rename(self, any_fs):
         any_fs.write_file("/old/name", b"data")
         any_fs.rename("/old/name", "/new/name")

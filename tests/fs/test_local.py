@@ -1,0 +1,146 @@
+"""LocalFS-specific tests (the shared semantics run via the ``any_fs``
+fixture in test_interface.py; this file covers what is unique to the
+``file://`` backend: the on-disk sandbox, append support, and locality
+synthesis)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fs import LocalFS
+from repro.fs.errors import (
+    InvalidPathError,
+    LeaseConflictError,
+    NoSuchPathError,
+    UnsupportedOperationError,
+)
+
+
+class TestSandbox:
+    def test_bytes_land_under_the_root(self, local_fs: LocalFS):
+        local_fs.write_file("/a/b/file.bin", b"payload")
+        backing = [
+            name for name in os.listdir(local_fs.root) if name.startswith("obj-")
+        ]
+        assert len(backing) == 1
+        with open(os.path.join(local_fs.root, backing[0]), "rb") as handle:
+            assert handle.read() == b"payload"
+
+    def test_traversal_is_rejected(self, local_fs: LocalFS):
+        with pytest.raises(InvalidPathError):
+            local_fs.write_file("/../escape.bin", b"x")
+        with pytest.raises(InvalidPathError):
+            local_fs.open("/a/../../etc/passwd")
+
+    def test_delete_removes_backing_file(self, local_fs: LocalFS):
+        local_fs.write_file("/doomed.bin", b"x" * 100)
+        assert any(n.startswith("obj-") for n in os.listdir(local_fs.root))
+        local_fs.delete("/doomed.bin")
+        assert not any(n.startswith("obj-") for n in os.listdir(local_fs.root))
+
+    def test_rename_is_metadata_only(self, local_fs: LocalFS):
+        local_fs.write_file("/old.bin", b"data")
+        before = sorted(os.listdir(local_fs.root))
+        local_fs.rename("/old.bin", "/sub/new.bin")
+        assert sorted(os.listdir(local_fs.root)) == before
+        assert local_fs.read_file("/sub/new.bin") == b"data"
+
+    def test_owned_tempdir_is_removed_on_close(self):
+        fs = LocalFS()
+        root = fs.root
+        fs.write_file("/x", b"1")
+        assert os.path.isdir(root)
+        fs.close()
+        assert not os.path.exists(root)
+
+    def test_supplied_root_survives_close(self, tmp_path):
+        fs = LocalFS(root=str(tmp_path / "keep"))
+        fs.write_file("/x", b"1")
+        fs.close()
+        assert os.path.isdir(str(tmp_path / "keep"))
+
+
+class TestAppend:
+    def test_append_extends_file(self, local_fs: LocalFS):
+        local_fs.write_file("/log", b"one\n")
+        with local_fs.append("/log") as out:
+            out.write(b"two\n")
+        assert local_fs.read_file("/log") == b"one\ntwo\n"
+        assert local_fs.size("/log") == 8
+
+    def test_append_missing_file_raises(self, local_fs: LocalFS):
+        with pytest.raises(NoSuchPathError):
+            local_fs.append("/absent")
+
+    def test_append_respects_single_writer_lease(self, local_fs: LocalFS):
+        local_fs.write_file("/log", b"x")
+        stream = local_fs.append("/log")
+        with pytest.raises(LeaseConflictError):
+            local_fs.append("/log")
+        stream.close()
+        with local_fs.append("/log") as out:
+            out.write(b"y")
+
+    def test_concurrent_append_returns_landing_offsets(self, local_fs: LocalFS):
+        local_fs.write_file("/shared", b"")
+        offsets = [local_fs.concurrent_append("/shared", b"abcd") for _ in range(8)]
+        assert offsets == [i * 4 for i in range(8)]
+        assert local_fs.size("/shared") == 32
+
+    def test_concurrent_append_from_threads_loses_nothing(self, local_fs: LocalFS):
+        import threading
+
+        local_fs.write_file("/shared", b"")
+        offsets: list[int] = []
+        lock = threading.Lock()
+
+        def appender(index: int) -> None:
+            for _ in range(16):
+                offset = local_fs.concurrent_append("/shared", b"\x01" * 64)
+                with lock:
+                    offsets.append(offset)
+
+        threads = [threading.Thread(target=appender, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(offsets) == [i * 64 for i in range(64)]
+        assert local_fs.size("/shared") == 64 * 64
+
+
+class TestLocality:
+    def test_block_locations_cover_file_on_localhost(self, local_fs: LocalFS):
+        payload = b"B" * (3 * local_fs.default_block_size // 2)
+        local_fs.write_file("/blocks.bin", payload)
+        locations = local_fs.block_locations("/blocks.bin")
+        assert sum(loc.length for loc in locations) == len(payload)
+        assert all(loc.hosts == ("localhost",) for loc in locations)
+
+    def test_block_locations_range_selection(self, local_fs: LocalFS):
+        block = local_fs.default_block_size
+        local_fs.write_file("/blocks.bin", b"B" * (4 * block))
+        middle = local_fs.block_locations("/blocks.bin", offset=block, length=block)
+        assert [loc.offset for loc in middle] == [block]
+
+
+class TestMisc:
+    def test_scheme_and_stats(self, local_fs: LocalFS):
+        assert local_fs.scheme == "file"
+        local_fs.write_file("/a", b"12345")
+        stats = local_fs.stats()
+        assert stats["scheme"] == "file"
+        assert stats["files"] == 1
+        assert stats["bytes_stored"] == 5
+        assert stats["root"] == local_fs.root
+
+    def test_no_base_unsupported_operations(self, local_fs: LocalFS):
+        # LocalFS implements the optional append; only truly foreign calls fail.
+        local_fs.write_file("/f", b"x")
+        try:
+            with local_fs.append("/f") as out:
+                out.write(b"y")
+        except UnsupportedOperationError:  # pragma: no cover - would be a bug
+            pytest.fail("LocalFS must support append")

@@ -1,0 +1,143 @@
+"""Tests for the pluggable scheme registry and URI-based conveniences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.fs import LocalFS
+from repro.fs.registry import (
+    UnknownSchemeError,
+    clear_instance_cache,
+    copy_uri,
+    get_filesystem,
+    is_registered,
+    open_fs,
+    register_scheme,
+    registered_schemes,
+    unregister_scheme,
+)
+from repro.hdfs import HDFS
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    """Keep registry state from leaking between tests."""
+    clear_instance_cache()
+    yield
+    clear_instance_cache()
+    for scheme in registered_schemes():
+        if scheme not in ("bsfs", "hdfs", "file"):
+            unregister_scheme(scheme)
+
+
+class TestBuiltinSchemes:
+    def test_builtins_registered_at_import(self):
+        assert {"bsfs", "hdfs", "file"} <= set(registered_schemes())
+
+    def test_resolves_all_three_backends(self):
+        assert isinstance(get_filesystem("bsfs://demo"), BSFS)
+        assert isinstance(get_filesystem("hdfs://demo"), HDFS)
+        assert isinstance(get_filesystem("file:///tmp/anything"), LocalFS)
+
+    def test_instances_are_working_filesystems(self):
+        for uri in ("bsfs://demo", "hdfs://demo", "file://demo"):
+            fs = get_filesystem(uri)
+            fs.write_file("/probe.bin", b"payload")
+            assert fs.read_file("/probe.bin") == b"payload"
+
+    def test_authority_is_stamped(self):
+        fs = get_filesystem("bsfs://demo")
+        assert fs.authority == "demo"
+        assert fs.uri == "bsfs://demo"
+
+
+class TestRegistration:
+    def test_register_and_unregister_custom_scheme(self):
+        register_scheme("mem", lambda authority, **opts: LocalFS(**opts))
+        assert is_registered("mem")
+        fs = get_filesystem("mem://unit")
+        assert isinstance(fs, LocalFS)
+        unregister_scheme("mem")
+        assert not is_registered("mem")
+        with pytest.raises(UnknownSchemeError):
+            get_filesystem("mem://unit")
+
+    def test_double_registration_requires_overwrite(self):
+        register_scheme("mem", lambda authority, **opts: LocalFS(**opts))
+        with pytest.raises(ValueError):
+            register_scheme("mem", lambda authority, **opts: LocalFS(**opts))
+        register_scheme(
+            "mem", lambda authority, **opts: LocalFS(**opts), overwrite=True
+        )
+
+    def test_unregister_unknown_scheme(self):
+        with pytest.raises(UnknownSchemeError):
+            unregister_scheme("no-such-scheme")
+
+    def test_unknown_scheme_error_names_known_schemes(self):
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            get_filesystem("nope://x")
+        message = str(excinfo.value)
+        assert "nope" in message
+        assert "bsfs" in message
+
+    def test_plain_path_has_no_scheme(self):
+        with pytest.raises(UnknownSchemeError):
+            get_filesystem("/plain/path")
+
+
+class TestInstanceCache:
+    def test_same_authority_shares_one_instance(self):
+        assert get_filesystem("bsfs://demo") is get_filesystem("bsfs://demo")
+        assert get_filesystem("bsfs://demo/a/b") is get_filesystem("bsfs://demo")
+
+    def test_distinct_authorities_are_independent(self):
+        one = get_filesystem("bsfs://one")
+        two = get_filesystem("bsfs://two")
+        assert one is not two
+        one.write_file("/only-in-one", b"x")
+        assert not two.exists("/only-in-one")
+
+    def test_options_used_on_first_build_then_optional(self):
+        fs = get_filesystem("hdfs://sized", default_block_size=4096)
+        assert fs.default_block_size == 4096
+        assert get_filesystem("hdfs://sized") is fs
+        assert get_filesystem("hdfs://sized", default_block_size=4096) is fs
+
+    def test_conflicting_options_raise(self):
+        get_filesystem("hdfs://sized", default_block_size=4096)
+        with pytest.raises(ValueError):
+            get_filesystem("hdfs://sized", default_block_size=8192)
+
+    def test_clear_instance_cache_builds_fresh(self):
+        stale = get_filesystem("bsfs://demo")
+        clear_instance_cache("bsfs")
+        assert get_filesystem("bsfs://demo") is not stale
+
+    def test_unregister_drops_cached_instances(self):
+        register_scheme("mem", lambda authority, **opts: LocalFS(**opts))
+        stale = get_filesystem("mem://unit")
+        unregister_scheme("mem")
+        register_scheme("mem", lambda authority, **opts: LocalFS(**opts))
+        assert get_filesystem("mem://unit") is not stale
+
+
+class TestUriConveniences:
+    def test_open_fs_returns_instance_and_path(self):
+        fs, path = open_fs("bsfs://demo/data/in.txt")
+        assert fs is get_filesystem("bsfs://demo")
+        assert path == "/data/in.txt"
+
+    def test_copy_uri_across_backends(self):
+        payload = b"cross-backend" * 1000
+        get_filesystem("bsfs://demo").write_file("/src.bin", payload)
+        copied = copy_uri("bsfs://demo/src.bin", "file://demo/dst.bin")
+        assert copied == len(payload)
+        assert get_filesystem("file://demo").read_file("/dst.bin") == payload
+
+    def test_copy_uri_within_backend(self):
+        fs = get_filesystem("file://demo")
+        fs.write_file("/a.bin", b"abc" * 100)
+        copy_uri("file://demo/a.bin", "file://demo/b.bin")
+        assert fs.read_file("/b.bin") == fs.read_file("/a.bin")

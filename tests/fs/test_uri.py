@@ -1,0 +1,97 @@
+"""Tests for the ``scheme://authority/path`` URI type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs import path as fspath
+from repro.fs.errors import InvalidPathError
+from repro.fs.uri import FsUri, format_uri, is_uri, parse
+
+
+class TestParsing:
+    def test_full_uri(self):
+        uri = FsUri.parse("bsfs://demo/data/input.txt")
+        assert uri.scheme == "bsfs"
+        assert uri.authority == "demo"
+        assert uri.path == "/data/input.txt"
+
+    def test_authority_only(self):
+        uri = FsUri.parse("hdfs://demo")
+        assert (uri.scheme, uri.authority, uri.path) == ("hdfs", "demo", "/")
+
+    def test_empty_authority(self):
+        uri = FsUri.parse("file:///tmp/scratch")
+        assert (uri.scheme, uri.authority, uri.path) == ("file", "", "/tmp/scratch")
+
+    def test_plain_path(self):
+        uri = FsUri.parse("/plain/path")
+        assert uri.scheme is None
+        assert uri.authority == ""
+        assert uri.path == "/plain/path"
+        assert not uri.has_scheme
+
+    def test_scheme_is_lowercased(self):
+        assert FsUri.parse("BSFS://Demo/x").scheme == "bsfs"
+
+    def test_parse_passes_fsuri_through(self):
+        uri = FsUri.parse("bsfs://demo/x")
+        assert FsUri.parse(uri) is uri
+
+    def test_module_level_parse_alias(self):
+        assert parse("bsfs://demo/x") == FsUri.parse("bsfs://demo/x")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "relative/path", "bsfs://demo/../escape", "1abc://x/y", "bsfs://bad host/x"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(InvalidPathError):
+            FsUri.parse(bad)
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(InvalidPathError):
+            FsUri.parse(None)  # type: ignore[arg-type]
+
+    def test_is_uri(self):
+        assert is_uri("bsfs://demo/x")
+        assert is_uri("file:///x")
+        assert not is_uri("/plain/path")
+        assert not is_uri("not a uri")
+
+
+class TestPathNormalisation:
+    """URI paths round-trip through the shared repro.fs.path helpers."""
+
+    def test_path_is_normalised(self):
+        uri = FsUri.parse("bsfs://demo//a//b/./c/")
+        assert uri.path == fspath.normalize("//a//b/./c/") == "/a/b/c"
+
+    def test_round_trip_through_str(self):
+        for text in ("bsfs://demo/a/b", "hdfs://x", "file:///tmp/y", "/plain"):
+            assert str(FsUri.parse(str(FsUri.parse(text)))) == str(FsUri.parse(text))
+
+    def test_root_path_is_implicit_in_str(self):
+        assert str(FsUri.parse("bsfs://demo/")) == "bsfs://demo"
+        assert str(FsUri.parse("/")) == "/"
+
+
+class TestDerivedAddresses:
+    def test_filesystem_uri_strips_path(self):
+        assert FsUri.parse("bsfs://demo/a/b").filesystem_uri == "bsfs://demo"
+
+    def test_with_path_join_parent_basename(self):
+        uri = FsUri.parse("bsfs://demo/jobs")
+        assert uri.with_path("/other").path == "/other"
+        joined = uri.join("run-1", "out.txt")
+        assert str(joined) == "bsfs://demo/jobs/run-1/out.txt"
+        assert joined.parent().path == fspath.parent(joined.path) == "/jobs/run-1"
+        assert joined.basename() == fspath.basename(joined.path) == "out.txt"
+
+    def test_format_uri(self):
+        assert format_uri("bsfs", "demo", "/x") == "bsfs://demo/x"
+        assert format_uri(None, "", "/x") == "/x"
+
+    def test_authority_requires_scheme(self):
+        with pytest.raises(InvalidPathError):
+            FsUri(scheme=None, authority="demo", path="/x")

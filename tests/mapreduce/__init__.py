@@ -1,0 +1,1 @@
+"""Test package (keeps same-named test modules like test_filesystem.py distinct)."""
