@@ -26,7 +26,7 @@ import threading
 from ..core.client import BlobSeer
 from ..core.config import MB, BlobSeerConfig
 from ..fs import path as fspath
-from ..fs.errors import NoSuchPathError
+from ..fs.errors import InvalidRangeError, NoSuchPathError
 from ..fs.interface import BlockLocation, FileStatus, FileSystem
 from .file import BSFSInputStream, BSFSOutputStream
 from .locality import block_locations_for_blob
@@ -116,7 +116,7 @@ class BSFS(FileSystem):
         )
 
         def _on_close(final_size: int) -> None:
-            self.namespace.update_size(norm, final_size)
+            self._commit_size(norm, blob_id, final_size)
             self.namespace.tree.release_lease(norm, holder)
 
         return BSFSOutputStream(
@@ -126,6 +126,18 @@ class BSFS(FileSystem):
             initial_size=0,
             on_close=_on_close,
         )
+
+    def _commit_size(self, norm: str, blob_id: int, observed_size: int) -> None:
+        """Publish a writer's final size without racing concurrent appends.
+
+        A leased writer computes its final size from what *it* wrote, but
+        ``concurrent_append`` bypasses the lease by design, so the blob may
+        have grown past that in the meantime.  Re-reading the blob size and
+        applying the larger value monotonically keeps the namespace from
+        moving backwards (the same check-then-act class of bug fixed in
+        :meth:`concurrent_append`)."""
+        actual = self.blobseer.get_size(blob_id)
+        self.namespace.update_size_monotonic(norm, max(observed_size, actual))
 
     def append(
         self, path: str, *, client_host: str | None = None
@@ -137,7 +149,7 @@ class BSFS(FileSystem):
         self.namespace.tree.acquire_lease(norm, holder)
 
         def _on_close(final_size: int) -> None:
-            self.namespace.update_size(norm, final_size)
+            self._commit_size(norm, record.blob_id, final_size)
             self.namespace.tree.release_lease(norm, holder)
 
         return BSFSOutputStream(
@@ -162,10 +174,10 @@ class BSFS(FileSystem):
         version = self.blobseer.append(record.blob_id, data)
         info = self.blobseer.version_manager.version_info(record.blob_id, version)
         new_size = self.blobseer.get_size(record.blob_id)
-        # Keep the namespace size monotonically up to date.
-        current = self.namespace.record(norm).size
-        if new_size > current:
-            self.namespace.update_size(norm, new_size)
+        # Two appenders may observe their post-append sizes in either order;
+        # the monotonic update makes the namespace size the max ever seen
+        # instead of the last write racing it backwards.
+        self.namespace.update_size_monotonic(norm, new_size)
         return info.write_offset
 
     # ------------------------------------------------------------------- reading
@@ -223,7 +235,11 @@ class BSFS(FileSystem):
         self, path: str, offset: int = 0, length: int | None = None
     ) -> list[BlockLocation]:
         record = self.namespace.record(path)
-        if length is None:
+        if offset < 0 or offset > record.size:
+            raise InvalidRangeError(record.path, offset, record.size)
+        if length is not None and length < 0:
+            raise InvalidRangeError(record.path, offset, record.size, length=length)
+        if length is None or offset + length > record.size:
             length = record.size - offset
         return block_locations_for_blob(
             self.blobseer,

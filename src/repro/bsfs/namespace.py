@@ -82,6 +82,16 @@ class NamespaceManager:
         """Record the new size of ``path`` after a write completed."""
         self._tree.update_file(path, size=size)
 
+    def update_size_monotonic(self, path: str, size: int) -> int:
+        """Raise the recorded size of ``path`` to ``size``, never lowering it.
+
+        Used by concurrent appends, where clients observe their post-append
+        blob size in an arbitrary order: a check-then-act sequence on the
+        caller's side would let a stale observation shrink the namespace
+        size.  Returns the size actually recorded.
+        """
+        return self._tree.update_file_size_monotonic(path, size)
+
     # -- status helpers ---------------------------------------------------------------
     def status_of(self, path: str) -> FileStatus:
         """Build a :class:`FileStatus` for ``path``."""

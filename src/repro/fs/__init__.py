@@ -5,6 +5,7 @@ from .errors import (
     DirectoryNotEmptyError,
     FileSystemError,
     InvalidPathError,
+    InvalidRangeError,
     IsADirectoryError,
     LeaseConflictError,
     NoSuchPathError,
@@ -59,6 +60,7 @@ __all__ = [
     "UnknownSchemeError",
     "FileSystemError",
     "InvalidPathError",
+    "InvalidRangeError",
     "NoSuchPathError",
     "PathExistsError",
     "NotADirectoryError",

@@ -11,6 +11,7 @@ __all__ = [
     "IsADirectoryError",
     "DirectoryNotEmptyError",
     "LeaseConflictError",
+    "InvalidRangeError",
     "StreamClosedError",
     "UnsupportedOperationError",
 ]
@@ -83,6 +84,32 @@ class LeaseConflictError(FileSystemError):
         super().__init__(message)
         self.path = path
         self.holder = holder
+
+
+class InvalidRangeError(FileSystemError):
+    """Raised when a byte range addresses data beyond a file's extent.
+
+    Carries the offending path, offset (and negative length, when that is
+    the problem) plus the file's size, so locality code and its callers get
+    an actionable message instead of a bare ``ValueError`` surfacing from
+    deep inside block-layout math.
+    """
+
+    def __init__(
+        self, path: str, offset: int, size: int, *, length: int | None = None
+    ) -> None:
+        if length is not None and length < 0:
+            message = (
+                f"negative length {length} for file {path!r} "
+                f"(offset {offset}, size {size})"
+            )
+        else:
+            message = f"offset {offset} is outside file {path!r} (size {size})"
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+        self.size = size
+        self.length = length
 
 
 class StreamClosedError(FileSystemError):

@@ -29,7 +29,7 @@ import tempfile
 import threading
 
 from . import path as fspath
-from .errors import IsADirectoryError
+from .errors import InvalidRangeError, IsADirectoryError
 from .interface import BlockLocation, FileStatus, FileSystem, InputStream, OutputStream
 from .namespace import DirectoryEntry, FileEntry, NamespaceTree
 
@@ -273,9 +273,17 @@ class LocalFS(FileSystem):
         entry = self._tree.get_entry(norm)
         if isinstance(entry, DirectoryEntry):
             raise IsADirectoryError(norm)
+        if offset < 0 or offset > entry.size:
+            raise InvalidRangeError(norm, offset, entry.size)
+        if length is not None and length < 0:
+            raise InvalidRangeError(norm, offset, entry.size, length=length)
         if length is None:
             length = entry.size - offset
-        end = min(entry.size, offset + max(length, 0))
+        end = min(entry.size, offset + length)
+        if offset >= end:
+            # Empty range (offset at EOF or zero length): no blocks, the
+            # same answer BSFS and HDFS give.
+            return []
         block_size = entry.block_size or self._default_block_size
         locations: list[BlockLocation] = []
         start = (offset // block_size) * block_size

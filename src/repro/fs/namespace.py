@@ -326,6 +326,22 @@ class NamespaceTree(Generic[PayloadT]):
                 entry.payload = payload
             entry.modification_time = time.time()
 
+    def update_file_size_monotonic(self, path: str, size: int) -> int:
+        """Raise a file's recorded size to ``size``, never lowering it.
+
+        Concurrent appenders learn their post-append file size in an
+        arbitrary order; applying each observation with plain
+        :meth:`update_file` lets a stale observation move the size
+        *backwards*.  This applies ``max(current, size)`` atomically under
+        the namespace lock and returns the size actually recorded.
+        """
+        with self._lock:
+            entry = self._resolve_file(path)
+            if size > entry.size:
+                entry.size = size
+            entry.modification_time = time.time()
+            return entry.size
+
     def count_files(self) -> int:
         """Total number of regular files in the namespace."""
         return sum(1 for _ in self.walk_files())

@@ -15,7 +15,7 @@ import threading
 from dataclasses import dataclass, field
 
 from ..fs import path as fspath
-from ..fs.errors import NoSuchPathError, UnsupportedOperationError
+from ..fs.errors import InvalidRangeError, NoSuchPathError, UnsupportedOperationError
 from ..fs.interface import BlockLocation, FileStatus
 from ..fs.namespace import DirectoryEntry, FileEntry, NamespaceTree
 from .block_placement import BlockPlacementPolicy, DefaultPlacementPolicy
@@ -203,6 +203,10 @@ class NameNode:
         if not self._tree.exists(norm):
             raise NoSuchPathError(norm)
         entry = self._tree.get_file(norm)
+        if offset < 0 or offset > entry.size:
+            raise InvalidRangeError(norm, offset, entry.size)
+        if length is not None and length < 0:
+            raise InvalidRangeError(norm, offset, entry.size, length=length)
         if length is None:
             length = entry.size - offset
         end = min(offset + length, entry.size)

@@ -22,8 +22,15 @@ from .shuffle import (
     SingleFileOutputFormat,
     TextOutputFormat,
     group_by_key,
+    group_sorted_pairs,
     hash_partitioner,
     merge_map_outputs,
+)
+from .shuffle_service import (
+    SegmentReader,
+    ShuffleAbortedError,
+    ShuffleService,
+    SpilledSegment,
 )
 from .splitter import InputSplit, LineRecordReader, SyntheticInputFormat, TextInputFormat
 from .tasktracker import TaskResult, TaskTracker
@@ -51,6 +58,11 @@ __all__ = [
     "hash_partitioner",
     "merge_map_outputs",
     "group_by_key",
+    "group_sorted_pairs",
+    "ShuffleService",
+    "ShuffleAbortedError",
+    "SegmentReader",
+    "SpilledSegment",
     "identity_mapper",
     "identity_reducer",
     "applications",

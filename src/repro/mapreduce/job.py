@@ -46,6 +46,19 @@ class JobConf:
     num_map_tasks: int | None = None
     split_size: int | None = None
     output_replication: int | None = None
+    #: Route the shuffle through the job's file system: map tasks spill
+    #: sorted segment files, reduce tasks fetch them as maps complete and
+    #: merge externally (see :mod:`repro.mapreduce.shuffle_service`).
+    #: Default off — the in-memory shuffle remains the fast path.
+    spill_to_fs: bool = False
+    #: Spill threshold, in encoded bytes: a map's partition is cut into a
+    #: new segment file once the buffered records reach this size (a
+    #: segment may exceed it by up to one record).
+    shuffle_segment_size: int = 1024 * 1024
+    #: Write all reduce output into one shared file via concurrent appends
+    #: (the paper's §V scenario).  Falls back to per-reducer ``part-r-*``
+    #: files on backends without ``concurrent_append`` (HDFS).
+    single_output_file: bool = False
     properties: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -55,6 +68,8 @@ class JobConf:
             raise ValueError("num_map_tasks must be at least 1 when given")
         if self.split_size is not None and self.split_size <= 0:
             raise ValueError("split_size must be positive when given")
+        if self.shuffle_segment_size < 1:
+            raise ValueError("shuffle_segment_size must be positive")
 
     @property
     def is_map_only(self) -> bool:

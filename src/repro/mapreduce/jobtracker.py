@@ -12,20 +12,34 @@ schedule map tasks (locality-aware), execute them (optionally in parallel
 threads, one slot per tracker slot), shuffle, execute reduce tasks, and
 return a :class:`JobResult` with timings, counters and locality statistics.
 The engine is storage-agnostic: pass a BSFS or an HDFS instance.
+
+Two shuffle paths exist.  The default keeps intermediate pairs in memory
+and runs reduce after a global map barrier.  With
+``JobConf(spill_to_fs=True)`` the shuffle is routed through the job's file
+system instead: maps spill sorted segment files, reduce tasks start
+*alongside* the map phase and fetch segments as individual maps complete
+(overlapped shuffle), then merge them externally — so shuffle I/O exercises
+the storage backend under measurement and a partition larger than memory
+still reduces.  ``JobConf(single_output_file=True)`` additionally makes all
+reducers write one shared output file via ``concurrent_append`` — the
+paper's §V scenario — on backends that support it.
 """
 
 from __future__ import annotations
 
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Iterator
 
+from ..fs import path as fspath
 from ..fs.interface import FileSystem
 from ..fs.registry import get_filesystem
 from .job import Counters, Job
-from .scheduler import LocalityAwareScheduler, LocalityStats
-from .shuffle import TextOutputFormat, merge_map_outputs
+from .scheduler import Assignment, LocalityAwareScheduler, LocalityStats
+from .shuffle import SingleFileOutputFormat, TextOutputFormat, merge_map_outputs
+from .shuffle_service import ShuffleService
 from .splitter import SyntheticInputFormat, TextInputFormat
 from .tasktracker import TaskResult, TaskTracker
 
@@ -45,14 +59,21 @@ class JobResult:
     locality: LocalityStats
     task_results: list[TaskResult] = field(default_factory=list)
     output_paths: list[str] = field(default_factory=list)
+    #: Spill-based shuffle statistics (``None`` for the in-memory shuffle).
+    shuffle: dict | None = None
 
     def counter(self, name: str) -> int:
         """Shortcut for ``result.counters.get(name)``."""
         return self.counters.get(name)
 
+    @property
+    def failed_tasks(self) -> list[TaskResult]:
+        """The tasks that raised during this run (empty on success)."""
+        return [r for r in self.task_results if not r.succeeded]
+
     def summary(self) -> dict[str, Any]:
         """JSON-friendly summary used by reports and benchmarks."""
-        return {
+        summary = {
             "job": self.job_name,
             "succeeded": self.succeeded,
             "elapsed_seconds": self.elapsed,
@@ -61,6 +82,50 @@ class JobResult:
             "locality": self.locality.as_dict(),
             "counters": self.counters.as_dict(),
         }
+        if self.shuffle is not None:
+            summary["shuffle"] = self.shuffle
+        failed = self.failed_tasks
+        if failed:
+            summary["failed_tasks"] = [r.task_id for r in failed]
+        return summary
+
+
+def _failed_result(
+    task_id: str,
+    tracker_host: str,
+    kind: str,
+    exc: BaseException,
+    *,
+    locality: str = "n/a",
+) -> TaskResult:
+    """Record one raising task as a failed :class:`TaskResult`."""
+    error = "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+    return TaskResult(
+        task_id=task_id,
+        tracker_host=tracker_host,
+        kind=kind,
+        duration=0.0,
+        records_in=0,
+        records_out=0,
+        locality=locality,
+        succeeded=False,
+        error=error,
+    )
+
+
+def _counted(
+    pairs: Iterator[tuple[Any, Any]], counters: Counters
+) -> Iterator[tuple[Any, Any]]:
+    """Pass pairs through, folding their count into ``reduce_shuffle_records``."""
+    count = 0
+    try:
+        for pair in pairs:
+            count += 1
+            yield pair
+    finally:
+        counters.increment("reduce_shuffle_records", count)
 
 
 class JobTracker:
@@ -104,6 +169,10 @@ class JobTracker:
         Input paths and the output directory of the job configuration may
         be URIs; they are validated against this tracker's file system and
         reduced to plain paths before splitting.
+
+        A raising map or reduce task no longer aborts the run: the failure
+        is recorded as a :class:`TaskResult` with ``succeeded=False`` and
+        the job returns ``JobResult(succeeded=False, ...)``.
         """
         resolved_conf = job.conf.resolve_for(self.fs)
         if resolved_conf is not job.conf:
@@ -114,68 +183,140 @@ class JobTracker:
         input_format = job.input_format or (
             TextInputFormat() if job.conf.input_paths else SyntheticInputFormat()
         )
-        output_format = job.output_format or TextOutputFormat()
+        map_format, reduce_format = self._select_output_formats(job)
         splits = input_format.get_splits(self.fs, job.conf)
         assignments = scheduler.assign(splits)
-
-        # ----------------------------------------------------------------- map phase
-        map_results: list[TaskResult] = []
         num_partitions = job.conf.num_reduce_tasks
-
-        def _run_map(assignment) -> TaskResult:
-            return assignment.tracker.run_map_task(
-                job,
+        if isinstance(reduce_format, SingleFileOutputFormat):
+            # Truncate the shared file so rerunning the job does not append
+            # to a previous run's output — but only after the inputs were
+            # split successfully, so a rerun with a bad input path fails
+            # without destroying the existing output.
+            reduce_format.prepare(
                 self.fs,
-                assignment.split,
-                num_partitions=num_partitions,
-                reader_factory=input_format.create_reader,
-                counters=counters,
-                locality=assignment.locality,
-                output_format=output_format,
+                job.conf.output_dir,
+                replication=job.conf.output_replication,
             )
 
-        if self.parallel and len(assignments) > 1:
-            max_workers = max(sum(t.slots for t in self.trackers), 1)
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                map_results = list(pool.map(_run_map, assignments))
-        else:
-            map_results = [_run_map(a) for a in assignments]
+        shuffle_service: ShuffleService | None = None
+        if job.conf.spill_to_fs and not job.conf.is_map_only:
+            shuffle_service = ShuffleService(
+                self.fs,
+                num_maps=len(assignments),
+                num_partitions=num_partitions,
+                shuffle_dir=fspath.join(job.conf.output_dir, "_shuffle"),
+                segment_size=job.conf.shuffle_segment_size,
+            )
 
-        task_results = list(map_results)
-        output_paths = [r.output_path for r in map_results if r.output_path]
+        def _run_map(assignment: Assignment) -> TaskResult:
+            task_id = f"map-{assignment.split.split_id:05d}"
+            try:
+                return assignment.tracker.run_map_task(
+                    job,
+                    self.fs,
+                    assignment.split,
+                    num_partitions=num_partitions,
+                    reader_factory=input_format.create_reader,
+                    counters=counters,
+                    locality=assignment.locality,
+                    output_format=map_format,
+                    shuffle=shuffle_service,
+                )
+            except Exception as exc:
+                if shuffle_service is not None:
+                    # Unblock reduce fetchers waiting on this map forever.
+                    shuffle_service.abort(exc)
+                return _failed_result(
+                    task_id, assignment.tracker.host, "map", exc,
+                    locality=assignment.locality,
+                )
 
-        # -------------------------------------------------------------- reduce phase
-        reduce_results: list[TaskResult] = []
-        if not job.conf.is_map_only:
-            map_outputs = [r.map_output for r in map_results if r.map_output is not None]
-
-            def _run_reduce(partition_index: int) -> TaskResult:
-                pairs = merge_map_outputs(map_outputs, partition_index)
-                counters.increment("reduce_shuffle_records", len(pairs))
-                tracker = scheduler.pick_tracker_round_robin()
+        def _run_reduce(partition_index: int) -> TaskResult:
+            tracker = scheduler.pick_tracker_round_robin()
+            task_id = f"reduce-{partition_index:05d}"
+            try:
+                if shuffle_service is not None:
+                    pairs: Any = _counted(
+                        shuffle_service.merged_pairs(partition_index), counters
+                    )
+                    presorted = True
+                else:
+                    pairs = merge_map_outputs(map_outputs, partition_index)
+                    counters.increment("reduce_shuffle_records", len(pairs))
+                    presorted = False
                 return tracker.run_reduce_task(
                     job,
                     self.fs,
                     partition_index,
                     pairs,
                     counters=counters,
-                    output_format=output_format,
+                    output_format=reduce_format,
+                    presorted=presorted,
                 )
+            except Exception as exc:
+                return _failed_result(task_id, tracker.host, "reduce", exc)
 
-            partitions = range(job.conf.num_reduce_tasks)
-            if self.parallel and job.conf.num_reduce_tasks > 1:
-                max_workers = max(sum(t.slots for t in self.trackers), 1)
-                with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                    reduce_results = list(pool.map(_run_reduce, partitions))
+        map_results: list[TaskResult] = []
+        reduce_results: list[TaskResult] = []
+        max_workers = max(sum(t.slots for t in self.trackers), 1)
+        try:
+            if shuffle_service is not None and self.parallel:
+                # Overlapped shuffle: reduce workers start alongside the map
+                # phase and fetch segments as individual maps complete; the
+                # separate pools keep blocked reducers from starving maps.
+                with ThreadPoolExecutor(
+                    max_workers=max(num_partitions, 1)
+                ) as reduce_pool:
+                    reduce_futures = [
+                        reduce_pool.submit(_run_reduce, i)
+                        for i in range(num_partitions)
+                    ]
+                    try:
+                        map_results = self._execute_maps(
+                            assignments, _run_map, max_workers
+                        )
+                    except BaseException as exc:
+                        # _run_map only catches Exception; a BaseException
+                        # (SystemExit, KeyboardInterrupt) escaping a map
+                        # would otherwise leave the reducers blocked forever
+                        # on maps that will never complete, hanging the
+                        # reduce pool's shutdown below.
+                        shuffle_service.abort(exc)
+                        raise
+                    reduce_results = [f.result() for f in reduce_futures]
             else:
-                reduce_results = [_run_reduce(i) for i in partitions]
-            task_results.extend(reduce_results)
-            output_paths.extend(r.output_path for r in reduce_results if r.output_path)
+                # Barrier mode: the whole map phase completes before reduce.
+                map_results = self._execute_maps(assignments, _run_map, max_workers)
+                map_failed = any(not r.succeeded for r in map_results)
+                if not job.conf.is_map_only and not map_failed:
+                    map_outputs = [
+                        r.map_output for r in map_results if r.map_output is not None
+                    ]
+                    partitions = range(num_partitions)
+                    if self.parallel and num_partitions > 1:
+                        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                            reduce_results = list(pool.map(_run_reduce, partitions))
+                    else:
+                        reduce_results = [_run_reduce(i) for i in partitions]
+        finally:
+            shuffle_stats = None
+            if shuffle_service is not None:
+                shuffle_stats = shuffle_service.stats()
+                counters.increment(
+                    "shuffle_segments_spilled", shuffle_service.segments_spilled
+                )
+                counters.increment(
+                    "shuffle_segments_fetched", shuffle_service.segments_fetched
+                )
+                shuffle_service.cleanup()
 
+        task_results = list(map_results) + list(reduce_results)
+        output_paths = [r.output_path for r in task_results if r.output_path]
+        succeeded = all(r.succeeded for r in task_results)
         elapsed = time.perf_counter() - started
         return JobResult(
             job_name=job.name,
-            succeeded=True,
+            succeeded=succeeded,
             elapsed=elapsed,
             map_tasks=len(map_results),
             reduce_tasks=len(reduce_results),
@@ -183,7 +324,42 @@ class JobTracker:
             locality=scheduler.stats,
             task_results=task_results,
             output_paths=sorted(set(output_paths)),
+            shuffle=shuffle_stats,
         )
+
+    def _execute_maps(
+        self,
+        assignments: list[Assignment],
+        run_map: Any,
+        max_workers: int,
+    ) -> list[TaskResult]:
+        """Run every map task, in a worker pool when parallelism applies."""
+        if self.parallel and len(assignments) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(run_map, assignments))
+        return [run_map(a) for a in assignments]
+
+    def _select_output_formats(
+        self, job: Job
+    ) -> tuple[TextOutputFormat, TextOutputFormat]:
+        """Output formats for the map and reduce sides of ``job``.
+
+        ``single_output_file`` swaps the reduce side to
+        :class:`SingleFileOutputFormat` (all reducers appending to one
+        shared file — the §V scenario) when the backend supports concurrent
+        appends, and falls back to per-reducer part files otherwise.  An
+        explicit ``job.output_format`` always wins.
+        """
+        fmt = job.output_format or TextOutputFormat()
+        reduce_fmt = fmt
+        if (
+            job.output_format is None
+            and job.conf.single_output_file
+            and not job.conf.is_map_only
+            and hasattr(self.fs, "concurrent_append")
+        ):
+            reduce_fmt = SingleFileOutputFormat()
+        return fmt, reduce_fmt
 
 
 def make_cluster(

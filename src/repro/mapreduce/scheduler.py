@@ -16,6 +16,7 @@ scheduler as well as HDFS's native one does.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 
 from .splitter import InputSplit
@@ -70,6 +71,9 @@ class LocalityAwareScheduler:
         for tracker in self._trackers:
             self._by_host.setdefault(tracker.host, []).append(tracker)
         self._round_robin = itertools.cycle(self._trackers)
+        # pick_tracker_round_robin is called from concurrent reduce worker
+        # threads; advancing the shared cycle iterator must be serialised.
+        self._round_robin_lock = threading.Lock()
         self.stats = LocalityStats()
 
     @property
@@ -126,5 +130,10 @@ class LocalityAwareScheduler:
         return assignments
 
     def pick_tracker_round_robin(self) -> TaskTracker:
-        """Round-robin tracker choice (used for reduce tasks, which have no locality)."""
-        return next(self._round_robin)
+        """Round-robin tracker choice (used for reduce tasks, which have no locality).
+
+        Thread-safe: reduce tasks are dispatched from a worker pool, so the
+        shared iterator is advanced under a lock.
+        """
+        with self._round_robin_lock:
+            return next(self._round_robin)

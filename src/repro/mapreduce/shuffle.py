@@ -14,6 +14,8 @@ creating several output files, as it is currently done in Hadoop").
 from __future__ import annotations
 
 import hashlib
+import itertools
+import operator
 from collections import defaultdict
 from typing import Any, Callable, Iterable, Iterator
 
@@ -25,6 +27,7 @@ __all__ = [
     "MapOutputCollector",
     "merge_map_outputs",
     "group_by_key",
+    "group_sorted_pairs",
     "TextOutputFormat",
     "SingleFileOutputFormat",
 ]
@@ -116,6 +119,21 @@ def group_by_key(pairs: Iterable[tuple[Any, Any]]) -> Iterator[tuple[Any, list[A
         yield key, grouped[key]
 
 
+def group_sorted_pairs(
+    pairs: Iterable[tuple[Any, Any]]
+) -> Iterator[tuple[Any, list[Any]]]:
+    """Group a key-sorted pair stream into ``(key, values)`` runs.
+
+    The streaming counterpart of :func:`group_by_key` for the spill-based
+    shuffle: the input (an external k-way merge over sorted segments) is
+    already ordered by ``repr(key)``, so equal keys are adjacent and only
+    the current key's values are ever held in memory — a reduce partition
+    larger than memory still reduces.
+    """
+    for key, group in itertools.groupby(pairs, key=operator.itemgetter(0)):
+        yield key, [value for _key, value in group]
+
+
 class TextOutputFormat:
     """Writes reduce (or map-only) output as ``key\\tvalue`` text lines.
 
@@ -173,6 +191,26 @@ class SingleFileOutputFormat(TextOutputFormat):
         super().__init__(separator=separator)
         self._filename = filename
 
+    def shared_path(self, output_dir: str) -> str:
+        """Path of the single shared output file under ``output_dir``."""
+        return fspath.join(output_dir, self._filename)
+
+    def prepare(
+        self, fs: FileSystem, output_dir: str, *, replication: int | None = None
+    ) -> str:
+        """Create-or-truncate the shared file before any reducer appends.
+
+        Called once per job by the jobtracker: without it, rerunning a job
+        into the same output directory would *append* to the previous run's
+        file (concurrent_append never truncates), silently duplicating
+        output — unlike the part-file path, which overwrites.
+        """
+        fs.mkdirs(output_dir)
+        path = self.shared_path(output_dir)
+        with fs.create(path, overwrite=True, replication=replication):
+            pass
+        return path
+
     def write(
         self,
         fs: FileSystem,
@@ -193,7 +231,7 @@ class SingleFileOutputFormat(TextOutputFormat):
                 "concurrent appends are not supported"
             )
         fs.mkdirs(output_dir)
-        path = fspath.join(output_dir, self._filename)
+        path = self.shared_path(output_dir)
         if not fs.exists(path):
             try:
                 with fs.create(path, replication=replication):

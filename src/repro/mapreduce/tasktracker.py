@@ -12,11 +12,17 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..fs.interface import FileSystem
 from .job import Counters, Job, TaskContext
-from .shuffle import MapOutputCollector, TextOutputFormat, group_by_key
+from .shuffle import (
+    MapOutputCollector,
+    TextOutputFormat,
+    group_by_key,
+    group_sorted_pairs,
+)
+from .shuffle_service import ShuffleService
 from .splitter import InputSplit
 
 __all__ = ["TaskResult", "TaskTracker"]
@@ -34,8 +40,12 @@ class TaskResult:
     records_out: int
     locality: str = "n/a"
     output_path: str | None = None
-    #: Map tasks: per-partition intermediate pairs; reduce tasks: ``None``.
+    #: Map tasks: per-partition intermediate pairs; reduce tasks — and map
+    #: tasks that spilled through a :class:`ShuffleService` — ``None``.
     map_output: list[list[tuple[Any, Any]]] | None = field(default=None, repr=False)
+    #: ``False`` when the task raised; ``error`` then carries the exception.
+    succeeded: bool = True
+    error: str | None = None
 
 
 class TaskTracker:
@@ -84,12 +94,15 @@ class TaskTracker:
         counters: Counters,
         locality: str = "n/a",
         output_format: TextOutputFormat | None = None,
+        shuffle: ShuffleService | None = None,
     ) -> TaskResult:
         """Execute the map function over one input split.
 
         For map-only jobs (``num_partitions == 0``) the mapper's output is
         written directly to the job output directory through the output
-        format; otherwise it is partitioned and returned for the shuffle.
+        format; otherwise it is partitioned for the shuffle — spilled as
+        segment files through ``shuffle`` when a service is given (waking
+        waiting reducers), or returned in memory otherwise.
         """
         task_id = f"map-{split.split_id:05d}"
         self._acquire_slot()
@@ -126,6 +139,10 @@ class TaskTracker:
                     client_host=self.host,
                 )
                 partitions_out: list[list[tuple[Any, Any]]] | None = None
+            elif shuffle is not None:
+                spilled = shuffle.spill_map_output(split.split_id, partitions)
+                counters.increment("map_spilled_bytes", spilled)
+                partitions_out = None
             else:
                 partitions_out = partitions
             duration = time.perf_counter() - started
@@ -149,12 +166,19 @@ class TaskTracker:
         job: Job,
         fs: FileSystem,
         partition_index: int,
-        pairs: list[tuple[Any, Any]],
+        pairs: Iterable[tuple[Any, Any]],
         *,
         counters: Counters,
         output_format: TextOutputFormat | None = None,
+        presorted: bool = False,
     ) -> TaskResult:
-        """Execute the reduce function over one merged, grouped partition."""
+        """Execute the reduce function over one merged, grouped partition.
+
+        ``pairs`` may be any iterable; with ``presorted=True`` it is assumed
+        to be ordered by ``repr(key)`` (the spill-based shuffle's external
+        merge) and is grouped in streaming fashion without materialising the
+        partition.
+        """
         task_id = f"reduce-{partition_index:05d}"
         self._acquire_slot()
         started = time.perf_counter()
@@ -167,7 +191,8 @@ class TaskTracker:
                 counters=counters,
             )
             records_in = 0
-            for key, values in group_by_key(pairs):
+            groups = group_sorted_pairs(pairs) if presorted else group_by_key(pairs)
+            for key, values in groups:
                 job.reducer(key, values, context)
                 records_in += len(values)
                 counters.increment("reduce_input_records", len(values))

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.bsfs import BSFS
 from repro.core import KB, BlobSeerConfig
-from repro.fs.errors import LeaseConflictError, NoSuchPathError
+from repro.fs.errors import InvalidRangeError, LeaseConflictError, NoSuchPathError
 
 BLOCK = 16 * KB
 
@@ -99,6 +101,55 @@ class TestConcurrentAppendExtension:
         for i in range(5):
             assert f"record-{i};".encode() in content
 
+    def test_concurrent_append_size_never_moves_backwards(self, bsfs: BSFS):
+        # Regression: the old check-then-act size update let two appenders
+        # interleave read-current/compare/update and shrink the namespace
+        # size.  With the monotonic update, the final size always equals the
+        # total number of appended bytes, whatever the thread interleaving.
+        bsfs.write_file("/race.log", b"")
+        num_threads, appends_per_thread, chunk = 8, 25, 64
+        barrier = threading.Barrier(num_threads)
+        errors: list[BaseException] = []
+
+        def appender() -> None:
+            try:
+                barrier.wait()
+                for _ in range(appends_per_thread):
+                    bsfs.concurrent_append("/race.log", b"x" * chunk)
+            except BaseException as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=appender) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        expected = num_threads * appends_per_thread * chunk
+        assert bsfs.size("/race.log") == expected
+        assert len(bsfs.read_file("/race.log")) == expected
+
+    def test_leased_append_close_does_not_shrink_past_concurrent_appends(
+        self, bsfs: BSFS
+    ):
+        # Regression: a leased append's close used to publish
+        # initial_size + bytes_written unconditionally, moving the
+        # namespace size backwards past concurrent appends that landed
+        # while the stream was open.
+        bsfs.write_file("/mixed.log", b"a" * 100)
+        stream = bsfs.append("/mixed.log")
+        bsfs.concurrent_append("/mixed.log", b"b" * 50)
+        stream.write(b"c" * 10)
+        stream.close()
+        assert bsfs.size("/mixed.log") == 160
+
+    def test_monotonic_update_ignores_stale_observations(self, bsfs: BSFS):
+        bsfs.write_file("/mono.log", b"abcdef")
+        assert bsfs.namespace.update_size_monotonic("/mono.log", 2) == 6
+        assert bsfs.size("/mono.log") == 6
+        assert bsfs.namespace.update_size_monotonic("/mono.log", 10) == 10
+        assert bsfs.size("/mono.log") == 10
+
 
 class TestVersioning:
     def test_snapshot_isolated_from_later_appends(self, bsfs: BSFS):
@@ -136,6 +187,28 @@ class TestLocality:
     def test_missing_file_raises(self, bsfs: BSFS):
         with pytest.raises(NoSuchPathError):
             bsfs.block_locations("/ghost")
+
+    def test_block_locations_past_eof_raises_invalid_range(self, bsfs: BSFS):
+        # Regression: offset > size with length=None used to compute a
+        # negative length and surface a misleading ValueError from deep
+        # inside the locality code.
+        bsfs.write_file("/eof.bin", b"E" * 100)
+        with pytest.raises(InvalidRangeError) as excinfo:
+            bsfs.block_locations("/eof.bin", offset=101)
+        assert "/eof.bin" in str(excinfo.value)
+        assert "101" in str(excinfo.value)
+        with pytest.raises(InvalidRangeError):
+            bsfs.block_locations("/eof.bin", offset=-1)
+        with pytest.raises(InvalidRangeError, match="negative length"):
+            bsfs.block_locations("/eof.bin", offset=0, length=-5)
+
+    def test_block_locations_at_eof_and_overlong_length_clamp(self, bsfs: BSFS):
+        bsfs.write_file("/eof2.bin", b"E" * (2 * BLOCK))
+        assert bsfs.block_locations("/eof2.bin", offset=2 * BLOCK) == []
+        locations = bsfs.block_locations("/eof2.bin", offset=BLOCK, length=10 * BLOCK)
+        assert locations
+        last = locations[-1]
+        assert last.offset + last.length <= 2 * BLOCK
 
 
 class TestStats:

@@ -125,6 +125,16 @@ class TestLocality:
         middle = local_fs.block_locations("/blocks.bin", offset=block, length=block)
         assert [loc.offset for loc in middle] == [block]
 
+    def test_block_locations_invalid_ranges_raise(self, local_fs: LocalFS):
+        from repro.fs.errors import InvalidRangeError
+
+        local_fs.write_file("/eof.bin", b"E" * 100)
+        with pytest.raises(InvalidRangeError):
+            local_fs.block_locations("/eof.bin", offset=101)
+        with pytest.raises(InvalidRangeError, match="negative length"):
+            local_fs.block_locations("/eof.bin", offset=0, length=-5)
+        assert local_fs.block_locations("/eof.bin", offset=100) == []
+
 
 class TestMisc:
     def test_scheme_and_stats(self, local_fs: LocalFS):

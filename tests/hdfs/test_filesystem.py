@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.errors import ProviderUnavailableError
 from repro.core import KB
-from repro.fs.errors import UnsupportedOperationError
+from repro.fs.errors import InvalidRangeError, UnsupportedOperationError
 from repro.hdfs import HDFS, DefaultPlacementPolicy
 
 BLOCK = 16 * KB
@@ -86,6 +86,19 @@ class TestNamenodeBookkeeping:
         assert len(locations) == 2
         for location in locations:
             assert len(location.hosts) == 2
+
+    def test_block_locations_past_eof_raises_invalid_range(self, hdfs: HDFS):
+        # Mirrors the BSFS check: a past-EOF offset is a proper
+        # InvalidRangeError naming the file, not a silent empty list.
+        hdfs.write_file("/eof.bin", b"E" * 100)
+        with pytest.raises(InvalidRangeError) as excinfo:
+            hdfs.block_locations("/eof.bin", offset=101)
+        assert "/eof.bin" in str(excinfo.value)
+        with pytest.raises(InvalidRangeError):
+            hdfs.block_locations("/eof.bin", offset=-1)
+        with pytest.raises(InvalidRangeError, match="negative length"):
+            hdfs.block_locations("/eof.bin", offset=0, length=-5)
+        assert hdfs.block_locations("/eof.bin", offset=100) == []
 
     def test_delete_releases_datanode_blocks(self, hdfs: HDFS):
         hdfs.write_file("/gone.bin", b"g" * (3 * BLOCK))

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+from collections import Counter
+
 import pytest
 
 from repro.core import KB
@@ -94,6 +97,34 @@ class TestScheduler:
     def test_requires_trackers(self):
         with pytest.raises(ValueError):
             LocalityAwareScheduler([])
+
+    def test_round_robin_is_thread_safe(self):
+        # Regression: the shared cycle iterator used to be advanced from
+        # concurrent reduce worker threads without a lock; under contention
+        # picks could be lost or duplicated.  With the lock, N*k picks land
+        # exactly k times on each of the N trackers.
+        trackers = [TaskTracker(f"node-{i}") for i in range(5)]
+        scheduler = LocalityAwareScheduler(trackers)
+        picks_per_thread = 200
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        picked: list[list[str]] = [[] for _ in range(num_threads)]
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for _ in range(picks_per_thread):
+                picked[index].append(scheduler.pick_tracker_round_robin().host)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counts = Counter(host for row in picked for host in row)
+        expected = num_threads * picks_per_thread // len(trackers)
+        assert counts == {f"node-{i}": expected for i in range(5)}
 
 
 class TestTaskTracker:
