@@ -17,17 +17,126 @@ Two scales are supported:
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import pytest
 
+from repro.analysis import ExperimentReport
 from repro.core import GB, KB, MB, BlobSeerConfig
 from repro.fs import clear_instance_cache, get_filesystem, registered_schemes
 
 
 def _paper_scale() -> bool:
     return bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "Dump every ExperimentReport printed by a benchmark as "
+            "BENCH_<experiment>.json into DIR (created if missing). "
+            "CI uploads these as build artifacts and feeds them to "
+            "scripts/check_bench.py for the perf regression gate."
+        ),
+    )
+
+
+def _git_sha() -> str:
+    """Best-effort commit identifier for the benchmark artifact."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=os.path.dirname(__file__),
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def _artifact_name(
+    out_dir: Path, module_name: str, experiment_id: str, written: set[str]
+) -> Path:
+    """``BENCH_<module-slug>.json``, disambiguated by experiment id when one
+    module prints several reports (or several tests share a module).
+
+    Disambiguation tracks names written *this pytest run* (``written``),
+    not on-disk files: re-running into the same directory must overwrite
+    the stale artifact, never divert fresh numbers to a suffixed file the
+    perf gate would not read.
+    """
+    slug = module_name.removeprefix("test_bench_")
+    name = f"BENCH_{slug}.json"
+    if name in written:
+        name = f"BENCH_{slug}_{experiment_id}.json"
+    written.add(name)
+    return out_dir / name
+
+
+@pytest.fixture(autouse=True)
+def bench_json_artifacts(request, monkeypatch):
+    """With ``--bench-json=DIR``, persist every report the test prints.
+
+    Schema per file: experiment name/id/title, scale label, measurement
+    rows and notes, the test's wall time and the git sha — everything the
+    perf-trajectory tooling needs to compare runs across commits.
+    """
+    out_dir = request.config.getoption("--bench-json")
+    if not out_dir:
+        yield
+        return
+    captured: list[ExperimentReport] = []
+    original_print = ExperimentReport.print
+
+    def recording_print(self, *, columns=None):
+        captured.append(self)
+        original_print(self, columns=columns)
+
+    monkeypatch.setattr(ExperimentReport, "print", recording_print)
+    started = time.perf_counter()
+    yield
+    wall_time = time.perf_counter() - started
+    if not captured:
+        return
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    sha = _git_sha()
+    scale_label = "paper" if _paper_scale() else "reduced"
+    written = getattr(request.config, "_bench_json_written", None)
+    if written is None:
+        written = set()
+        request.config._bench_json_written = written
+    for report in captured:
+        path = _artifact_name(
+            directory, request.module.__name__, report.experiment_id, written
+        )
+        payload = {
+            "name": path.stem.removeprefix("BENCH_"),
+            "experiment": report.experiment_id,
+            "title": report.title,
+            "scale": scale_label,
+            "rows": report.rows,
+            "notes": report.notes,
+            "wall_time_seconds": round(wall_time, 4),
+            "git_sha": sha,
+        }
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
 
 
 #: Per-scheme factory options for the functional benchmarks — small block

@@ -9,7 +9,7 @@ simulator so that both layers take identical policy decisions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 __all__ = ["KB", "MB", "GB", "BlobSeerConfig"]

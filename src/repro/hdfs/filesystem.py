@@ -227,13 +227,15 @@ class HDFS(FileSystem):
     def _read_block(
         self, meta, offset: int, length: int, client_host: str | None
     ) -> bytes:
-        """Read part of a block from the closest live replica."""
+        """Read part of a block, failing over across replicas.
+
+        Replicas are tried in topology order (same host, same rack, any);
+        a replica that fails *between* the liveness check and the read —
+        e.g. a datanode killed mid-job by failure injection — no longer
+        fails the whole read: the next replica is re-read instead, exactly
+        like the Hadoop client's block-read retry.
+        """
         replicas = [self.namenode.datanode(node_id) for node_id in meta.locations]
-        live = [d for d in replicas if d.available and d.has_block(meta.block_id)]
-        if not live:
-            raise ProviderUnavailableError(
-                f"all replicas of block {meta.block_id} are unavailable"
-            )
         client_rack = None
         for node in self.datanodes:
             if client_host is not None and node.host == client_host:
@@ -247,8 +249,16 @@ class HDFS(FileSystem):
                 return (1, node.stats().blocks_read)
             return (2, node.stats().blocks_read)
 
-        best = min(live, key=distance)
-        return best.read_block(meta.block_id, offset, length)
+        for node in sorted(replicas, key=distance):
+            if not node.available:
+                continue
+            try:
+                return node.read_block(meta.block_id, offset, length)
+            except (ProviderUnavailableError, KeyError):
+                continue
+        raise ProviderUnavailableError(
+            f"all replicas of block {meta.block_id} are unavailable"
+        )
 
     # -- unsupported operations --------------------------------------------------------
     def append(self, path: str, *, client_host: str | None = None) -> OutputStream:

@@ -7,6 +7,20 @@ output written back to the distributed file system.
 """
 
 from . import applications
+from .faults import (
+    FaultInjectedError,
+    FaultPlan,
+    InjectedTaskFailure,
+    StorageFault,
+    TaskFault,
+    TrackerDeadError,
+    TrackerFault,
+    delay_task,
+    fail_storage,
+    fail_task,
+    kill_storage_host,
+    kill_tracker,
+)
 from .job import (
     Counters,
     Job,
@@ -41,6 +55,18 @@ __all__ = [
     "JobResult",
     "JobTracker",
     "make_cluster",
+    "FaultInjectedError",
+    "FaultPlan",
+    "InjectedTaskFailure",
+    "StorageFault",
+    "TaskFault",
+    "TrackerDeadError",
+    "TrackerFault",
+    "delay_task",
+    "fail_storage",
+    "fail_task",
+    "kill_storage_host",
+    "kill_tracker",
     "Counters",
     "TaskContext",
     "TaskTracker",

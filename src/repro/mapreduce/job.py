@@ -59,6 +59,20 @@ class JobConf:
     #: (the paper's §V scenario).  Falls back to per-reducer ``part-r-*``
     #: files on backends without ``concurrent_append`` (HDFS).
     single_output_file: bool = False
+    #: Maximum executions of one task before the job is declared failed
+    #: (Hadoop's ``mapred.map.max.attempts``).  A failed attempt is retried
+    #: on a *different* tracker when the cluster has one.
+    max_task_attempts: int = 4
+    #: Launch backup attempts for stragglers near the end of each phase and
+    #: take the first completion (Hadoop's speculative execution).  Only
+    #: effective with ``parallel=True`` job trackers.
+    speculative_execution: bool = False
+    #: A running attempt is a straggler once its runtime exceeds this
+    #: multiple of the median successful attempt duration of its phase.
+    slow_task_threshold: float = 2.0
+    #: Speculate only once at most this fraction of the phase's tasks is
+    #: still incomplete (Hadoop's slow-start idea, inverted).
+    speculative_fraction: float = 0.5
     properties: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -70,6 +84,12 @@ class JobConf:
             raise ValueError("split_size must be positive when given")
         if self.shuffle_segment_size < 1:
             raise ValueError("shuffle_segment_size must be positive")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be at least 1")
+        if self.slow_task_threshold <= 0:
+            raise ValueError("slow_task_threshold must be positive")
+        if not 0.0 < self.speculative_fraction <= 1.0:
+            raise ValueError("speculative_fraction must be within (0, 1]")
 
     @property
     def is_map_only(self) -> bool:

@@ -23,27 +23,48 @@ the storage backend under measurement and a partition larger than memory
 still reduces.  ``JobConf(single_output_file=True)`` additionally makes all
 reducers write one shared output file via ``concurrent_append`` — the
 paper's §V scenario — on backends that support it.
+
+Fault tolerance.  Every task is executed as a sequence of *attempts*
+(bounded by ``JobConf.max_task_attempts``): a failed attempt is re-executed
+on a different tracker, hosts accumulating failures are blacklisted for the
+job (:class:`~repro.mapreduce.scheduler.LocalityAwareScheduler`), and with
+``JobConf(speculative_execution=True)`` stragglers near the end of a phase
+get a speculative backup attempt — the first completion wins and the loser
+is discarded, mirroring Hadoop semantics.  Exactly one attempt per task
+ever commits output: the shuffle service publishes only the winning
+attempt's (attempt-id-suffixed) segments, and reduce/map-only writes are
+gated by an output-committer handshake.  Failure *injection* for all of
+this lives in :mod:`repro.mapreduce.faults`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterator
+from functools import partial
+from typing import Any, Callable, Iterator
 
 from ..fs import path as fspath
 from ..fs.interface import FileSystem
 from ..fs.registry import get_filesystem
+from .faults import FaultPlan, TrackerDeadError
 from .job import Counters, Job
-from .scheduler import Assignment, LocalityAwareScheduler, LocalityStats
+from .scheduler import LocalityAwareScheduler, LocalityStats
 from .shuffle import SingleFileOutputFormat, TextOutputFormat, merge_map_outputs
-from .shuffle_service import ShuffleService
+from .shuffle_service import ShuffleAbortedError, ShuffleService
 from .splitter import SyntheticInputFormat, TextInputFormat
 from .tasktracker import TaskResult, TaskTracker
 
 __all__ = ["JobResult", "JobTracker", "make_cluster"]
+
+#: How often the phase orchestrator wakes to look for stragglers.
+_SPECULATION_POLL_SECONDS = 0.02
+#: An attempt younger than this is never considered a straggler, however
+#: fast the rest of the phase was (guards against sub-millisecond medians).
+_MIN_STRAGGLER_RUNTIME = 0.05
 
 
 @dataclass
@@ -57,10 +78,14 @@ class JobResult:
     reduce_tasks: int
     counters: Counters
     locality: LocalityStats
+    #: Every executed task *attempt*, including failed, retried, speculative
+    #: and discarded (race-losing) ones.
     task_results: list[TaskResult] = field(default_factory=list)
     output_paths: list[str] = field(default_factory=list)
     #: Spill-based shuffle statistics (``None`` for the in-memory shuffle).
     shuffle: dict | None = None
+    #: Tracker hosts blacklisted during the run (flaky/killed trackers).
+    blacklisted_hosts: list[str] = field(default_factory=list)
 
     def counter(self, name: str) -> int:
         """Shortcut for ``result.counters.get(name)``."""
@@ -68,25 +93,65 @@ class JobResult:
 
     @property
     def failed_tasks(self) -> list[TaskResult]:
-        """The tasks that raised during this run (empty on success)."""
+        """The attempts that raised during this run (empty on success)."""
         return [r for r in self.task_results if not r.succeeded]
 
+    @property
+    def winning_tasks(self) -> list[TaskResult]:
+        """The attempts whose output was committed (one per completed task)."""
+        return [r for r in self.task_results if r.succeeded and not r.discarded]
+
+    @property
+    def retries(self) -> int:
+        """Re-executions triggered by task failures (speculation excluded)."""
+        return sum(
+            1 for r in self.task_results if r.attempt > 0 and not r.speculative
+        )
+
+    @property
+    def speculative_attempts(self) -> int:
+        """Backup attempts launched for stragglers."""
+        return sum(1 for r in self.task_results if r.speculative)
+
+    @property
+    def speculative_wins(self) -> int:
+        """Speculative attempts that beat the original and committed output."""
+        return sum(
+            1
+            for r in self.task_results
+            if r.speculative and r.succeeded and not r.discarded
+        )
+
     def summary(self) -> dict[str, Any]:
-        """JSON-friendly summary used by reports and benchmarks."""
+        """JSON-friendly summary used by reports and benchmarks.
+
+        Beyond the task counts it reports the *recovery overhead*: total
+        attempts executed, retries, and speculative launches/wins — the
+        numbers benchmark tables need to show what fault tolerance cost.
+        """
         summary = {
             "job": self.job_name,
             "succeeded": self.succeeded,
             "elapsed_seconds": self.elapsed,
             "map_tasks": self.map_tasks,
             "reduce_tasks": self.reduce_tasks,
+            "task_attempts": len(self.task_results),
+            "retries": self.retries,
             "locality": self.locality.as_dict(),
             "counters": self.counters.as_dict(),
         }
+        if self.speculative_attempts:
+            summary["speculative"] = {
+                "launched": self.speculative_attempts,
+                "wins": self.speculative_wins,
+            }
+        if self.blacklisted_hosts:
+            summary["blacklisted_hosts"] = sorted(self.blacklisted_hosts)
         if self.shuffle is not None:
             summary["shuffle"] = self.shuffle
         failed = self.failed_tasks
         if failed:
-            summary["failed_tasks"] = [r.task_id for r in failed]
+            summary["failed_tasks"] = sorted({r.task_id for r in failed})
         return summary
 
 
@@ -97,8 +162,10 @@ def _failed_result(
     exc: BaseException,
     *,
     locality: str = "n/a",
+    attempt: int = 0,
+    speculative: bool = False,
 ) -> TaskResult:
-    """Record one raising task as a failed :class:`TaskResult`."""
+    """Record one raising task attempt as a failed :class:`TaskResult`."""
     error = "".join(
         traceback.format_exception_only(type(exc), exc)
     ).strip()
@@ -112,6 +179,8 @@ def _failed_result(
         locality=locality,
         succeeded=False,
         error=error,
+        attempt=attempt,
+        speculative=speculative,
     )
 
 
@@ -126,6 +195,352 @@ def _counted(
             yield pair
     finally:
         counters.increment("reduce_shuffle_records", count)
+
+
+class _TaskEntry:
+    """Mutable per-task attempt bookkeeping (guarded by the phase lock)."""
+
+    __slots__ = (
+        "index",
+        "attempts_started",
+        "running",
+        "running_hosts",
+        "banned_hosts",
+        "winner",
+        "permanent_failure",
+        "done",
+        "committed",
+        "commit_attempt",
+        "speculated",
+        "last_start",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.attempts_started = 0
+        self.running = 0
+        self.running_hosts: list[str] = []
+        self.banned_hosts: set[str] = set()
+        self.winner: TaskResult | None = None
+        self.permanent_failure: TaskResult | None = None
+        self.done = False
+        self.committed = False
+        self.commit_attempt: int | None = None
+        self.speculated = False
+        self.last_start = 0.0
+
+
+class _RetryingPhase:
+    """Executes one phase's tasks as bounded, speculating attempt sequences.
+
+    The phase owns the full fault-tolerance protocol for its tasks:
+
+    * a failed attempt is retried on a different tracker (``pick_tracker``
+      receives the set of hosts that already failed this task) until
+      ``max_attempts`` executions are spent or a non-retryable error hits;
+    * every failure is reported to ``on_attempt_failed`` (feeding the
+      scheduler blacklist; a :class:`TrackerDeadError` is *fatal* and
+      blacklists the host immediately);
+    * near the end of the phase, stragglers get one speculative backup
+      attempt; the first attempt to *commit* (:meth:`try_commit`) wins and
+      every other attempt of the task is discarded;
+    * a task with no surviving attempt triggers ``on_permanent_failure``
+      (used to abort the shuffle so overlapped reducers do not wait
+      forever) and fails the phase.
+
+    The ``execute`` callable runs one attempt and returns ``(result,
+    retryable, fatal_host)`` — ``fatal_host`` flags a dead-tracker failure
+    that must blacklist the host immediately.  It must only raise
+    ``BaseException``s (SystemExit and friends), which the phase records
+    and re-raises from :meth:`finish`.
+    """
+
+    def __init__(
+        self,
+        *,
+        total: int,
+        max_attempts: int,
+        execute: Callable[
+            [int, int, TaskTracker, bool], tuple[TaskResult, bool, bool]
+        ],
+        pick_tracker: Callable[[int, int, set[str]], TaskTracker],
+        speculative: bool = False,
+        slow_task_threshold: float = 2.0,
+        speculative_fraction: float = 0.5,
+        on_winner: Callable[[TaskResult], None] | None = None,
+        on_attempt_failed: Callable[[str, bool], None] | None = None,
+        on_permanent_failure: Callable[[int, TaskResult], None] | None = None,
+    ) -> None:
+        self._max_attempts = max_attempts
+        self._execute = execute
+        self._pick_tracker = pick_tracker
+        self._speculative = speculative
+        self._slow_task_threshold = slow_task_threshold
+        self._speculative_fraction = speculative_fraction
+        self._on_winner = on_winner
+        self._on_attempt_failed = on_attempt_failed
+        self._on_permanent_failure = on_permanent_failure
+        self._cond = threading.Condition()
+        self._entries = [_TaskEntry(i) for i in range(total)]
+        self._results: list[TaskResult] = []
+        self._pool: ThreadPoolExecutor | None = None
+        self._fatal: BaseException | None = None
+
+    # -- results -----------------------------------------------------------------------
+    @property
+    def results(self) -> list[TaskResult]:
+        """Every attempt result recorded so far (read after the pool closed)."""
+        with self._cond:
+            return list(self._results)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every task of the phase committed a winning attempt."""
+        with self._cond:
+            return all(e.winner is not None for e in self._entries)
+
+    def winner_map_outputs(self) -> list[list[list[tuple[Any, Any]]]]:
+        """The winning attempts' in-memory map outputs, in task order."""
+        with self._cond:
+            return [
+                e.winner.map_output
+                for e in self._entries
+                if e.winner is not None and e.winner.map_output is not None
+            ]
+
+    def try_commit(self, index: int, attempt: int) -> bool:
+        """Output-committer handshake: may attempt ``attempt`` of task
+        ``index`` commit its output?  Exactly one attempt per task wins."""
+        with self._cond:
+            entry = self._entries[index]
+            if entry.committed:
+                return False
+            entry.committed = True
+            entry.commit_attempt = attempt
+            return True
+
+    # -- parallel orchestration --------------------------------------------------------
+    def start(self, pool: ThreadPoolExecutor) -> None:
+        """Submit attempt 0 of every task to ``pool`` and return immediately."""
+        self._pool = pool
+        with self._cond:
+            for entry in self._entries:
+                tracker = self._pick_tracker(entry.index, 0, set())
+                self._launch(entry, tracker, speculative=False)
+
+    def finish(self) -> list[TaskResult]:
+        """Block until every task is decided, speculating on stragglers.
+
+        Race-losing attempts may still be running when this returns; their
+        results land in :attr:`results` once the worker pool is joined.
+        """
+        # Only a speculating phase needs timed wakeups to probe for
+        # stragglers; otherwise every state change notifies the condition.
+        timeout = _SPECULATION_POLL_SECONDS if self._speculative else None
+        with self._cond:
+            while self._fatal is None and not all(e.done for e in self._entries):
+                self._cond.wait(timeout=timeout)
+                self._maybe_speculate()
+        if self._fatal is not None:
+            raise self._fatal
+        return self.results
+
+    def run(self, pool: ThreadPoolExecutor) -> list[TaskResult]:
+        """``start`` + ``finish`` for phases without an overlap window."""
+        self.start(pool)
+        return self.finish()
+
+    def _launch(
+        self, entry: _TaskEntry, tracker: TaskTracker, *, speculative: bool
+    ) -> None:
+        """Submit one attempt of ``entry`` (phase lock held)."""
+        attempt = entry.attempts_started
+        entry.attempts_started += 1
+        entry.running += 1
+        entry.running_hosts.append(tracker.host)
+        entry.last_start = time.perf_counter()
+        assert self._pool is not None
+        try:
+            self._pool.submit(self._attempt, entry, attempt, tracker, speculative)
+        except RuntimeError:
+            # The pool is shutting down (fatal error elsewhere): undo the
+            # launch bookkeeping so the entry does not look in-flight.
+            entry.attempts_started -= 1
+            entry.running -= 1
+            entry.running_hosts.remove(tracker.host)
+
+    def _attempt(
+        self,
+        entry: _TaskEntry,
+        attempt: int,
+        tracker: TaskTracker,
+        speculative: bool,
+    ) -> None:
+        try:
+            result, retryable, fatal_host = self._execute(
+                entry.index, attempt, tracker, speculative
+            )
+        except BaseException as exc:
+            # ``execute`` traps Exception; anything escaping is a
+            # SystemExit-class event that must fail the whole phase instead
+            # of vanishing inside the worker pool.
+            with self._cond:
+                if self._fatal is None:
+                    self._fatal = exc
+                entry.running -= 1
+                self._cond.notify_all()
+            raise
+        self._record(entry, tracker, result, retryable, fatal_host)
+
+    def _record(
+        self,
+        entry: _TaskEntry,
+        tracker: TaskTracker,
+        result: TaskResult,
+        retryable: bool,
+        fatal_host: bool,
+    ) -> None:
+        """Fold one finished attempt into the entry's state machine."""
+        relaunch = False
+        permanent: TaskResult | None = None
+        host_failed = False
+        won = False
+        with self._cond:
+            entry.running -= 1
+            if tracker.host in entry.running_hosts:
+                entry.running_hosts.remove(tracker.host)
+            if result.succeeded and not result.discarded:
+                if entry.winner is None:
+                    entry.winner = result
+                    entry.committed = True
+                    entry.done = True
+                    won = True
+                else:
+                    # An in-memory race loser (speculation): another attempt
+                    # already won, so this one's output is discarded.
+                    result = replace(result, discarded=True)
+            elif result.succeeded:
+                # A committed-side race loser: its write was skipped.
+                pass
+            else:
+                entry.banned_hosts.add(result.tracker_host)
+                host_failed = True
+                if entry.commit_attempt == result.attempt:
+                    # The failed attempt died *after* claiming the commit
+                    # (e.g. mid-write); release it so a retry can commit.
+                    entry.committed = False
+                    entry.commit_attempt = None
+                if (
+                    entry.winner is None
+                    and retryable
+                    and entry.attempts_started < self._max_attempts
+                    and self._fatal is None
+                ):
+                    relaunch = True
+                elif entry.winner is None and entry.running == 0 and not entry.done:
+                    entry.permanent_failure = result
+                    entry.done = True
+                    permanent = result
+            self._results.append(result)
+            self._cond.notify_all()
+        if won and self._on_winner is not None:
+            self._on_winner(result)
+        if host_failed and self._on_attempt_failed is not None:
+            self._on_attempt_failed(result.tracker_host, fatal_host)
+        if relaunch:
+            with self._cond:
+                banned = set(entry.banned_hosts)
+                next_attempt = entry.attempts_started
+            tracker = self._pick_tracker(entry.index, next_attempt, banned)
+            with self._cond:
+                if entry.winner is None and self._fatal is None:
+                    self._launch(entry, tracker, speculative=False)
+                elif entry.running == 0 and entry.winner is None and not entry.done:
+                    entry.permanent_failure = result
+                    entry.done = True
+                    permanent = result
+                    self._cond.notify_all()
+        if permanent is not None and self._on_permanent_failure is not None:
+            self._on_permanent_failure(entry.index, permanent)
+
+    def _maybe_speculate(self) -> None:
+        """Launch backup attempts for stragglers (phase lock held).
+
+        Hadoop semantics: only near the end of the phase (at most
+        ``speculative_fraction`` of its tasks still incomplete), only for
+        attempts running longer than ``slow_task_threshold ×`` the median
+        successful attempt duration, and at most one backup per task.
+        """
+        if not self._speculative or not self._entries or self._pool is None:
+            return
+        total = len(self._entries)
+        remaining = sum(1 for e in self._entries if not e.done)
+        if remaining == 0 or remaining / total > self._speculative_fraction:
+            return
+        durations = sorted(
+            e.winner.duration for e in self._entries if e.winner is not None
+        )
+        if not durations:
+            return
+        median = durations[len(durations) // 2]
+        straggler_after = max(
+            self._slow_task_threshold * median, _MIN_STRAGGLER_RUNTIME
+        )
+        now = time.perf_counter()
+        for entry in self._entries:
+            if (
+                entry.done
+                or entry.speculated
+                or entry.running == 0
+                or entry.attempts_started >= self._max_attempts
+                or now - entry.last_start < straggler_after
+            ):
+                continue
+            exclude = entry.banned_hosts | set(entry.running_hosts)
+            tracker = self._pick_tracker(
+                entry.index, entry.attempts_started, exclude
+            )
+            entry.speculated = True
+            self._launch(entry, tracker, speculative=True)
+
+    # -- serial orchestration ----------------------------------------------------------
+    def run_serial(self) -> list[TaskResult]:
+        """Sequential execution with retries (no speculation — there is no
+        concurrency for a backup attempt to exploit)."""
+        for entry in self._entries:
+            while not entry.done:
+                attempt = entry.attempts_started
+                entry.attempts_started += 1
+                tracker = self._pick_tracker(
+                    entry.index, attempt, set(entry.banned_hosts)
+                )
+                entry.last_start = time.perf_counter()
+                result, retryable, fatal_host = self._execute(
+                    entry.index, attempt, tracker, False
+                )
+                self._results.append(result)
+                if result.succeeded and not result.discarded:
+                    entry.winner = result
+                    entry.committed = True
+                    entry.done = True
+                    if self._on_winner is not None:
+                        self._on_winner(result)
+                    break
+                if result.succeeded:
+                    entry.done = True
+                    break
+                entry.banned_hosts.add(result.tracker_host)
+                if self._on_attempt_failed is not None:
+                    self._on_attempt_failed(result.tracker_host, fatal_host)
+                if entry.commit_attempt == result.attempt:
+                    entry.committed = False
+                    entry.commit_attempt = None
+                if not retryable or entry.attempts_started >= self._max_attempts:
+                    entry.permanent_failure = result
+                    entry.done = True
+                    if self._on_permanent_failure is not None:
+                        self._on_permanent_failure(entry.index, result)
+        return self.results
 
 
 class JobTracker:
@@ -163,20 +578,30 @@ class JobTracker:
         self.parallel = parallel
 
     # -- public API -----------------------------------------------------------------
-    def run(self, job: Job) -> JobResult:
+    def run(self, job: Job, *, fault_plan: FaultPlan | None = None) -> JobResult:
         """Execute ``job`` to completion and return its result.
 
         Input paths and the output directory of the job configuration may
         be URIs; they are validated against this tracker's file system and
         reduced to plain paths before splitting.
 
-        A raising map or reduce task no longer aborts the run: the failure
-        is recorded as a :class:`TaskResult` with ``succeeded=False`` and
-        the job returns ``JobResult(succeeded=False, ...)``.
+        A raising map or reduce task attempt no longer aborts the run: the
+        failure is recorded as a :class:`TaskResult` with
+        ``succeeded=False`` and the task is re-executed on a different
+        tracker up to ``JobConf.max_task_attempts`` times; only a task with
+        no surviving attempt fails the job
+        (``JobResult(succeeded=False, ...)``).
+
+        ``fault_plan`` (or a ``"fault_plan"`` entry in the job conf's free
+        -form properties) injects deterministic failures, stragglers,
+        tracker deaths and storage-node crashes — see
+        :mod:`repro.mapreduce.faults`.
         """
         resolved_conf = job.conf.resolve_for(self.fs)
         if resolved_conf is not job.conf:
             job = replace(job, conf=resolved_conf)
+        if fault_plan is None:
+            fault_plan = job.conf.get("fault_plan")
         started = time.perf_counter()
         counters = Counters()
         scheduler = LocalityAwareScheduler(self.trackers)
@@ -208,96 +633,214 @@ class JobTracker:
                 segment_size=job.conf.shuffle_segment_size,
             )
 
-        def _run_map(assignment: Assignment) -> TaskResult:
-            task_id = f"map-{assignment.split.split_id:05d}"
+        map_only = job.conf.is_map_only
+
+        def report_host_failure(host: str, fatal: bool) -> None:
+            scheduler.report_task_failure(host, fatal=fatal)
+
+        # -- map phase ------------------------------------------------------------
+        def pick_map_tracker(
+            index: int, attempt: int, banned: set[str]
+        ) -> TaskTracker:
+            assignment = assignments[index]
+            if (
+                attempt == 0
+                and assignment.tracker.host not in banned
+                and not scheduler.is_blacklisted(assignment.tracker.host)
+            ):
+                return assignment.tracker
+            return scheduler.pick_tracker(exclude=banned)
+
+        def execute_map(
+            index: int, attempt: int, tracker: TaskTracker, speculative: bool
+        ) -> tuple[TaskResult, bool, bool]:
+            assignment = assignments[index]
+            split = assignment.split
+            task_id = f"map-{split.split_id:05d}"
+            if tracker is assignment.tracker:
+                locality = assignment.locality
+            else:
+                locality = (
+                    "node-local" if tracker.host in split.hosts else "remote"
+                )
+            commit_check = None
+            if map_only:
+                commit_check = partial(map_phase.try_commit, index, attempt)
+            # Each attempt gets its own counter set; only the winner's is
+            # folded into the job counters (see merge_winner_counters).
+            attempt_counters = Counters()
             try:
-                return assignment.tracker.run_map_task(
+                result = tracker.run_map_task(
                     job,
                     self.fs,
-                    assignment.split,
+                    split,
                     num_partitions=num_partitions,
                     reader_factory=input_format.create_reader,
-                    counters=counters,
-                    locality=assignment.locality,
+                    counters=attempt_counters,
+                    locality=locality,
                     output_format=map_format,
                     shuffle=shuffle_service,
+                    attempt=attempt,
+                    speculative=speculative,
+                    fault_plan=fault_plan,
+                    commit_check=commit_check,
                 )
             except Exception as exc:
-                if shuffle_service is not None:
-                    # Unblock reduce fetchers waiting on this map forever.
-                    shuffle_service.abort(exc)
-                return _failed_result(
-                    task_id, assignment.tracker.host, "map", exc,
-                    locality=assignment.locality,
+                failed = _failed_result(
+                    task_id,
+                    tracker.host,
+                    "map",
+                    exc,
+                    locality=locality,
+                    attempt=attempt,
+                    speculative=speculative,
+                )
+                return failed, True, isinstance(exc, TrackerDeadError)
+            return result, True, False
+
+        def on_map_permanent_failure(index: int, result: TaskResult) -> None:
+            if shuffle_service is not None:
+                # Unblock reduce fetchers waiting on a map that will never
+                # complete: no surviving attempt exists.
+                shuffle_service.abort(
+                    RuntimeError(
+                        f"{result.task_id} failed permanently: {result.error}"
+                    )
                 )
 
-        def _run_reduce(partition_index: int) -> TaskResult:
-            tracker = scheduler.pick_tracker_round_robin()
-            task_id = f"reduce-{partition_index:05d}"
+        def merge_winner_counters(result: TaskResult) -> None:
+            if result.attempt_counters is not None:
+                counters.merge(result.attempt_counters)
+
+        map_phase = _RetryingPhase(
+            total=len(assignments),
+            max_attempts=job.conf.max_task_attempts,
+            execute=execute_map,
+            pick_tracker=pick_map_tracker,
+            speculative=job.conf.speculative_execution,
+            slow_task_threshold=job.conf.slow_task_threshold,
+            speculative_fraction=job.conf.speculative_fraction,
+            on_winner=merge_winner_counters,
+            on_attempt_failed=report_host_failure,
+            on_permanent_failure=on_map_permanent_failure,
+        )
+
+        # -- reduce phase ---------------------------------------------------------
+        map_outputs: list[list[list[tuple[Any, Any]]]] = []
+
+        def pick_reduce_tracker(
+            index: int, attempt: int, banned: set[str]
+        ) -> TaskTracker:
+            if attempt == 0 and not banned:
+                return scheduler.pick_tracker_round_robin()
+            return scheduler.pick_tracker(exclude=banned)
+
+        def execute_reduce(
+            index: int, attempt: int, tracker: TaskTracker, speculative: bool
+        ) -> tuple[TaskResult, bool, bool]:
+            task_id = f"reduce-{index:05d}"
+            attempt_counters = Counters()
             try:
                 if shuffle_service is not None:
                     pairs: Any = _counted(
-                        shuffle_service.merged_pairs(partition_index), counters
+                        shuffle_service.merged_pairs(index), attempt_counters
                     )
                     presorted = True
                 else:
-                    pairs = merge_map_outputs(map_outputs, partition_index)
-                    counters.increment("reduce_shuffle_records", len(pairs))
+                    pairs = merge_map_outputs(map_outputs, index)
+                    attempt_counters.increment("reduce_shuffle_records", len(pairs))
                     presorted = False
-                return tracker.run_reduce_task(
+                result = tracker.run_reduce_task(
                     job,
                     self.fs,
-                    partition_index,
+                    index,
                     pairs,
-                    counters=counters,
+                    counters=attempt_counters,
                     output_format=reduce_format,
                     presorted=presorted,
+                    attempt=attempt,
+                    speculative=speculative,
+                    fault_plan=fault_plan,
+                    commit_check=partial(reduce_phase.try_commit, index, attempt),
                 )
+            except ShuffleAbortedError as exc:
+                # The shuffle is dead; retrying this reduce cannot succeed.
+                failed = _failed_result(
+                    task_id,
+                    tracker.host,
+                    "reduce",
+                    exc,
+                    attempt=attempt,
+                    speculative=speculative,
+                )
+                return failed, False, False
             except Exception as exc:
-                return _failed_result(task_id, tracker.host, "reduce", exc)
+                failed = _failed_result(
+                    task_id,
+                    tracker.host,
+                    "reduce",
+                    exc,
+                    attempt=attempt,
+                    speculative=speculative,
+                )
+                return failed, True, isinstance(exc, TrackerDeadError)
+            return result, True, False
 
-        map_results: list[TaskResult] = []
-        reduce_results: list[TaskResult] = []
+        reduce_phase = _RetryingPhase(
+            total=0 if map_only else num_partitions,
+            max_attempts=job.conf.max_task_attempts,
+            execute=execute_reduce,
+            pick_tracker=pick_reduce_tracker,
+            speculative=job.conf.speculative_execution,
+            slow_task_threshold=job.conf.slow_task_threshold,
+            speculative_fraction=job.conf.speculative_fraction,
+            on_winner=merge_winner_counters,
+            on_attempt_failed=report_host_failure,
+        )
+
+        # -- execution ------------------------------------------------------------
+        reduce_ran = False
         max_workers = max(sum(t.slots for t in self.trackers), 1)
         try:
             if shuffle_service is not None and self.parallel:
                 # Overlapped shuffle: reduce workers start alongside the map
                 # phase and fetch segments as individual maps complete; the
                 # separate pools keep blocked reducers from starving maps.
-                with ThreadPoolExecutor(
-                    max_workers=max(num_partitions, 1)
-                ) as reduce_pool:
-                    reduce_futures = [
-                        reduce_pool.submit(_run_reduce, i)
-                        for i in range(num_partitions)
-                    ]
+                # Speculative reduce backups need headroom beyond one
+                # worker per partition, since primaries block on fetches.
+                reduce_workers = max(num_partitions, 1) * (
+                    2 if job.conf.speculative_execution else 1
+                )
+                reduce_ran = True
+                with ThreadPoolExecutor(max_workers=reduce_workers) as reduce_pool:
+                    reduce_phase.start(reduce_pool)
                     try:
-                        map_results = self._execute_maps(
-                            assignments, _run_map, max_workers
-                        )
+                        with ThreadPoolExecutor(max_workers=max_workers) as map_pool:
+                            map_phase.run(map_pool)
                     except BaseException as exc:
-                        # _run_map only catches Exception; a BaseException
-                        # (SystemExit, KeyboardInterrupt) escaping a map
+                        # A SystemExit/KeyboardInterrupt escaping a map
                         # would otherwise leave the reducers blocked forever
                         # on maps that will never complete, hanging the
                         # reduce pool's shutdown below.
                         shuffle_service.abort(exc)
                         raise
-                    reduce_results = [f.result() for f in reduce_futures]
+                    reduce_phase.finish()
+            elif self.parallel:
+                with ThreadPoolExecutor(max_workers=max_workers) as map_pool:
+                    map_phase.run(map_pool)
+                if not map_only and map_phase.succeeded:
+                    reduce_ran = True
+                    map_outputs.extend(map_phase.winner_map_outputs())
+                    with ThreadPoolExecutor(max_workers=max_workers) as reduce_pool:
+                        reduce_phase.run(reduce_pool)
             else:
-                # Barrier mode: the whole map phase completes before reduce.
-                map_results = self._execute_maps(assignments, _run_map, max_workers)
-                map_failed = any(not r.succeeded for r in map_results)
-                if not job.conf.is_map_only and not map_failed:
-                    map_outputs = [
-                        r.map_output for r in map_results if r.map_output is not None
-                    ]
-                    partitions = range(num_partitions)
-                    if self.parallel and num_partitions > 1:
-                        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                            reduce_results = list(pool.map(_run_reduce, partitions))
-                    else:
-                        reduce_results = [_run_reduce(i) for i in partitions]
+                # Serial mode: the whole map phase completes before reduce,
+                # with retries but no speculation.
+                map_phase.run_serial()
+                if not map_only and map_phase.succeeded:
+                    reduce_ran = True
+                    map_outputs.extend(map_phase.winner_map_outputs())
+                    reduce_phase.run_serial()
         finally:
             shuffle_stats = None
             if shuffle_service is not None:
@@ -310,34 +853,29 @@ class JobTracker:
                 )
                 shuffle_service.cleanup()
 
-        task_results = list(map_results) + list(reduce_results)
+        # Results are read only now, after every pool joined: race-losing
+        # attempts finishing during pool shutdown are included too.
+        map_results = map_phase.results
+        reduce_results = reduce_phase.results
+        task_results = map_results + reduce_results
         output_paths = [r.output_path for r in task_results if r.output_path]
-        succeeded = all(r.succeeded for r in task_results)
+        succeeded = map_phase.succeeded and (
+            map_only or (reduce_ran and reduce_phase.succeeded)
+        )
         elapsed = time.perf_counter() - started
         return JobResult(
             job_name=job.name,
             succeeded=succeeded,
             elapsed=elapsed,
-            map_tasks=len(map_results),
-            reduce_tasks=len(reduce_results),
+            map_tasks=len(assignments),
+            reduce_tasks=len({r.task_id for r in reduce_results}),
             counters=counters,
             locality=scheduler.stats,
             task_results=task_results,
             output_paths=sorted(set(output_paths)),
             shuffle=shuffle_stats,
+            blacklisted_hosts=sorted(scheduler.blacklisted_hosts),
         )
-
-    def _execute_maps(
-        self,
-        assignments: list[Assignment],
-        run_map: Any,
-        max_workers: int,
-    ) -> list[TaskResult]:
-        """Run every map task, in a worker pool when parallelism applies."""
-        if self.parallel and len(assignments) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(run_map, assignments))
-        return [run_map(a) for a in assignments]
 
     def _select_output_formats(
         self, job: Job

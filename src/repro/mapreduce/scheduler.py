@@ -61,7 +61,18 @@ class LocalityStats:
 
 
 class LocalityAwareScheduler:
-    """Greedy scheduler assigning splits to trackers with data locality first."""
+    """Greedy scheduler assigning splits to trackers with data locality first.
+
+    Beyond the initial locality-aware wave, the scheduler maintains a
+    per-job *blacklist* of flaky tracker hosts: hosts accumulating
+    :data:`BLACKLIST_AFTER_FAILURES` task failures (or one fatal failure —
+    a killed tracker) stop receiving work, exactly like Hadoop's per-job
+    tracker blacklist.  The last healthy host is never blacklisted, so a
+    single-tracker cluster keeps making progress.
+    """
+
+    #: Task failures on one host before it is blacklisted for the job.
+    BLACKLIST_AFTER_FAILURES = 3
 
     def __init__(self, trackers: list[TaskTracker]) -> None:
         if not trackers:
@@ -72,14 +83,73 @@ class LocalityAwareScheduler:
             self._by_host.setdefault(tracker.host, []).append(tracker)
         self._round_robin = itertools.cycle(self._trackers)
         # pick_tracker_round_robin is called from concurrent reduce worker
-        # threads; advancing the shared cycle iterator must be serialised.
+        # threads; advancing the shared cycle iterator must be serialised,
+        # and the blacklist is fed from concurrent attempt-failure handlers.
         self._round_robin_lock = threading.Lock()
+        self._failure_counts: dict[str, int] = {}
+        self._blacklisted: set[str] = set()
         self.stats = LocalityStats()
 
     @property
     def trackers(self) -> list[TaskTracker]:
         """The task trackers known to the scheduler."""
         return list(self._trackers)
+
+    # -- blacklist ---------------------------------------------------------------------
+    @property
+    def blacklisted_hosts(self) -> set[str]:
+        """Hosts currently excluded from scheduling (copy)."""
+        with self._round_robin_lock:
+            return set(self._blacklisted)
+
+    def is_blacklisted(self, host: str) -> bool:
+        """Whether ``host`` is blacklisted for this job."""
+        with self._round_robin_lock:
+            return host in self._blacklisted
+
+    def report_task_failure(self, host: str, *, fatal: bool = False) -> bool:
+        """Record one task failure on ``host``; returns whether the host is
+        now blacklisted.
+
+        ``fatal`` failures (a tracker killed mid-job) blacklist the host
+        immediately; ordinary task failures only after
+        :data:`BLACKLIST_AFTER_FAILURES` strikes — a crashing *task* should
+        not take down a healthy tracker.
+        """
+        with self._round_robin_lock:
+            count = self._failure_counts.get(host, 0) + 1
+            self._failure_counts[host] = count
+            if host in self._blacklisted:
+                return True
+            if not fatal and count < self.BLACKLIST_AFTER_FAILURES:
+                return False
+            healthy = {t.host for t in self._trackers} - self._blacklisted
+            if healthy == {host}:
+                # Never blacklist the last healthy host: a one-tracker
+                # cluster must keep retrying rather than deadlock.
+                return False
+            self._blacklisted.add(host)
+            return True
+
+    def pick_tracker(self, *, exclude: set[str] = frozenset()) -> TaskTracker:
+        """Least-loaded tracker avoiding ``exclude`` and blacklisted hosts.
+
+        Used for task re-execution: a retried attempt must land on a
+        *different* tracker than its failed predecessors whenever the
+        cluster has one.  If every host is excluded the constraint is
+        relaxed (better a repeat host than no retry at all).
+        """
+        with self._round_robin_lock:
+            banned = set(exclude) | self._blacklisted
+        candidates = [t for t in self._trackers if t.host not in banned]
+        if not candidates:
+            candidates = [t for t in self._trackers if t.host not in exclude]
+        if not candidates:
+            candidates = self._trackers
+        return min(
+            candidates,
+            key=lambda t: (t.running_tasks, t.tasks_executed),
+        )
 
     def assign(self, splits: list[InputSplit]) -> list[Assignment]:
         """Assign every split to a tracker, balancing load and preferring locality.
@@ -93,6 +163,8 @@ class LocalityAwareScheduler:
         """
         assignments: list[Assignment] = []
         pending: dict[int, int] = {id(t): 0 for t in self._trackers}
+        banned = self.blacklisted_hosts
+        pool = [t for t in self._trackers if t.host not in banned] or self._trackers
 
         def load(tracker: TaskTracker) -> tuple[int, int]:
             return (
@@ -105,6 +177,7 @@ class LocalityAwareScheduler:
                 tracker
                 for host in split.hosts
                 for tracker in self._by_host.get(host, [])
+                if tracker in pool
             ]
             tracker: TaskTracker | None = None
             locality = "remote"
@@ -112,12 +185,12 @@ class LocalityAwareScheduler:
                 best_local = min(local_candidates, key=load)
                 # Prefer locality unless the local tracker is clearly
                 # saturated compared to the cluster average.
-                cluster_min = min(load(t)[0] for t in self._trackers)
+                cluster_min = min(load(t)[0] for t in pool)
                 if load(best_local)[0] <= cluster_min + max(best_local.slots, 1):
                     tracker = best_local
                     locality = "node-local"
             if tracker is None:
-                tracker = min(self._trackers, key=load)
+                tracker = min(pool, key=load)
                 locality = "node-local" if tracker.host in split.hosts else "remote"
             pending[id(tracker)] += 1
             if locality == "node-local":
@@ -133,7 +206,12 @@ class LocalityAwareScheduler:
         """Round-robin tracker choice (used for reduce tasks, which have no locality).
 
         Thread-safe: reduce tasks are dispatched from a worker pool, so the
-        shared iterator is advanced under a lock.
+        shared iterator is advanced under a lock.  Blacklisted hosts are
+        skipped unless every host is blacklisted.
         """
         with self._round_robin_lock:
+            for _ in range(len(self._trackers)):
+                tracker = next(self._round_robin)
+                if tracker.host not in self._blacklisted:
+                    return tracker
             return next(self._round_robin)

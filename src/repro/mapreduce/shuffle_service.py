@@ -240,6 +240,8 @@ class ShuffleService:
         self._segments: list[list[SpilledSegment]] = [
             [] for _ in range(num_partitions)
         ]
+        self._completed_maps: set[int] = set()
+        self._merge_runs = 0
         self._maps_done = 0
         self._error: BaseException | None = None
         self._first_fetch: float | None = None
@@ -252,16 +254,28 @@ class ShuffleService:
         fs.mkdirs(self._dir)
 
     # -- map side --------------------------------------------------------------------
-    def _segment_path(self, map_index: int, partition: int, sequence: int) -> str:
+    def _segment_path(
+        self, map_index: int, partition: int, sequence: int, attempt: int
+    ) -> str:
+        # The attempt id is part of the path so re-executed and speculative
+        # attempts never overwrite each other's segments; only the winning
+        # attempt's segments are ever *published* to reducers.
         return fspath.join(
             self._dir,
-            f"map-{map_index:05d}-part-{partition:05d}-seg-{sequence:04d}",
+            f"map-{map_index:05d}-a{attempt:02d}"
+            f"-part-{partition:05d}-seg-{sequence:04d}",
         )
 
     def _write_segment(
-        self, map_index: int, partition: int, sequence: int, payload: bytes, records: int
+        self,
+        map_index: int,
+        partition: int,
+        sequence: int,
+        payload: bytes,
+        records: int,
+        attempt: int,
     ) -> SpilledSegment:
-        path = self._segment_path(map_index, partition, sequence)
+        path = self._segment_path(map_index, partition, sequence, attempt)
         # Intermediate data is transient; replication 1 matches Hadoop's
         # unreplicated map-output spills.
         with self._fs.create(path, overwrite=True, replication=1) as stream:
@@ -276,9 +290,19 @@ class ShuffleService:
         )
 
     def spill_map_output(
-        self, map_index: int, partitions: list[list[tuple[Any, Any]]]
-    ) -> int:
-        """Spill one map task's finalised per-partition pairs; returns bytes written.
+        self,
+        map_index: int,
+        partitions: list[list[tuple[Any, Any]]],
+        *,
+        attempt: int = 0,
+    ) -> tuple[int, bool]:
+        """Spill one map attempt's finalised per-partition pairs.
+
+        Returns ``(bytes_written, won)``: ``won`` is False when another
+        attempt of the same map already published its output — the racing
+        attempt's segments are discarded so reducers only ever fetch the
+        winning attempt (first-completion semantics for retried and
+        speculative attempts).
 
         Each partition is cut into a new segment whenever the buffered
         records reach ``segment_size`` encoded bytes (so a big partition
@@ -306,7 +330,12 @@ class ShuffleService:
                 if len(buffer) >= self._segment_size:
                     spilled.append(
                         self._write_segment(
-                            map_index, partition, sequence, bytes(buffer), records
+                            map_index,
+                            partition,
+                            sequence,
+                            bytes(buffer),
+                            records,
+                            attempt,
                         )
                     )
                     total_bytes += len(buffer)
@@ -317,21 +346,34 @@ class ShuffleService:
             if records:
                 spilled.append(
                     self._write_segment(
-                        map_index, partition, sequence, bytes(buffer), records
+                        map_index, partition, sequence, bytes(buffer), records, attempt
                     )
                 )
                 total_bytes += len(buffer)
                 total_records += records
         with self._cond:
+            if map_index in self._completed_maps:
+                won = False
+            else:
+                won = True
+                self._completed_maps.add(map_index)
+                for segment in spilled:
+                    self._segments[segment.partition].append(segment)
+                self._maps_done += 1
+                self._last_map_done = time.monotonic()
+                self.segments_spilled += len(spilled)
+                self.bytes_spilled += total_bytes
+                self.records_spilled += total_records
+                self._cond.notify_all()
+        if not won:
+            # The losing attempt's segments were never published; drop the
+            # files so the shuffle directory only holds winning output.
             for segment in spilled:
-                self._segments[segment.partition].append(segment)
-            self._maps_done += 1
-            self._last_map_done = time.monotonic()
-            self.segments_spilled += len(spilled)
-            self.bytes_spilled += total_bytes
-            self.records_spilled += total_records
-            self._cond.notify_all()
-        return total_bytes
+                try:
+                    self._fs.delete(segment.path)
+                except FileSystemError:
+                    pass
+        return total_bytes, won
 
     def _refund_prefetch(self, amount: int) -> None:
         """Credit consumed prefetch bytes back to the budget."""
@@ -423,11 +465,9 @@ class ShuffleService:
             self.fetch_segments(partition),
             key=lambda reader: (reader.segment.map_index, reader.segment.sequence),
         )
-        merge_round = 0
         while len(readers) > self._merge_factor:
             batch, readers = readers[: self._merge_factor], readers[self._merge_factor :]
-            intermediate = self._merge_to_segment(partition, merge_round, batch)
-            merge_round += 1
+            intermediate = self._merge_to_segment(partition, batch)
             readers.insert(
                 0,
                 SegmentReader(
@@ -437,12 +477,19 @@ class ShuffleService:
         return heapq.merge(*readers, key=lambda kv: repr(kv[0]))
 
     def _merge_to_segment(
-        self, partition: int, round_index: int, readers: list[SegmentReader]
+        self, partition: int, readers: list[SegmentReader]
     ) -> SpilledSegment:
-        """Merge up to ``merge_factor`` sorted runs into one on-storage run."""
-        path = fspath.join(
-            self._dir, f"merge-part-{partition:05d}-round-{round_index:04d}"
-        )
+        """Merge up to ``merge_factor`` sorted runs into one on-storage run.
+
+        Runs are named by a service-wide counter, never by (partition,
+        round): concurrent attempts of the same reduce partition (task
+        retry racing a straggler, speculative backups) each cascade into
+        their own files instead of overwriting each other's mid-read.
+        """
+        with self._cond:
+            run_id = self._merge_runs
+            self._merge_runs += 1
+        path = fspath.join(self._dir, f"merge-part-{partition:05d}-run-{run_id:04d}")
         records = 0
         total = 0
         buffer = bytearray()
@@ -464,7 +511,7 @@ class ShuffleService:
         return SpilledSegment(
             map_index=-1,  # sorts before every real map, matching its content
             partition=partition,
-            sequence=round_index,
+            sequence=run_id,
             path=path,
             bytes=total,
             records=records,

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from ..fs.interface import FileSystem
+from .faults import FaultPlan
 from .job import Counters, Job, TaskContext
 from .shuffle import (
     MapOutputCollector,
@@ -30,7 +31,7 @@ __all__ = ["TaskResult", "TaskTracker"]
 
 @dataclass(frozen=True, slots=True)
 class TaskResult:
-    """Outcome of one task execution."""
+    """Outcome of one task attempt execution."""
 
     task_id: str
     tracker_host: str
@@ -46,6 +47,18 @@ class TaskResult:
     #: ``False`` when the task raised; ``error`` then carries the exception.
     succeeded: bool = True
     error: str | None = None
+    #: Zero-based attempt number of this execution (0 = first attempt).
+    attempt: int = 0
+    #: Whether this attempt was a speculative backup of a straggler.
+    speculative: bool = False
+    #: ``True`` when the attempt finished fine but *lost* the race against
+    #: another attempt of the same task: its output was not committed.
+    discarded: bool = False
+    #: The counters this attempt incremented.  The jobtracker hands every
+    #: attempt its own instance and folds only the *winning* attempt's
+    #: counters into the job totals (Hadoop semantics: killed and failed
+    #: attempts do not pollute job counters).
+    attempt_counters: Counters | None = field(default=None, repr=False)
 
 
 class TaskTracker:
@@ -95,6 +108,10 @@ class TaskTracker:
         locality: str = "n/a",
         output_format: TextOutputFormat | None = None,
         shuffle: ShuffleService | None = None,
+        attempt: int = 0,
+        speculative: bool = False,
+        fault_plan: FaultPlan | None = None,
+        commit_check: Callable[[], bool] | None = None,
     ) -> TaskResult:
         """Execute the map function over one input split.
 
@@ -103,11 +120,24 @@ class TaskTracker:
         format; otherwise it is partitioned for the shuffle — spilled as
         segment files through ``shuffle`` when a service is given (waking
         waiting reducers), or returned in memory otherwise.
+
+        ``fault_plan`` injects failures/delays before the attempt touches
+        data; ``commit_check`` gates the map-only output write so that only
+        one attempt of a task ever commits (the shuffle service enforces
+        the same first-completion rule for spilled output itself).
         """
         task_id = f"map-{split.split_id:05d}"
         self._acquire_slot()
         started = time.perf_counter()
         try:
+            if fault_plan is not None:
+                fault_plan.on_task_start(
+                    kind="map",
+                    index=split.split_id,
+                    attempt=attempt,
+                    tracker_host=self.host,
+                    fs=fs,
+                )
             records_in = 0
             map_only = num_partitions == 0
             collector = MapOutputCollector(
@@ -125,24 +155,31 @@ class TaskTracker:
                 counters.increment("map_input_records")
             counters.increment("map_output_records", collector.records_collected)
             output_path: str | None = None
+            discarded = False
             partitions = collector.partitions()
             if map_only:
-                fmt = output_format or TextOutputFormat()
-                pairs = [pair for partition in partitions for pair in partition]
-                output_path = fmt.write(
-                    fs,
-                    job.conf.output_dir,
-                    split.split_id,
-                    pairs,
-                    map_only=True,
-                    replication=job.conf.output_replication,
-                    client_host=self.host,
-                )
                 partitions_out: list[list[tuple[Any, Any]]] | None = None
+                if commit_check is None or commit_check():
+                    fmt = output_format or TextOutputFormat()
+                    pairs = [pair for partition in partitions for pair in partition]
+                    output_path = fmt.write(
+                        fs,
+                        job.conf.output_dir,
+                        split.split_id,
+                        pairs,
+                        map_only=True,
+                        replication=job.conf.output_replication,
+                        client_host=self.host,
+                    )
+                else:
+                    discarded = True
             elif shuffle is not None:
-                spilled = shuffle.spill_map_output(split.split_id, partitions)
+                spilled, won = shuffle.spill_map_output(
+                    split.split_id, partitions, attempt=attempt
+                )
                 counters.increment("map_spilled_bytes", spilled)
                 partitions_out = None
+                discarded = not won
             else:
                 partitions_out = partitions
             duration = time.perf_counter() - started
@@ -156,6 +193,10 @@ class TaskTracker:
                 locality=locality,
                 output_path=output_path,
                 map_output=partitions_out,
+                attempt=attempt,
+                speculative=speculative,
+                discarded=discarded,
+                attempt_counters=counters,
             )
         finally:
             self._release_slot()
@@ -171,6 +212,10 @@ class TaskTracker:
         counters: Counters,
         output_format: TextOutputFormat | None = None,
         presorted: bool = False,
+        attempt: int = 0,
+        speculative: bool = False,
+        fault_plan: FaultPlan | None = None,
+        commit_check: Callable[[], bool] | None = None,
     ) -> TaskResult:
         """Execute the reduce function over one merged, grouped partition.
 
@@ -178,11 +223,25 @@ class TaskTracker:
         to be ordered by ``repr(key)`` (the spill-based shuffle's external
         merge) and is grouped in streaming fashion without materialising the
         partition.
+
+        ``commit_check`` implements the output-committer handshake: right
+        before writing, the attempt asks whether it is the first of its
+        task to finish — a losing (speculative or duplicate) attempt skips
+        the write entirely, so retries and backups can never duplicate
+        reduce output, including on the shared single-output-file path.
         """
         task_id = f"reduce-{partition_index:05d}"
         self._acquire_slot()
         started = time.perf_counter()
         try:
+            if fault_plan is not None:
+                fault_plan.on_task_start(
+                    kind="reduce",
+                    index=partition_index,
+                    attempt=attempt,
+                    tracker_host=self.host,
+                    fs=fs,
+                )
             emitted: list[tuple[Any, Any]] = []
             context = TaskContext(
                 job_conf=job.conf,
@@ -197,16 +256,21 @@ class TaskTracker:
                 records_in += len(values)
                 counters.increment("reduce_input_records", len(values))
             counters.increment("reduce_output_records", len(emitted))
-            fmt = output_format or TextOutputFormat()
-            output_path = fmt.write(
-                fs,
-                job.conf.output_dir,
-                partition_index,
-                emitted,
-                map_only=False,
-                replication=job.conf.output_replication,
-                client_host=self.host,
-            )
+            output_path: str | None = None
+            discarded = False
+            if commit_check is None or commit_check():
+                fmt = output_format or TextOutputFormat()
+                output_path = fmt.write(
+                    fs,
+                    job.conf.output_dir,
+                    partition_index,
+                    emitted,
+                    map_only=False,
+                    replication=job.conf.output_replication,
+                    client_host=self.host,
+                )
+            else:
+                discarded = True
             duration = time.perf_counter() - started
             return TaskResult(
                 task_id=task_id,
@@ -216,6 +280,10 @@ class TaskTracker:
                 records_in=records_in,
                 records_out=len(emitted),
                 output_path=output_path,
+                attempt=attempt,
+                speculative=speculative,
+                discarded=discarded,
+                attempt_counters=counters,
             )
         finally:
             self._release_slot()

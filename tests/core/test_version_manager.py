@@ -127,7 +127,7 @@ class TestPublication:
             manager.publish(ticket, root_for(blob, 1))
 
     def test_publish_unknown_ticket_rejected(self, manager):
-        blob = manager.create_blob().blob_id
+        manager.create_blob()
         other = VersionManager()
         other_blob = other.create_blob().blob_id
         foreign = other.assign_ticket(other_blob, offset=0, size=10)

@@ -124,7 +124,7 @@ class TestCommonFileSystemSemantics:
         assert offsets == sorted(offsets)
 
     def test_write_file_helper_and_empty_file(self, any_fs):
-        with any_fs.create("/empty.bin") as stream:
+        with any_fs.create("/empty.bin"):
             pass
         assert any_fs.size("/empty.bin") == 0
         assert any_fs.read_file("/empty.bin") == b""

@@ -1,0 +1,395 @@
+"""Fault-tolerance scenarios: injection, retries, blacklist, speculation.
+
+Covers the recovery subsystem end to end: deterministic failure injection
+(:mod:`repro.mapreduce.faults`), bounded task retries on different
+trackers, flaky-tracker blacklisting, speculative execution for
+stragglers, replica-aware storage re-reads, and the acceptance scenario —
+a job with an injected map failure, an injected reduce failure and one
+straggler completes with output byte-identical to a fault-free run, on
+both shuffle paths, on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.core import KB, BlobSeerConfig
+from repro.core.errors import ProviderUnavailableError
+from repro.mapreduce import (
+    FaultPlan,
+    InjectedTaskFailure,
+    TrackerDeadError,
+    delay_task,
+    fail_storage,
+    fail_task,
+    kill_tracker,
+    make_cluster,
+)
+from repro.mapreduce.applications import make_wordcount_job
+from repro.workloads import write_text_file
+
+
+def wordcount(input_path, output_dir, **conf_overrides):
+    """A small multi-split wordcount job with conf overrides applied."""
+    job = make_wordcount_job(
+        [input_path], output_dir=output_dir, num_reduce_tasks=2, split_size=4 * KB
+    )
+    if conf_overrides:
+        job = replace(job, conf=replace(job.conf, **conf_overrides))
+    return job
+
+
+def read_output(fs, result):
+    """Output bytes keyed by part-file basename (output dirs differ)."""
+    return {
+        path.rsplit("/", 1)[-1]: fs.read_file(path) for path in result.output_paths
+    }
+
+
+def run_reference(fs, input_path, output_dir, **conf_overrides):
+    """Run the fault-free job the faulty runs must be byte-identical to."""
+    result = make_cluster(fs).run(wordcount(input_path, output_dir, **conf_overrides))
+    assert result.succeeded
+    return read_output(fs, result)
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = FaultPlan.random(seed=42, failure_rate=0.3, delay_rate=0.2)
+        second = FaultPlan.random(seed=42, failure_rate=0.3, delay_rate=0.2)
+        grid = first.schedule("map", 50, attempts=3)
+        assert grid == second.schedule("map", 50, attempts=3)
+        assert grid == first.schedule("map", 50, attempts=3)  # replay-stable
+        # The rates actually materialise as injected faults somewhere.
+        actions = {action for action, _ in grid.values()}
+        assert "fail" in actions
+
+    def test_different_seed_differs(self):
+        first = FaultPlan.random(seed=1, failure_rate=0.3)
+        second = FaultPlan.random(seed=2, failure_rate=0.3)
+        assert first.schedule("map", 100) != second.schedule("map", 100)
+
+    def test_random_faults_only_hit_attempt_zero(self):
+        plan = FaultPlan.random(seed=7, failure_rate=0.9, delay_rate=0.9)
+        for index in range(30):
+            for attempt in (1, 2, 3):
+                assert plan.decide("map", index, attempt) == (None, 0.0)
+                assert plan.decide("reduce", index, attempt) == (None, 0.0)
+
+    def test_explicit_specs_target_exact_attempts(self):
+        plan = FaultPlan(
+            [fail_task("map", 3, attempts=(0, 1)), delay_task("reduce", 1, 0.25)]
+        )
+        assert plan.decide("map", 3, 0) == ("fail", 0.0)
+        assert plan.decide("map", 3, 1) == ("fail", 0.0)
+        assert plan.decide("map", 3, 2) == (None, 0.0)
+        assert plan.decide("map", 2, 0) == (None, 0.0)
+        assert plan.decide("reduce", 1, 0) == ("delay", 0.25)
+        assert plan.decide("reduce", 1, 1) == (None, 0.0)
+
+    def test_injection_raises_and_counts(self):
+        plan = FaultPlan([fail_task("map", 0)])
+        with pytest.raises(InjectedTaskFailure):
+            plan.on_task_start(kind="map", index=0, attempt=0, tracker_host="h")
+        assert plan.injected_failures == 1
+        # Attempt 1 of the same task runs clean.
+        plan.on_task_start(kind="map", index=0, attempt=1, tracker_host="h")
+
+
+class TestTaskRetries:
+    @pytest.mark.parametrize("spill", [False, True])
+    def test_injected_map_failure_recovers(self, any_fs, spill):
+        write_text_file(any_fs, "/in/retry.txt", num_lines=900, seed=5)
+        reference = run_reference(any_fs, "/in/retry.txt", "/retry-ref", spill_to_fs=spill)
+        plan = FaultPlan([fail_task("map", 1)])
+        result = make_cluster(any_fs).run(
+            wordcount("/in/retry.txt", "/retry-out", spill_to_fs=spill),
+            fault_plan=plan,
+        )
+        assert result.succeeded
+        assert read_output(any_fs, result) == reference
+        assert result.retries >= 1
+        attempts = [r for r in result.task_results if r.task_id == "map-00001"]
+        failed = [r for r in attempts if not r.succeeded]
+        winners = [r for r in attempts if r.succeeded and not r.discarded]
+        assert failed and failed[0].attempt == 0
+        assert "injected failure" in failed[0].error
+        assert len(winners) == 1 and winners[0].attempt >= 1
+        # Re-execution happened on a *different* tracker.
+        assert winners[0].tracker_host != failed[0].tracker_host
+        summary = result.summary()
+        assert summary["retries"] >= 1
+        assert summary["task_attempts"] > summary["map_tasks"] + summary["reduce_tasks"]
+
+    @pytest.mark.parametrize("spill", [False, True])
+    def test_injected_reduce_failure_recovers(self, any_fs, spill):
+        write_text_file(any_fs, "/in/retry.txt", num_lines=900, seed=5)
+        reference = run_reference(any_fs, "/in/retry.txt", "/rretry-ref", spill_to_fs=spill)
+        plan = FaultPlan([fail_task("reduce", 0)])
+        result = make_cluster(any_fs).run(
+            wordcount("/in/retry.txt", "/rretry-out", spill_to_fs=spill),
+            fault_plan=plan,
+        )
+        assert result.succeeded
+        assert read_output(any_fs, result) == reference
+        attempts = [r for r in result.task_results if r.task_id == "reduce-00000"]
+        assert any(not r.succeeded for r in attempts)
+        assert any(r.succeeded and not r.discarded for r in attempts)
+
+    def test_retries_are_bounded_by_max_task_attempts(self, bsfs):
+        write_text_file(bsfs, "/in/retry.txt", num_lines=300, seed=5)
+        plan = FaultPlan([fail_task("map", 0, attempts=range(10))])
+        result = make_cluster(bsfs).run(
+            wordcount("/in/retry.txt", "/bounded-out", max_task_attempts=2),
+            fault_plan=plan,
+        )
+        assert not result.succeeded
+        failures = [r for r in result.task_results if r.task_id == "map-00000"]
+        assert len(failures) == 2
+        assert all(not r.succeeded for r in failures)
+        assert "map-00000" in result.summary()["failed_tasks"]
+
+    def test_serial_mode_retries_too(self, bsfs):
+        write_text_file(bsfs, "/in/retry.txt", num_lines=300, seed=5)
+        reference = run_reference(bsfs, "/in/retry.txt", "/serial-ref")
+        plan = FaultPlan([fail_task("map", 0), fail_task("reduce", 1)])
+        result = make_cluster(bsfs, parallel=False).run(
+            wordcount("/in/retry.txt", "/serial-out"), fault_plan=plan
+        )
+        assert result.succeeded
+        assert result.retries >= 2
+        assert read_output(bsfs, result) == reference
+
+
+class TestSchedulerBlacklist:
+    def test_assign_routes_around_blacklisted_hosts(self):
+        from repro.mapreduce import InputSplit, LocalityAwareScheduler, TaskTracker
+
+        scheduler = LocalityAwareScheduler([TaskTracker("a"), TaskTracker("b")])
+        for _ in range(LocalityAwareScheduler.BLACKLIST_AFTER_FAILURES):
+            scheduler.report_task_failure("a")
+        assert scheduler.is_blacklisted("a")
+        splits = [
+            InputSplit(split_id=i, path=None, offset=i, length=0, hosts=("a",))
+            for i in range(4)
+        ]
+        assignments = scheduler.assign(splits)
+        # Data-local on "a", but "a" is blacklisted: everything lands on "b".
+        assert all(a.tracker.host == "b" for a in assignments)
+        assert all(a.locality == "remote" for a in assignments)
+
+    def test_last_healthy_host_is_never_blacklisted(self):
+        from repro.mapreduce import LocalityAwareScheduler, TaskTracker
+
+        scheduler = LocalityAwareScheduler([TaskTracker("solo")])
+        for _ in range(10):
+            assert not scheduler.report_task_failure("solo", fatal=True)
+        assert not scheduler.is_blacklisted("solo")
+        assert scheduler.pick_tracker().host == "solo"
+
+
+class TestTrackerFailure:
+    def test_killed_tracker_is_blacklisted_and_job_recovers(self, bsfs):
+        write_text_file(bsfs, "/in/tracker.txt", num_lines=900, seed=9)
+        reference = run_reference(bsfs, "/in/tracker.txt", "/tk-ref")
+        jobtracker = make_cluster(bsfs)
+        victim = jobtracker.trackers[0].host
+        plan = FaultPlan([kill_tracker(victim, after_tasks=1)])
+        result = jobtracker.run(
+            wordcount("/in/tracker.txt", "/tk-out"), fault_plan=plan
+        )
+        assert result.succeeded
+        assert read_output(bsfs, result) == reference
+        assert victim in result.blacklisted_hosts
+        # Every winning attempt of the recovered job ran elsewhere.
+        dead_tracker_failures = [
+            r
+            for r in result.failed_tasks
+            if r.tracker_host == victim and TrackerDeadError.__name__ in r.error
+        ]
+        assert dead_tracker_failures
+        assert result.summary()["blacklisted_hosts"] == [victim]
+
+    def test_dead_tracker_raises_for_every_later_attempt(self):
+        plan = FaultPlan([kill_tracker("node-1", after_tasks=0)])
+        with pytest.raises(TrackerDeadError):
+            plan.on_task_start(kind="map", index=0, attempt=0, tracker_host="node-1")
+        assert plan.tracker_is_dead("node-1")
+        # Other trackers are unaffected.
+        plan.on_task_start(kind="map", index=1, attempt=0, tracker_host="node-2")
+
+
+class TestSpeculativeExecution:
+    @pytest.mark.parametrize("spill", [False, True])
+    def test_straggler_backup_wins_and_output_matches(self, bsfs, spill):
+        write_text_file(bsfs, "/in/slow.txt", num_lines=900, seed=13)
+        reference = run_reference(bsfs, "/in/slow.txt", "/spec-ref", spill_to_fs=spill)
+        plan = FaultPlan([delay_task("map", 0, 1.0)])
+        result = make_cluster(bsfs).run(
+            wordcount(
+                "/in/slow.txt",
+                "/spec-out",
+                spill_to_fs=spill,
+                speculative_execution=True,
+                slow_task_threshold=2.0,
+            ),
+            fault_plan=plan,
+        )
+        assert result.succeeded
+        assert read_output(bsfs, result) == reference
+        assert result.speculative_attempts >= 1
+        assert result.speculative_wins >= 1
+        summary = result.summary()
+        assert summary["speculative"]["wins"] >= 1
+        # The delayed original lost the race: exactly one attempt of the
+        # straggler task committed.
+        straggler = [r for r in result.task_results if r.task_id == "map-00000"]
+        committed = [r for r in straggler if r.succeeded and not r.discarded]
+        assert len(committed) == 1
+        assert committed[0].speculative
+
+    def test_losing_attempt_counters_are_not_merged(self, bsfs):
+        # The discarded straggler fully processes its split too; its
+        # counters must not inflate the job totals (Hadoop semantics:
+        # failed/killed attempts do not contribute counters).
+        write_text_file(bsfs, "/in/slow.txt", num_lines=900, seed=13)
+        reference = make_cluster(bsfs).run(wordcount("/in/slow.txt", "/cnt-ref"))
+        assert reference.succeeded
+        plan = FaultPlan([delay_task("map", 0, 1.0)])
+        result = make_cluster(bsfs).run(
+            wordcount(
+                "/in/slow.txt",
+                "/cnt-out",
+                speculative_execution=True,
+                slow_task_threshold=2.0,
+            ),
+            fault_plan=plan,
+        )
+        assert result.succeeded and result.speculative_wins >= 1
+        for counter in (
+            "map_input_records",
+            "map_output_records",
+            "reduce_input_records",
+            "reduce_output_records",
+        ):
+            assert result.counter(counter) == reference.counter(counter), counter
+
+    def test_no_speculation_without_the_flag(self, bsfs):
+        write_text_file(bsfs, "/in/slow.txt", num_lines=600, seed=13)
+        plan = FaultPlan([delay_task("map", 0, 0.2)])
+        result = make_cluster(bsfs).run(
+            wordcount("/in/slow.txt", "/nospec-out"), fault_plan=plan
+        )
+        assert result.succeeded
+        assert result.speculative_attempts == 0
+
+
+class TestStorageFailure:
+    def test_hdfs_read_fails_over_to_surviving_replica(self, hdfs):
+        # The hdfs fixture replicates blocks twice: killing one replica's
+        # datanode mid-read must transparently re-read from the other.
+        payload = b"replica-read\n" * 4096
+        with hdfs.create("/data.bin") as stream:
+            stream.write(payload)
+        locations = hdfs.block_locations("/data.bin", 0, len(payload))
+        assert all(len(loc.hosts) >= 2 for loc in locations)
+        victim = locations[0].hosts[0]
+        for node in hdfs.datanodes:
+            if node.host == victim:
+                node.fail()
+        assert hdfs.read_file("/data.bin") == payload
+
+    def test_hdfs_read_raises_once_every_replica_is_dead(self, hdfs):
+        payload = b"gone\n" * 1024
+        with hdfs.create("/gone.bin") as stream:
+            stream.write(payload)
+        for node in hdfs.datanodes:
+            node.fail()
+        with pytest.raises(ProviderUnavailableError):
+            hdfs.read_file("/gone.bin")
+
+    def test_bsfs_read_fails_over_to_surviving_page_replica(self):
+        fs = BSFS(
+            config=BlobSeerConfig(
+                page_size=4 * KB,
+                num_providers=6,
+                num_metadata_providers=3,
+                replication=2,
+                rng_seed=3,
+            ),
+            default_block_size=16 * KB,
+        )
+        payload = b"page-replica\n" * 4096
+        with fs.create("/data.bin") as stream:
+            stream.write(payload)
+        fs.blobseer.provider_manager.providers[0].fail()
+        assert fs.read_file("/data.bin") == payload
+
+    def test_job_survives_injected_storage_failure(self, hdfs):
+        write_text_file(hdfs, "/in/storage.txt", num_lines=900, seed=21)
+        reference = run_reference(hdfs, "/in/storage.txt", "/st-ref")
+        locations = hdfs.block_locations("/in/storage.txt", 0, 1)
+        victim = locations[0].hosts[0]
+        plan = FaultPlan([fail_storage(victim, after_task_starts=2)])
+        result = make_cluster(hdfs).run(
+            wordcount("/in/storage.txt", "/st-out"), fault_plan=plan
+        )
+        assert result.succeeded
+        assert read_output(hdfs, result) == reference
+        victims = [d for d in hdfs.datanodes if d.host == victim]
+        assert victims and not victims[0].available
+
+
+class TestAcceptanceScenario:
+    """Map failure + reduce failure + straggler in one job, every backend."""
+
+    FAULTS = (
+        fail_task("map", 1),
+        fail_task("reduce", 0),
+        delay_task("map", 0, 0.4),
+    )
+
+    @pytest.mark.parametrize("spill", [False, True])
+    def test_recovers_to_byte_identical_output(self, any_fs, spill):
+        write_text_file(any_fs, "/in/accept.txt", num_lines=900, seed=29)
+        reference = run_reference(
+            any_fs, "/in/accept.txt", "/accept-ref", spill_to_fs=spill
+        )
+        result = make_cluster(any_fs).run(
+            wordcount(
+                "/in/accept.txt",
+                "/accept-out",
+                spill_to_fs=spill,
+                speculative_execution=True,
+                slow_task_threshold=2.0,
+            ),
+            fault_plan=FaultPlan(self.FAULTS),
+        )
+        assert result.succeeded
+        assert read_output(any_fs, result) == reference
+        assert result.retries >= 2
+
+    def test_single_output_file_never_duplicates_under_faults(self, bsfs):
+        write_text_file(bsfs, "/in/accept.txt", num_lines=900, seed=29)
+        ref = make_cluster(bsfs).run(
+            wordcount("/in/accept.txt", "/sref", single_output_file=True)
+        )
+        assert ref.succeeded
+        reference = sorted(bsfs.read_file("/sref/output.txt").splitlines())
+        result = make_cluster(bsfs).run(
+            wordcount(
+                "/in/accept.txt",
+                "/sout",
+                single_output_file=True,
+                speculative_execution=True,
+                slow_task_threshold=2.0,
+            ),
+            fault_plan=FaultPlan(self.FAULTS),
+        )
+        assert result.succeeded
+        assert result.output_paths == ["/sout/output.txt"]
+        produced = sorted(bsfs.read_file("/sout/output.txt").splitlines())
+        assert produced == reference

@@ -127,7 +127,6 @@ class TestLineRecordReader:
         if bsfs.exists(path):
             bsfs.delete(path)
         write_lines(bsfs, path, lines, newline_at_end=trailing)
-        size = bsfs.size(path)
         fmt = TextInputFormat(split_size=split_size)
         conf = JobConf(name="p", input_paths=(path,), output_dir="/out", split_size=split_size)
         collected: list[bytes] = []
