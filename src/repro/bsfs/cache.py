@@ -19,6 +19,8 @@ import threading
 from collections import OrderedDict
 from typing import Callable
 
+from ..core.transfer import ChunkBuffer
+
 __all__ = ["CacheStats", "BlockReadCache", "WriteAggregator"]
 
 
@@ -29,6 +31,10 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.prefetched_blocks = 0
+        #: Blocks deposited by the engine-side next-block read-ahead
+        #: (:meth:`BlockReadCache.populate`) — kept separate from
+        #: ``prefetched_blocks``, which counts ordinary miss fetches.
+        self.read_ahead_blocks = 0
         self.flushed_blocks = 0
         self.flushed_bytes = 0
 
@@ -45,6 +51,7 @@ class CacheStats:
             "misses": self.misses,
             "hit_ratio": self.hit_ratio,
             "prefetched_blocks": self.prefetched_blocks,
+            "read_ahead_blocks": self.read_ahead_blocks,
             "flushed_blocks": self.flushed_blocks,
             "flushed_bytes": self.flushed_bytes,
         }
@@ -71,6 +78,7 @@ class BlockReadCache:
         fetch_block: Callable[[int], bytes],
         *,
         capacity_blocks: int = 4,
+        on_access: Callable[[int], None] | None = None,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
@@ -81,6 +89,11 @@ class BlockReadCache:
         self._capacity = capacity_blocks
         self._blocks: OrderedDict[int, bytes] = OrderedDict()
         self._lock = threading.Lock()
+        #: Called (outside the lock) with every accessed block index, hit
+        #: or miss — the read-ahead hook: firing on hits too is what keeps
+        #: a sequential scan's prefetch pipeline primed instead of
+        #: stalling on every other block.
+        self._on_access = on_access
         self.stats = CacheStats()
 
     @property
@@ -89,20 +102,26 @@ class BlockReadCache:
         return self._block_size
 
     def _get_block(self, block_index: int) -> bytes:
+        data: bytes | None = None
         with self._lock:
             if block_index in self._blocks:
                 self._blocks.move_to_end(block_index)
                 self.stats.hits += 1
-                return self._blocks[block_index]
-            self.stats.misses += 1
-        # Fetch outside the lock: the fetch may be slow (a real BlobSeer read).
-        data = self._fetch_block(block_index)
-        with self._lock:
-            self._blocks[block_index] = data
-            self._blocks.move_to_end(block_index)
-            self.stats.prefetched_blocks += 1
-            while len(self._blocks) > self._capacity:
-                self._blocks.popitem(last=False)
+                data = self._blocks[block_index]
+            else:
+                self.stats.misses += 1
+        if data is None:
+            # Fetch outside the lock: the fetch may be slow (a real BlobSeer
+            # read).
+            data = self._fetch_block(block_index)
+            with self._lock:
+                self._blocks[block_index] = data
+                self._blocks.move_to_end(block_index)
+                self.stats.prefetched_blocks += 1
+                while len(self._blocks) > self._capacity:
+                    self._blocks.popitem(last=False)
+        if self._on_access is not None:
+            self._on_access(block_index)
         return data
 
     def read(self, offset: int, size: int) -> bytes:
@@ -126,6 +145,30 @@ class BlockReadCache:
             position += take
         return bytes(result)
 
+    def contains(self, block_index: int) -> bool:
+        """Whether a block is currently cached (no LRU touch, no stats)."""
+        with self._lock:
+            return block_index in self._blocks
+
+    def populate(self, block_index: int, data: bytes) -> bool:
+        """Insert an externally fetched block if it is not cached yet.
+
+        The read-ahead hook: the BSFS input stream fetches the *next*
+        block on the transfer engine during a miss and deposits it here,
+        so a sequential scan finds it already local.  Returns whether the
+        block was inserted (``False`` when it raced an ordinary fetch —
+        both fetched identical bytes, so dropping one copy is harmless).
+        """
+        with self._lock:
+            if block_index in self._blocks:
+                return False
+            self._blocks[block_index] = data
+            self._blocks.move_to_end(block_index)
+            self.stats.read_ahead_blocks += 1
+            while len(self._blocks) > self._capacity:
+                self._blocks.popitem(last=False)
+        return True
+
     def invalidate(self, block_index: int | None = None) -> None:
         """Drop one block (or the whole cache when ``block_index`` is ``None``)."""
         with self._lock:
@@ -147,6 +190,12 @@ class WriteAggregator:
     every full block, and once more with the remainder when :meth:`close`
     is called.  The aggregator never reorders or drops bytes — a property
     the test suite checks with Hypothesis.
+
+    Buffering uses a chunk list with a running length
+    (:class:`~repro.core.transfer.ChunkBuffer`), not a growing byte
+    string: the old ``self._buffer += data`` / ``del self._buffer[:n]``
+    pattern re-copied the whole pending buffer on every write, turning a
+    stream of many small records into O(n²) byte movement.
     """
 
     def __init__(
@@ -158,7 +207,7 @@ class WriteAggregator:
             raise ValueError("block_size must be positive")
         self._block_size = block_size
         self._flush_block = flush_block
-        self._buffer = bytearray()
+        self._buffer = ChunkBuffer()
         self._closed = False
         self.stats = CacheStats()
 
@@ -172,14 +221,18 @@ class WriteAggregator:
         """Bytes buffered and not yet flushed."""
         return len(self._buffer)
 
+    @property
+    def buffer(self) -> ChunkBuffer:
+        """The underlying chunk buffer (exposed for the linearity tests)."""
+        return self._buffer
+
     def write(self, data: bytes) -> None:
         """Buffer ``data``, flushing every complete block."""
         if self._closed:
             raise ValueError("write on a closed aggregator")
-        self._buffer += data
+        self._buffer.append(data)
         while len(self._buffer) >= self._block_size:
-            block = bytes(self._buffer[: self._block_size])
-            del self._buffer[: self._block_size]
+            block = self._buffer.take(self._block_size)
             self._flush_block(block)
             self.stats.flushed_blocks += 1
             self.stats.flushed_bytes += len(block)
@@ -192,9 +245,8 @@ class WriteAggregator:
         a partial block means the next flush starts a new blob write, so the
         aggregator is normally left to its own pacing.
         """
-        if self._buffer:
-            block = bytes(self._buffer)
-            self._buffer.clear()
+        if len(self._buffer):
+            block = self._buffer.take_all()
             self._flush_block(block)
             self.stats.flushed_blocks += 1
             self.stats.flushed_bytes += len(block)

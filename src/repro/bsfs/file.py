@@ -12,7 +12,14 @@ __all__ = ["BSFSInputStream", "BSFSOutputStream"]
 
 
 class BSFSInputStream(InputStream):
-    """Reader for a BSFS file, prefetching whole blocks through the client cache."""
+    """Reader for a BSFS file, prefetching whole blocks through the client cache.
+
+    Each block fetch is itself a parallel page transfer (the client's
+    ``read`` stripes pages across providers through the transfer engine),
+    and a miss additionally schedules the *next* block's fetch on the
+    engine — so a sequential scan finds its next block already cached
+    while it is still decoding the current one.
+    """
 
     def __init__(
         self,
@@ -23,15 +30,18 @@ class BSFSInputStream(InputStream):
         block_size: int,
         version: int | None = None,
         cache_blocks: int = 4,
+        read_ahead: bool = True,
     ) -> None:
         super().__init__(size)
         self._blobseer = blobseer
         self._blob_id = blob_id
         self._version = version
+        self._read_ahead = read_ahead
         self._cache = BlockReadCache(
             block_size,
             self._fetch_block,
             capacity_blocks=cache_blocks,
+            on_access=self._on_block_access if read_ahead else None,
         )
 
     @property
@@ -39,7 +49,8 @@ class BSFSInputStream(InputStream):
         """The stream's block cache (exposed for tests and metrics)."""
         return self._cache
 
-    def _fetch_block(self, block_index: int) -> bytes:
+    def _read_raw(self, block_index: int) -> bytes:
+        """Fetch one block's bytes from the blob (no cache interaction)."""
         block_size = self._cache.block_size
         start = block_index * block_size
         if start >= self._size:
@@ -48,6 +59,34 @@ class BSFSInputStream(InputStream):
         return self._blobseer.read(
             self._blob_id, start, length, version=self._version
         )
+
+    def _prefetch(self, block_index: int) -> None:
+        """Engine-side body of the one-block read-ahead (never raises)."""
+        try:
+            if self._cache.contains(block_index):
+                return
+            self._cache.populate(block_index, self._read_raw(block_index))
+        except Exception:
+            # Read-ahead is opportunistic; the foreground read will
+            # surface any real storage error itself.
+            pass
+
+    def _on_block_access(self, block_index: int) -> None:
+        """Keep the next block's fetch in flight on every access, hit or
+        miss — firing on hits too is what sustains the pipeline across a
+        sequential scan instead of stalling on every other block.
+
+        Fire-and-forget: the prefetch populates the cache directly (never
+        through the fetch callback, so read-ahead cannot cascade), and it
+        is safe on the shared engine because the nested page fetches use
+        caller-participating map, never a blocking wait on pool capacity.
+        """
+        nxt = block_index + 1
+        if nxt * self._cache.block_size < self._size and not self._cache.contains(nxt):
+            self._blobseer.transfer.submit(self._prefetch, nxt)
+
+    def _fetch_block(self, block_index: int) -> bytes:
+        return self._read_raw(block_index)
 
     def _pread(self, offset: int, size: int) -> bytes:
         return self._cache.read(offset, size)

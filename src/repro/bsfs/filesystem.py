@@ -187,8 +187,14 @@ class BSFS(FileSystem):
         *,
         client_host: str | None = None,
         version: int | None = None,
+        read_ahead: bool = True,
     ) -> BSFSInputStream:
-        """Open a file for reading; ``version`` selects an older blob snapshot."""
+        """Open a file for reading; ``version`` selects an older blob snapshot.
+
+        ``read_ahead=False`` disables the stream's engine-side next-block
+        prefetch — worth it for scattered positional reads, where
+        prefetching the following block is pure read amplification.
+        """
         record = self.namespace.record(path)
         if version is None:
             size = record.size
@@ -201,7 +207,46 @@ class BSFS(FileSystem):
             block_size=record.block_size,
             version=version,
             cache_blocks=self._cache_blocks,
+            read_ahead=read_ahead,
         )
+
+    def open_read(
+        self,
+        path: str,
+        *,
+        offset: int = 0,
+        length: int | None = None,
+        chunk_size: int = 1024 * 1024,
+        client_host: str | None = None,
+        version: int | None = None,
+    ):
+        """Stream a file's bytes page by page with concurrent read-ahead.
+
+        Bypasses the whole-block read cache (useless for a single forward
+        pass) and streams straight from the blob through the client's
+        transfer engine: pages are fetched in parallel, bounded by
+        ``BlobSeerConfig.read_ahead_pages``, so provider latency overlaps
+        with the consumer.  ``chunk_size`` is advisory here — chunks arrive
+        page-sized, the natural transfer unit.
+        """
+        self._validate_stream_range(offset, length, chunk_size)
+        record = self.namespace.record(path)
+        if version is None:
+            size = record.size
+        else:
+            size = self.blobseer.get_size(record.blob_id, version)
+        end = size if length is None else min(offset + length, size)
+        span = max(end - offset, 0)
+        if span == 0:
+            return iter(())
+        return self.blobseer.open_read(
+            record.blob_id, offset, span, version=version
+        )
+
+    @property
+    def transfer(self):
+        """The deployment's shared transfer engine (for shuffle/prefetch use)."""
+        return self.blobseer.transfer
 
     # ----------------------------------------------------------------- namespace
     def mkdirs(self, path: str) -> None:

@@ -8,7 +8,7 @@ replication and the persistence layer.  The main entry point is
 """
 
 from .blob import BlobHandle
-from .client import BlobSeer, PageLocation
+from .client import BlobSeer, BlobWriteSink, PageLocation
 from .config import GB, KB, MB, BlobSeerConfig
 from .dht import ConsistentHashRing, MetadataDHT, MetadataProvider
 from .errors import (
@@ -45,13 +45,20 @@ from .provider_manager import (
     make_strategy,
 )
 from .replication import ReplicationManager, ScrubReport, read_page, write_replicas
+from .transfer import ChunkBuffer, InflightBudget, TransferEngine, pipelined
 from .version_manager import BlobInfo, VersionInfo, VersionManager, WriteTicket
 
 __all__ = [
     "BlobSeer",
     "BlobHandle",
     "BlobSeerConfig",
+    "BlobWriteSink",
     "PageLocation",
+    # transfer engine
+    "TransferEngine",
+    "InflightBudget",
+    "ChunkBuffer",
+    "pipelined",
     "KB",
     "MB",
     "GB",

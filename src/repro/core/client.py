@@ -39,7 +39,7 @@ import os
 import random
 import threading
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from .config import BlobSeerConfig
 from .dht import MetadataDHT, MetadataProvider
@@ -54,9 +54,10 @@ from .persistence import LogStructuredStore, MemoryStore
 from .provider import DataProvider
 from .provider_manager import ProviderManager
 from .replication import ReplicationManager, read_page, write_replicas
+from .transfer import InflightBudget, TransferEngine, pipelined
 from .version_manager import BlobInfo, VersionManager, WriteTicket
 
-__all__ = ["PageLocation", "BlobSeer"]
+__all__ = ["PageLocation", "BlobWriteSink", "BlobSeer"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,8 +129,29 @@ class BlobSeer:
         self.replication_manager = ReplicationManager(
             self.provider_manager, seed=self.config.rng_seed
         )
+        budget = (
+            InflightBudget(self.config.max_inflight_bytes)
+            if self.config.max_inflight_bytes is not None
+            else None
+        )
+        #: Shared transfer engine: every page/replica transfer of this
+        #: deployment (writes, reads, streaming) runs through its bounded
+        #: worker pool.
+        self.transfer = TransferEngine(
+            self.config.transfer_workers, budget=budget, name="blobseer-io"
+        )
         self._rng = random.Random(self.config.rng_seed)
         self._rng_lock = threading.Lock()
+
+    def _op_rng(self) -> random.Random:
+        """Derive one deterministic RNG for a whole client operation.
+
+        The shared seed stream is locked exactly once per operation; the
+        returned generator is then threaded through every ``read_page``
+        call of the operation instead of re-entering the lock per page.
+        """
+        with self._rng_lock:
+            return random.Random(self._rng.random())
 
     # ------------------------------------------------------------------ lifecycle
     def create_blob(
@@ -171,7 +193,8 @@ class BlobSeer:
                     continue
 
     def close(self) -> None:
-        """Flush and close every data provider's backing store."""
+        """Stop the transfer engine and close every provider's backing store."""
+        self.transfer.close()
         for provider in self.provider_manager.providers:
             provider.close()
 
@@ -268,7 +291,13 @@ class BlobSeer:
         info: BlobInfo,
         client_hint: int | None,
     ) -> dict[int, PageDescriptor]:
-        """Push the write's pages to providers; returns index -> descriptor."""
+        """Push the write's pages to providers; returns index -> descriptor.
+
+        Interior pages — and the replicas of each page — are fanned out in
+        parallel through the deployment's transfer engine, so one large
+        write stripes across the provider pool concurrently instead of
+        trickling one page (and one replica) at a time.
+        """
         offset = ticket.offset
         end = offset + len(data)
         page_range = page_range_for_bytes(offset, len(data), page_size)
@@ -279,26 +308,41 @@ class BlobSeer:
         allocation = self.provider_manager.allocate(
             len(page_range), info.replication, client_hint=client_hint
         )
-        written: dict[int, PageDescriptor] = {}
         boundary_indices: list[int] = []
         if head_unaligned:
             boundary_indices.append(first_page)
         if tail_unaligned and (last_page - 1) not in boundary_indices:
             boundary_indices.append(last_page - 1)
 
-        # Interior (fully covered) pages can be transferred immediately,
-        # concurrently with other writers.
-        for slot, page_index in enumerate(page_range):
-            if page_index in boundary_indices:
-                continue
+        data_view = memoryview(data)
+
+        def push_page(page_index: int, chunk: bytes) -> tuple[int, PageDescriptor]:
+            key = PageKey(
+                blob_id=ticket.blob_id, version=ticket.version, index=page_index
+            )
+            stored = write_replicas(
+                self.provider_manager,
+                key,
+                chunk,
+                allocation[page_index - first_page],
+                engine=self.transfer,
+            )
+            return page_index, PageDescriptor(
+                key=key, providers=stored, size=len(chunk)
+            )
+
+        def push_interior(page_index: int) -> tuple[int, PageDescriptor]:
             page_start = page_index * page_size
             page_end = min(page_start + page_size, ticket.new_size)
-            chunk = data[page_start - offset : page_end - offset]
-            key = PageKey(blob_id=ticket.blob_id, version=ticket.version, index=page_index)
-            stored = write_replicas(
-                self.provider_manager, key, chunk, allocation[slot]
-            )
-            written[page_index] = PageDescriptor(key=key, providers=stored, size=len(chunk))
+            chunk = bytes(data_view[page_start - offset : page_end - offset])
+            return push_page(page_index, chunk)
+
+        # Interior (fully covered) pages can be transferred immediately,
+        # concurrently with other writers — and with each other.
+        interior = [p for p in page_range if p not in boundary_indices]
+        written: dict[int, PageDescriptor] = dict(
+            self.transfer.map(push_interior, interior)
+        )
 
         if boundary_indices:
             # Boundary pages need the base version's bytes: wait for it.
@@ -306,20 +350,19 @@ class BlobSeer:
             base_info = self.version_manager.version_info(
                 ticket.blob_id, ticket.base_version
             )
+            rng = self._op_rng()
             for page_index in boundary_indices:
-                slot = page_index - first_page
                 chunk = self._merge_boundary_page(
-                    ticket, data, page_index, page_size, base_info.root, base_info.size
+                    ticket,
+                    data,
+                    page_index,
+                    page_size,
+                    base_info.root,
+                    base_info.size,
+                    rng=rng,
                 )
-                key = PageKey(
-                    blob_id=ticket.blob_id, version=ticket.version, index=page_index
-                )
-                stored = write_replicas(
-                    self.provider_manager, key, chunk, allocation[slot]
-                )
-                written[page_index] = PageDescriptor(
-                    key=key, providers=stored, size=len(chunk)
-                )
+                index, descriptor = push_page(page_index, chunk)
+                written[index] = descriptor
         return written
 
     def _wait_for_base(self, ticket: WriteTicket) -> None:
@@ -336,6 +379,8 @@ class BlobSeer:
         page_size: int,
         base_root: NodeKey | None,
         base_size: int,
+        *,
+        rng: random.Random,
     ) -> bytes:
         """Combine the new bytes of a partially covered page with the base bytes."""
         offset, end = ticket.offset, ticket.offset + len(data)
@@ -350,8 +395,6 @@ class BlobSeer:
             )
             descriptor = base_descriptors.get(page_index)
             if descriptor is not None:
-                with self._rng_lock:
-                    rng = random.Random(self._rng.random())
                 old = read_page(
                     self.provider_manager,
                     descriptor,
@@ -423,12 +466,12 @@ class BlobSeer:
             info.root, page_range.first, page_range.last
         )
         buffer = bytearray((len(page_range)) * page_size)
-        with self._rng_lock:
-            rng = random.Random(self._rng.random())
-        for page_index in page_range:
+        rng = self._op_rng()
+
+        def fetch(page_index: int) -> None:
             descriptor = descriptors.get(page_index)
             if descriptor is None:
-                continue  # hole: keep zero bytes
+                return  # hole: keep zero bytes
             data = read_page(
                 self.provider_manager,
                 descriptor,
@@ -437,6 +480,11 @@ class BlobSeer:
             )
             start = (page_index - page_range.first) * page_size
             buffer[start : start + len(data)] = data
+
+        # Pages of one read are fetched concurrently: each worker fills a
+        # disjoint slice of the shared buffer, so no further coordination
+        # is needed beyond the engine's bounded pool.
+        self.transfer.map(fetch, page_range)
         skip = offset - page_range.first * page_size
         return bytes(buffer[skip : skip + size])
 
@@ -444,6 +492,103 @@ class BlobSeer:
         """Read the entire content of a published version."""
         size = self.get_size(blob_id, version)
         return self.read(blob_id, 0, size, version=version)
+
+    # ---------------------------------------------------------------- streaming
+    def open_read(
+        self,
+        blob_id: int,
+        offset: int = 0,
+        size: int | None = None,
+        *,
+        version: int | None = None,
+        read_ahead: int | None = None,
+    ) -> Iterator[memoryview]:
+        """Stream a byte range as an iterator of ``memoryview`` chunks.
+
+        Yields one chunk per page (trimmed at the range boundaries) without
+        ever materialising the whole range: up to ``read_ahead`` pages
+        (default ``config.read_ahead_pages``) are fetched through the
+        transfer engine ahead of the consumer, overlapping provider latency
+        with downstream processing.  Holes left by aborted writers read as
+        zero bytes, exactly like :meth:`read`.
+        """
+        info = self.version_manager.version_info(blob_id, version)
+        if size is None:
+            size = max(info.size - offset, 0)
+        if offset < 0 or size < 0:
+            raise InvalidRangeError("offset and size must be non-negative")
+        if offset + size > info.size:
+            raise InvalidRangeError(
+                f"range [{offset}, {offset + size}) exceeds version "
+                f"{info.version} size {info.size}"
+            )
+        if size == 0:
+            return iter(())
+        page_size = self.blob_info(blob_id).page_size
+        page_range = page_range_for_bytes(offset, size, page_size)
+        descriptors = self.metadata_manager.lookup(
+            info.root, page_range.first, page_range.last
+        )
+        rng = self._op_rng()
+        end = offset + size
+
+        def make_fetch(page_index: int):
+            def fetch() -> memoryview:
+                descriptor = descriptors.get(page_index)
+                page_start = page_index * page_size
+                page_len = min(page_size, info.size - page_start)
+                if descriptor is None:
+                    data = bytes(page_len)  # hole: zero bytes
+                else:
+                    data = read_page(
+                        self.provider_manager,
+                        descriptor,
+                        policy=self.config.read_replica_policy,
+                        rng=rng,
+                    )
+                    if len(data) < page_len:
+                        data = data + bytes(page_len - len(data))
+                lo = max(offset - page_start, 0)
+                hi = min(end - page_start, page_len)
+                return memoryview(data)[lo:hi]
+
+            return fetch
+
+        depth = read_ahead if read_ahead is not None else self.config.read_ahead_pages
+        return pipelined(
+            (make_fetch(p) for p in page_range),
+            self.transfer,
+            depth=depth,
+            budget=self.transfer.budget,
+            cost_hint=page_size,
+        )
+
+    def open_write(
+        self,
+        blob_id: int,
+        *,
+        flush_pages: int | None = None,
+        client_hint: int | None = None,
+    ) -> "BlobWriteSink":
+        """Open a streaming append sink for ``blob_id``.
+
+        The sink buffers incoming chunks (a chunk list, never a growing
+        byte string) and commits them as page-aligned appends every
+        ``flush_pages`` pages, so arbitrarily large content flows through
+        bounded memory.  Each flush publishes one new version — the same
+        contract as calling :meth:`append` per block, which is exactly what
+        the BSFS block writer does.
+        """
+        info = self.blob_info(blob_id)
+        if flush_pages is None:
+            flush_pages = max(self.config.transfer_workers, 1) * 4
+        return BlobWriteSink(
+            self,
+            blob_id,
+            page_size=info.page_size,
+            flush_pages=flush_pages,
+            client_hint=client_hint,
+        )
 
     # ------------------------------------------------------------------ locality
     def page_locations(
@@ -553,3 +698,81 @@ class BlobSeer:
             "metadata_distribution": self.dht.distribution(),
             "blobs": self.version_manager.describe(),
         }
+
+
+class BlobWriteSink:
+    """Streaming append sink returned by :meth:`BlobSeer.open_write`.
+
+    Chunks handed to :meth:`write` are kept in a chunk list (amortised
+    O(1) appends, no quadratic re-concatenation) and committed as
+    page-aligned appends once ``flush_pages`` pages have accumulated; the
+    transfer engine then pushes the pages of each flush concurrently.  The
+    final partial page is committed by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        client: BlobSeer,
+        blob_id: int,
+        *,
+        page_size: int,
+        flush_pages: int,
+        client_hint: int | None = None,
+    ) -> None:
+        if flush_pages < 1:
+            raise ValueError("flush_pages must be at least 1")
+        # Imported here to keep the module import graph acyclic-looking in
+        # reading order; transfer has no dependency back on the client.
+        from .transfer import ChunkBuffer
+
+        self._client = client
+        self._blob_id = blob_id
+        self._page_size = page_size
+        self._flush_bytes = flush_pages * page_size
+        self._client_hint = client_hint
+        self._buffer = ChunkBuffer()
+        self._closed = False
+        #: Versions published by this sink's flushes, in commit order.
+        self.versions: list[int] = []
+        #: Total bytes accepted by :meth:`write` so far.
+        self.bytes_written = 0
+
+    def _flush(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        version = self._client.append(
+            self._blob_id, self._buffer.take(nbytes), client_hint=self._client_hint
+        )
+        self.versions.append(version)
+
+    def write(self, data: bytes) -> int:
+        """Buffer ``data``; page-aligned multiples flush once full."""
+        if self._closed:
+            raise InvalidRangeError("write on a closed blob sink")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("blob sinks accept bytes-like objects only")
+        self._buffer.append(bytes(data))
+        self.bytes_written += len(data)
+        while len(self._buffer) >= self._flush_bytes:
+            # _flush_bytes is a whole number of pages, so every flush is
+            # page-aligned and consecutive appends of this sink hit the
+            # interior fast path as long as no other appender interleaves.
+            self._flush(self._flush_bytes)
+        return len(data)
+
+    def flush(self) -> None:
+        """Commit everything buffered immediately (may end a page early)."""
+        self._flush(len(self._buffer))
+
+    def close(self) -> None:
+        """Flush the remainder and refuse further writes (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    def __enter__(self) -> "BlobWriteSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

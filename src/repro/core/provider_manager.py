@@ -85,14 +85,21 @@ class LoadBalancedStrategy(AllocationStrategy):
     ) -> list[int]:
         pending = pending or {}
         self._round_robin += 1
-        ranked = sorted(
-            stats,
-            key=lambda s: (
+
+        def load(s: ProviderStats) -> tuple[int, int, int]:
+            return (
                 s.pages_stored + pending.get(s.provider_id, 0),
                 s.pages_written,
                 (s.provider_id + self._round_robin) % max(len(stats), 1),
-            ),
-        )
+            )
+
+        if replication == 1:
+            # The common unreplicated case: O(n) min instead of a full
+            # O(n log n) sort.  Allocation runs under the provider-manager
+            # lock and is the *serial* section of the now-parallel write
+            # path, so per-page cost here bounds aggregate throughput.
+            return [min(stats, key=load).provider_id]
+        ranked = sorted(stats, key=load)
         return [s.provider_id for s in ranked[:replication]]
 
 

@@ -24,6 +24,7 @@ from typing import Iterable, Sequence
 from .errors import PageNotFoundError, ProviderUnavailableError
 from .pages import PageDescriptor, PageKey
 from .provider_manager import ProviderManager
+from .transfer import TransferEngine
 
 __all__ = [
     "write_replicas",
@@ -38,25 +39,37 @@ def write_replicas(
     key: PageKey,
     data: bytes,
     provider_ids: Sequence[int],
+    *,
+    engine: TransferEngine | None = None,
 ) -> tuple[int, ...]:
     """Write ``data`` under ``key`` on every provider in ``provider_ids``.
 
-    Returns the ids of the providers that actually stored a replica.  At
-    least one replica must succeed, otherwise the page would be lost and a
+    With an ``engine``, the replicas of one page are pushed to their
+    providers *concurrently* (the striped transfer the paper's throughput
+    figures rely on) instead of one after the other; without one, the
+    sequential order is preserved.  Returns the ids of the providers that
+    actually stored a replica, in ``provider_ids`` order.  At least one
+    replica must succeed, otherwise the page would be lost and a
     :class:`~repro.core.errors.ProviderUnavailableError` is raised.
     """
-    stored: list[int] = []
-    last_error: Exception | None = None
-    for provider_id in provider_ids:
+
+    def put_one(provider_id: int) -> tuple[int, Exception | None]:
         provider = provider_manager.get(provider_id)
         try:
             provider.put_page(key, data)
-            stored.append(provider_id)
         except ProviderUnavailableError as exc:
-            last_error = exc
+            return provider_id, exc
+        return provider_id, None
+
+    if engine is not None and len(provider_ids) > 1:
+        outcomes = engine.map(put_one, provider_ids)
+    else:
+        outcomes = [put_one(provider_id) for provider_id in provider_ids]
+    stored = tuple(pid for pid, error in outcomes if error is None)
     if not stored:
-        raise last_error if last_error else ProviderUnavailableError(provider_ids)
-    return tuple(stored)
+        errors = [error for _pid, error in outcomes if error is not None]
+        raise errors[-1] if errors else ProviderUnavailableError(provider_ids)
+    return stored
 
 
 def _order_replicas(

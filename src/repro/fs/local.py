@@ -214,6 +214,34 @@ class LocalFS(FileSystem):
         entry = self._tree.get_file(path)
         return LocalFSInputStream(entry.payload, size=entry.size)
 
+    def open_read(
+        self,
+        path: str,
+        *,
+        offset: int = 0,
+        length: int | None = None,
+        chunk_size: int = 1024 * 1024,
+        client_host: str | None = None,
+    ):
+        """Stream straight from disk: one sequential file handle, no
+        per-chunk seek/lock round trip through the InputStream wrapper."""
+        self._validate_stream_range(offset, length, chunk_size)
+        entry = self._tree.get_file(path)
+        end = entry.size if length is None else min(offset + length, entry.size)
+
+        def generate():
+            with open(entry.payload, "rb") as backing:
+                backing.seek(offset)
+                position = offset
+                while position < end:
+                    chunk = backing.read(min(chunk_size, end - position))
+                    if not chunk:
+                        break
+                    position += len(chunk)
+                    yield memoryview(chunk)
+
+        return generate()
+
     # -- namespace -------------------------------------------------------------------
     def mkdirs(self, path: str) -> None:
         self._tree.mkdirs(path)

@@ -77,16 +77,24 @@ class DataNode:
             self._bytes_written += len(data)
 
     def read_block(self, block_id: int, offset: int = 0, length: int | None = None) -> bytes:
-        """Read (part of) a block replica."""
+        """Read (part of) a block replica.
+
+        The byte copy happens *outside* the node lock (blocks are immutable
+        once stored, so the reference grabbed under the lock stays valid):
+        with the transfer engine issuing many concurrent chunk reads
+        against one node, serialising every multi-megabyte slice on the
+        lock would defeat the parallel read path.
+        """
         with self._lock:
             self._check()
             data = self._blocks[block_id]
-            if length is None:
-                length = len(data) - offset
-            chunk = data[offset : offset + length]
+        if length is None:
+            length = len(data) - offset
+        chunk = data[offset : offset + length]
+        with self._lock:
             self._blocks_read += 1
             self._bytes_read += len(chunk)
-            return chunk
+        return chunk
 
     def has_block(self, block_id: int) -> bool:
         """Whether the datanode stores a replica of ``block_id``."""

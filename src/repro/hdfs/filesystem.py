@@ -19,8 +19,10 @@ from __future__ import annotations
 import itertools
 import random
 import threading
+from functools import partial
 
 from ..core.errors import ProviderUnavailableError
+from ..core.transfer import ChunkBuffer, TransferEngine, pipelined
 from ..fs import path as fspath
 from ..fs.errors import NoSuchPathError, UnsupportedOperationError
 from ..fs.interface import BlockLocation, FileStatus, FileSystem, InputStream, OutputStream
@@ -52,22 +54,25 @@ class HDFSOutputStream(OutputStream):
         self._block_size = block_size
         self._lease_holder = lease_holder
         self._client_host = client_host
-        self._buffer = bytearray()
+        # Chunk list + running length: the old ``bytearray += data`` /
+        # ``del buffer[:block_size]`` made many small writes into a 64 MB
+        # block quadratic in the buffered size.
+        self._buffer = ChunkBuffer()
 
     def _write(self, data: bytes) -> None:
-        self._buffer += data
+        self._buffer.append(data)
         while len(self._buffer) >= self._block_size:
-            block = bytes(self._buffer[: self._block_size])
-            del self._buffer[: self._block_size]
+            block = self._buffer.take(self._block_size)
             self._fs._write_block(self._path, block, self._client_host)
 
     def flush(self) -> None:
         """HDFS only makes data visible per completed block; flush is a no-op."""
 
     def _close(self) -> None:
-        if self._buffer:
-            self._fs._write_block(self._path, bytes(self._buffer), self._client_host)
-            self._buffer.clear()
+        if len(self._buffer):
+            self._fs._write_block(
+                self._path, self._buffer.take_all(), self._client_host
+            )
         self._fs.namenode.complete_file(self._path, self._lease_holder)
 
 
@@ -118,12 +123,14 @@ class HDFS(FileSystem):
         default_replication: int = 1,
         placement_policy: BlockPlacementPolicy | None = None,
         seed: int = 0,
+        transfer_workers: int = 8,
     ) -> None:
         """Create an in-process HDFS deployment.
 
         ``datanodes`` may be supplied explicitly (e.g. to control hosts and
         racks); otherwise ``num_datanodes`` nodes are created and spread
-        round-robin over ``racks`` racks.
+        round-robin over ``racks`` racks.  ``transfer_workers`` sizes the
+        transfer engine that pipelines block replication and read-ahead.
         """
         if datanodes is None:
             datanodes = [
@@ -136,6 +143,10 @@ class HDFS(FileSystem):
             default_block_size=default_block_size,
             default_replication=default_replication,
         )
+        #: Shared transfer engine: replica pushes of one block run
+        #: concurrently (the write pipeline) and streaming reads prefetch
+        #: ahead of the consumer.
+        self.transfer = TransferEngine(transfer_workers, name="hdfs-io")
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._client_ids = itertools.count(1)
@@ -197,17 +208,28 @@ class HDFS(FileSystem):
         )
 
     def _write_block(self, path: str, data: bytes, client_host: str | None) -> None:
-        """Allocate a block and push it through the replication pipeline."""
+        """Allocate a block and push it through the replication pipeline.
+
+        The real HDFS pipeline forwards packets from replica to replica so
+        all datanodes receive the block at (almost) the same time; the
+        functional equivalent here is pushing the block to every chosen
+        datanode *concurrently* through the transfer engine, instead of
+        one full block transfer after the other.
+        """
         meta, targets = self.namenode.add_block(path, writer_host=client_host)
-        written: list[int] = []
-        # The HDFS write pipeline forwards the block from replica to replica;
-        # functionally that is a sequential write to each chosen datanode.
-        for datanode in targets:
+
+        def push(datanode: DataNode) -> int | None:
             try:
                 datanode.write_block(meta.block_id, data)
-                written.append(datanode.node_id)
             except ProviderUnavailableError:
-                continue
+                return None
+            return datanode.node_id
+
+        if len(targets) > 1:
+            outcomes = self.transfer.map(push, targets)
+        else:
+            outcomes = [push(datanode) for datanode in targets]
+        written = [node_id for node_id in outcomes if node_id is not None]
         if not written:
             raise ProviderUnavailableError(
                 f"no datanode accepted block {meta.block_id} of {path!r}"
@@ -223,6 +245,55 @@ class HDFS(FileSystem):
         if not self.namenode.tree.exists(norm):
             raise NoSuchPathError(norm)
         return HDFSInputStream(self, norm, client_host=client_host)
+
+    def open_read(
+        self,
+        path: str,
+        *,
+        offset: int = 0,
+        length: int | None = None,
+        chunk_size: int = 1024 * 1024,
+        client_host: str | None = None,
+        read_ahead: int = 4,
+    ):
+        """Stream a byte range as block chunks with concurrent read-ahead.
+
+        Chunks are fetched through the transfer engine up to ``read_ahead``
+        ahead of the consumer, so datanode latency overlaps with
+        processing; every chunk keeps the per-chunk replica failover of
+        :meth:`_read_block`.
+        """
+        self._validate_stream_range(offset, length, chunk_size)
+        norm = fspath.normalize(path)
+        if not self.namenode.tree.exists(norm):
+            raise NoSuchPathError(norm)
+        status = self.namenode.status(norm)
+        blocks = self.namenode.file_blocks(norm)
+        end = status.size if length is None else min(offset + length, status.size)
+        if offset >= end:
+            return iter(())
+
+        def fetch_chunk(meta, chunk_offset: int, size: int) -> memoryview:
+            return memoryview(
+                self._read_block(meta, chunk_offset, size, client_host)
+            )
+
+        def thunks():
+            position = 0
+            for meta in blocks:
+                block_start, block_end = position, position + meta.length
+                position = block_end
+                if block_end <= offset or block_start >= end:
+                    continue
+                lo = max(offset, block_start) - block_start
+                hi = min(end, block_end) - block_start
+                chunk_offset = lo
+                while chunk_offset < hi:
+                    size = min(chunk_size, hi - chunk_offset)
+                    yield partial(fetch_chunk, meta, chunk_offset, size)
+                    chunk_offset += size
+
+        return pipelined(thunks(), self.transfer, depth=read_ahead)
 
     def _read_block(
         self, meta, offset: int, length: int, client_host: str | None
@@ -292,6 +363,22 @@ class HDFS(FileSystem):
         self, path: str, offset: int = 0, length: int | None = None
     ) -> list[BlockLocation]:
         return self.namenode.block_locations(path, offset, length)
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the transfer engine's worker pool down (idempotent).
+
+        Long-lived processes that build many deployments (test suites,
+        benchmark sweeps) should close retired instances so their pool
+        threads are joined instead of lingering until interpreter exit.
+        """
+        self.transfer.close()
+
+    def __enter__(self) -> "HDFS":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- monitoring ------------------------------------------------------------------------
     def stats(self) -> dict:

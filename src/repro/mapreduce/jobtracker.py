@@ -47,6 +47,7 @@ from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Any, Callable, Iterator
 
+from ..core.transfer import TransferEngine
 from ..fs import path as fspath
 from ..fs.interface import FileSystem
 from ..fs.registry import get_filesystem
@@ -624,13 +625,22 @@ class JobTracker:
             )
 
         shuffle_service: ShuffleService | None = None
+        shuffle_transfer: TransferEngine | None = None
         if job.conf.spill_to_fs and not job.conf.is_map_only:
+            # A per-job prefetch engine keeps one heavy shuffle from
+            # starving the process-wide fallback pool that other jobs (or
+            # the benchmarks) share; it is shut down with the job.
+            shuffle_transfer = TransferEngine(
+                max(2, min(2 * max(num_partitions, 1), 16)),
+                name=f"shuffle-{job.name[:16]}",
+            )
             shuffle_service = ShuffleService(
                 self.fs,
                 num_maps=len(assignments),
                 num_partitions=num_partitions,
                 shuffle_dir=fspath.join(job.conf.output_dir, "_shuffle"),
                 segment_size=job.conf.shuffle_segment_size,
+                transfer=shuffle_transfer,
             )
 
         map_only = job.conf.is_map_only
@@ -852,6 +862,8 @@ class JobTracker:
                     "shuffle_segments_fetched", shuffle_service.segments_fetched
                 )
                 shuffle_service.cleanup()
+            if shuffle_transfer is not None:
+                shuffle_transfer.close()
 
         # Results are read only now, after every pool joined: race-losing
         # attempts finishing during pool shutdown are included too.

@@ -19,6 +19,7 @@ import operator
 from collections import defaultdict
 from typing import Any, Callable, Iterable, Iterator
 
+from ..core.transfer import ChunkBuffer
 from ..fs.interface import FileSystem
 from ..fs import path as fspath
 
@@ -160,10 +161,14 @@ class TextOutputFormat:
         replication: int | None = None,
         client_host: str | None = None,
     ) -> str:
-        """Write one task's output pairs; returns the part file path."""
+        """Write one task's output pairs; returns the part file path.
+
+        Pairs are encoded and written line by line through the streaming
+        sink, so a task's output never has to fit in memory at once.
+        """
         fs.mkdirs(output_dir)
         path = self.output_path(output_dir, task_index, map_only=map_only)
-        with fs.create(
+        with fs.open_write(
             path, overwrite=True, replication=replication, client_host=client_host
         ) as stream:
             for key, value in pairs:
@@ -185,11 +190,26 @@ class SingleFileOutputFormat(TextOutputFormat):
     appends: instead of one ``part-*`` file per reducer, all reducers append
     their output to a single file.  It requires the target file system to
     expose ``concurrent_append`` (BSFS does; HDFS raises).
+
+    Output streams through bounded appends: encoded lines accumulate in a
+    chunk list and are appended once ``append_chunk_bytes`` is reached, so
+    a reducer with output larger than memory still commits.  Flushes only
+    ever happen at line boundaries — concurrent reducers may interleave
+    *between* appends, so a line must never straddle two of them.
     """
 
-    def __init__(self, *, filename: str = "output.txt", separator: bytes = b"\t") -> None:
+    def __init__(
+        self,
+        *,
+        filename: str = "output.txt",
+        separator: bytes = b"\t",
+        append_chunk_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
         super().__init__(separator=separator)
+        if append_chunk_bytes < 1:
+            raise ValueError("append_chunk_bytes must be positive")
         self._filename = filename
+        self._append_chunk_bytes = append_chunk_bytes
 
     def shared_path(self, output_dir: str) -> str:
         """Path of the single shared output file under ``output_dir``."""
@@ -239,9 +259,13 @@ class SingleFileOutputFormat(TextOutputFormat):
             except Exception:
                 # Another reducer created it concurrently; that is fine.
                 pass
-        payload = bytearray()
+        payload = ChunkBuffer()
         for key, value in pairs:
-            payload += self._encode(key) + self._separator + self._encode(value) + b"\n"
-        if payload:
-            concurrent_append(path, bytes(payload))
+            payload.append(
+                self._encode(key) + self._separator + self._encode(value) + b"\n"
+            )
+            if len(payload) >= self._append_chunk_bytes:
+                concurrent_append(path, payload.take_all())
+        if len(payload):
+            concurrent_append(path, payload.take_all())
         return path

@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from ..core.transfer import TransferEngine, default_engine
 from ..fs import path as fspath
 from ..fs.errors import FileSystemError
 from ..fs.interface import FileSystem
@@ -100,9 +101,13 @@ class SegmentReader:
       does not accumulate open file handles;
     * :meth:`prefetch` is a single open-read-close of the first chunk (the
       reduce-side "fetch" that overlaps the map phase) — it leaves data in
-      the buffer but no handle open;
+      the buffer but no handle open; the shuffle service runs prefetches
+      *asynchronously* on its transfer engine, so many segments fetch in
+      parallel while the merge is still consuming earlier ones
+      (:meth:`attach_prefetch` hands the reader the in-flight future);
     * during iteration at most ``chunk_size`` bytes of undecoded data (plus
-      one record) are held, and the stream is closed when exhausted.
+      one record) are held via the backend's streaming ``open_read``, and
+      the stream is closed when exhausted.
     """
 
     def __init__(
@@ -115,28 +120,53 @@ class SegmentReader:
     ) -> None:
         self.segment = segment
         self._fs = fs
-        self._stream = None
+        self._chunks = None  # lazily opened streaming read iterator
         self._chunk_size = max(chunk_size, _LENGTH.size)
         self._buffer = bytearray()
         self._offset = 0  # next storage byte to read
         self._on_release = on_release
         self._prefetched_bytes = 0
+        self._prefetch_future = None
+
+    def attach_prefetch(self, future) -> None:
+        """Record the in-flight async prefetch of this reader."""
+        self._prefetch_future = future
+
+    def _resolve_prefetch(self) -> None:
+        """Wait for an in-flight async prefetch before touching the buffer."""
+        future, self._prefetch_future = self._prefetch_future, None
+        if future is not None:
+            future.result()
 
     def prefetch(self) -> int:
         """Open-read-close the first chunk from storage; returns bytes read.
 
         Runs as soon as the producing map completes, overlapping shuffle
         reads with the still-running map phase without keeping a stream
-        open while the reader waits its turn in the merge.
+        open while the reader waits its turn in the merge.  Bytes are
+        committed to the buffer only on success, so a failed prefetch
+        leaves the reader clean for a plain (error-reporting) read.
         """
-        if self._offset or self._stream is not None:
+        if self._offset or self._chunks is not None:
             return 0
-        with self._fs.open(self.segment.path) as stream:
-            chunk = stream.read(self._chunk_size)
-        self._buffer += chunk
-        self._offset += len(chunk)
-        self._prefetched_bytes = len(chunk)
-        return len(chunk)
+        fetched: list[bytes] = []
+        got = 0
+        chunks = self._fs.open_read(
+            self.segment.path, length=self._chunk_size, chunk_size=self._chunk_size
+        )
+        try:
+            for chunk in chunks:
+                fetched.append(bytes(chunk))
+                got += len(chunk)
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
+        for chunk in fetched:
+            self._buffer += chunk
+        self._offset += got
+        self._prefetched_bytes = got
+        return got
 
     def _release_prefetch(self) -> None:
         """Hand the prefetched bytes back to their accountant (once).
@@ -151,10 +181,15 @@ class SegmentReader:
             self._on_release(released)
 
     def _read_chunk(self) -> bytes:
-        if self._stream is None:
-            self._stream = self._fs.open(self.segment.path)
-            self._stream.seek(self._offset)
-        chunk = self._stream.read(self._chunk_size)
+        if self._chunks is None:
+            # Resume the streaming read where the prefetch stopped; the
+            # backend's open_read applies its own read-ahead from here on.
+            self._chunks = self._fs.open_read(
+                self.segment.path,
+                offset=self._offset,
+                chunk_size=self._chunk_size,
+            )
+        chunk = next(self._chunks, b"")
         self._offset += len(chunk)
         return chunk
 
@@ -168,12 +203,16 @@ class SegmentReader:
 
     def close(self) -> None:
         """Release the storage stream and any prefetch accounting (idempotent)."""
+        self._resolve_prefetch()
         self._release_prefetch()
-        if self._stream is not None:
-            self._stream.close()
-            self._stream = None
+        if self._chunks is not None:
+            close = getattr(self._chunks, "close", None)
+            if close is not None:
+                close()
+            self._chunks = None
 
     def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        self._resolve_prefetch()
         self._release_prefetch()
         try:
             while True:
@@ -219,6 +258,7 @@ class ShuffleService:
         fetch_chunk_size: int = 64 * 1024,
         merge_factor: int = DEFAULT_MERGE_FACTOR,
         prefetch_budget: int = DEFAULT_PREFETCH_BUDGET,
+        transfer: TransferEngine | None = None,
     ) -> None:
         if num_maps < 0:
             raise ValueError("num_maps cannot be negative")
@@ -229,6 +269,13 @@ class ShuffleService:
         if merge_factor < 2:
             raise ValueError("merge_factor must be at least 2")
         self._fs = fs
+        # Prefetches run asynchronously on a transfer engine, so segment
+        # fetches of one reducer overlap both the map phase and the merge.
+        # Deliberately NOT the file system's own engine: a prefetch blocks
+        # on the backend's nested streaming read (which submits page
+        # fetches to the backend engine), so running it on that same
+        # bounded pool could deadlock it against its own children.
+        self._transfer = transfer or default_engine()
         self._num_maps = num_maps
         self._num_partitions = num_partitions
         self._dir = fspath.normalize(shuffle_dir)
@@ -278,7 +325,7 @@ class ShuffleService:
         path = self._segment_path(map_index, partition, sequence, attempt)
         # Intermediate data is transient; replication 1 matches Hadoop's
         # unreplicated map-output spills.
-        with self._fs.create(path, overwrite=True, replication=1) as stream:
+        with self._fs.open_write(path, overwrite=True, replication=1) as stream:
             stream.write(payload)
         return SpilledSegment(
             map_index=map_index,
@@ -434,16 +481,37 @@ class ShuffleService:
                         self._prefetch_remaining -= reserved
                     else:
                         reserved = 0
-                fetched = reader.prefetch() if reserved > 0 else 0
-                now = time.monotonic()
+                if reserved > 0:
+                    # The prefetch itself runs on the transfer engine so
+                    # many segments fetch in parallel while this generator
+                    # (and the merge behind it) keeps moving; the reader
+                    # joins the future before first use.
+                    reader.attach_prefetch(
+                        self._transfer.submit(self._prefetch_one, reader, reserved)
+                    )
                 with self._cond:
-                    self._prefetch_remaining += max(reserved - fetched, 0)
                     if self._first_fetch is None:
-                        self._first_fetch = now
+                        self._first_fetch = time.monotonic()
                     self.segments_fetched += 1
                 yield reader
             if finished:
                 return
+
+    def _prefetch_one(self, reader: SegmentReader, reserved: int) -> int:
+        """Engine-side body of one async segment prefetch.
+
+        Never lets an exception escape into the future: a failed prefetch
+        just refunds its reservation and leaves the reader clean, so the
+        real (diagnosable) error surfaces from the merge's own read.
+        """
+        fetched = 0
+        try:
+            fetched = reader.prefetch()
+        except BaseException:
+            fetched = 0
+        with self._cond:
+            self._prefetch_remaining += max(reserved - fetched, 0)
+        return fetched
 
     def merged_pairs(self, partition: int) -> Iterator[tuple[Any, Any]]:
         """External k-way merge over every segment of ``partition``.
@@ -493,7 +561,7 @@ class ShuffleService:
         records = 0
         total = 0
         buffer = bytearray()
-        with self._fs.create(path, overwrite=True, replication=1) as stream:
+        with self._fs.open_write(path, overwrite=True, replication=1) as stream:
             for pair in heapq.merge(*readers, key=lambda kv: repr(kv[0])):
                 payload = pickle.dumps(tuple(pair), protocol=pickle.HIGHEST_PROTOCOL)
                 buffer += _LENGTH.pack(len(payload))

@@ -48,7 +48,16 @@ class InputSplit:
 
 
 class LineRecordReader:
-    """Iterates ``(byte offset, line)`` records of one split, Hadoop-style."""
+    """Iterates ``(byte offset, line)`` records of one split, Hadoop-style.
+
+    The reader makes a *single streaming pass* over the split through the
+    file system's ``open_read`` API: chunks arrive with backend read-ahead
+    (BSFS fetches pages concurrently, HDFS prefetches block chunks), so
+    record decoding overlaps with actual byte movement instead of issuing
+    one blocking positional read per chunk.  The bytes consumed while
+    skipping the leading partial line seed the record buffer — the old
+    two-phase implementation read them twice.
+    """
 
     def __init__(
         self,
@@ -67,51 +76,80 @@ class LineRecordReader:
         split = self._split
         file_size = self._fs.status(split.path).size
         end = min(split.offset + split.length, file_size)
-        with self._fs.open(split.path) as stream:
+        start = min(split.offset, file_size)
+        # The stream is bounded by the size observed *now*: a split may
+        # read past its end to finish its last line, but never past the
+        # file size its splits were computed against (which concurrent
+        # appenders — or a snapshot view — may disagree with).
+        chunks = self._fs.open_read(
+            split.path,
+            offset=start,
+            length=file_size - start,
+            chunk_size=self._read_chunk,
+        )
+        buffer = bytearray()
+        base = start  # absolute file offset of buffer[0]
+
+        def fill() -> bool:
+            chunk = next(chunks, None)
+            if chunk is None:
+                return False
+            buffer.extend(chunk)
+            return True
+
+        try:
             if split.offset > 0:
-                record_start = self._skip_partial_line(stream, split.offset, file_size)
-            else:
-                record_start = 0
-            buffer = b""
-            fetch_position = record_start
+                # Skip the first (partial) line: it belongs to the previous
+                # split, which always reads past its end to finish it.
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline >= 0:
+                        del buffer[: newline + 1]
+                        base += newline + 1
+                        break
+                    # No newline yet: the scanned bytes can be dropped
+                    # wholesale (a one-byte delimiter cannot straddle
+                    # chunks), so skipping never buffers more than one
+                    # chunk however far away the next newline is.
+                    base += len(buffer)
+                    buffer.clear()
+                    if not fill():
+                        return  # no newline between the offset and EOF
+            record_start = base
+            pos = 0  # offset of the current record within the buffer
+            search_from = 0
             # Hadoop's convention: a split also owns the record that *starts*
             # exactly at its end offset, because the next split always skips
             # its first (possibly complete) line.  Hence ``<=`` below.
-            while record_start <= end or buffer:
-                newline = buffer.find(b"\n")
+            while True:
+                newline = buffer.find(b"\n", search_from)
                 if newline < 0:
-                    if fetch_position < file_size:
-                        chunk = stream.pread(
-                            fetch_position,
-                            min(self._read_chunk, file_size - fetch_position),
-                        )
-                        fetch_position += len(chunk)
-                        buffer += chunk
+                    # No complete line buffered: compact and fetch more.
+                    if pos:
+                        del buffer[:pos]
+                        base += pos
+                        pos = 0
+                    search_from = len(buffer)
+                    if fill():
                         continue
                     # End of file: the remaining buffer is a final line
                     # without a trailing newline.
                     if buffer and record_start <= end:
-                        yield record_start, buffer
+                        yield record_start, bytes(buffer)
                     return
-                line = buffer[:newline]
-                buffer = buffer[newline + 1 :]
                 if record_start > end:
                     return
+                line = bytes(buffer[pos:newline])
                 yield record_start, line
                 record_start += len(line) + 1
-
-    def _skip_partial_line(self, stream, start: int, file_size: int) -> int:
-        """Return the offset just past the first newline at or after ``start``."""
-        position = start
-        while position < file_size:
-            chunk = stream.pread(position, min(self._read_chunk, file_size - position))
-            if not chunk:
-                break
-            newline = chunk.find(b"\n")
-            if newline >= 0:
-                return position + newline + 1
-            position += len(chunk)
-        return position
+                pos = newline + 1
+                search_from = pos
+                if record_start > end:
+                    return
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
 
 
 class TextInputFormat:

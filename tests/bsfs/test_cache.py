@@ -153,3 +153,19 @@ class TestWriteAggregator:
         # Every flushed block except the last is exactly block_size long.
         for block in flushed[:-1]:
             assert len(block) == block_size
+
+    def test_many_small_writes_do_linear_copy_work(self):
+        # Regression for the O(n²) ``self._buffer += data`` pattern: with a
+        # 256 KiB block and 20k one-byte writes, the old bytearray buffer
+        # re-shifted the pending prefix on every flush boundary check.  The
+        # chunk-list buffer must join each byte at most twice (split
+        # remainder + block assembly), measured by op count — bytes_joined —
+        # not by wall clock.
+        block_size = 256 * 1024
+        writes = 20_000
+        aggregator = WriteAggregator(block_size, lambda b: None)
+        for _ in range(writes):
+            aggregator.write(b"y")
+        aggregator.close()
+        assert aggregator.stats.flushed_bytes == writes
+        assert aggregator.buffer.bytes_joined <= 2 * writes

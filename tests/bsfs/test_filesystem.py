@@ -219,6 +219,75 @@ class TestStats:
         assert stats["files"] == 1
 
 
+class TestSequentialReadAhead:
+    def test_miss_prefetches_next_block_in_background(self, bsfs: BSFS):
+        import time
+
+        bsfs.write_file("/ra.bin", b"r" * (3 * BLOCK))
+        stream = bsfs.open("/ra.bin")
+        stream.read(10)  # miss on block 0 schedules block 1 on the engine
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            if 1 in stream.cache.cached_blocks():
+                break
+            time.sleep(0.005)
+        assert 1 in stream.cache.cached_blocks()
+        hits_before = stream.cache.stats.hits
+        assert stream.pread(BLOCK, 10) == b"r" * 10  # served from the cache
+        assert stream.cache.stats.hits == hits_before + 1
+
+    def test_read_ahead_does_not_cascade_past_one_block(self, bsfs: BSFS):
+        import time
+
+        bsfs.write_file("/ra2.bin", b"c" * (6 * BLOCK))
+        stream = bsfs.open("/ra2.bin")
+        stream.read(10)
+        time.sleep(0.1)  # give a (wrong) cascade time to run away
+        cached = set(stream.cache.cached_blocks())
+        assert 0 in cached
+        assert cached <= {0, 1}
+
+    def test_hits_keep_the_prefetch_pipeline_primed(self, bsfs: BSFS):
+        # Review finding: prefetch scheduled only on misses stalls on
+        # every other block.  A *hit* on block k must keep block k+1's
+        # fetch in flight too.
+        import time
+
+        bsfs.write_file("/ra4.bin", b"s" * (4 * BLOCK))
+        stream = bsfs.open("/ra4.bin")
+        stream.read(10)  # miss on 0 → prefetch 1
+
+        def wait_cached(index):
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if index in stream.cache.cached_blocks():
+                    return True
+                time.sleep(0.005)
+            return False
+
+        assert wait_cached(1)
+        assert stream.pread(BLOCK, 10) == b"s" * 10  # hit on 1 → prefetch 2
+        assert wait_cached(2)
+        assert stream.cache.stats.read_ahead_blocks >= 2
+
+    def test_read_ahead_can_be_disabled(self, bsfs: BSFS):
+        import time
+
+        bsfs.write_file("/ra5.bin", b"n" * (3 * BLOCK))
+        stream = bsfs.open("/ra5.bin", read_ahead=False)
+        stream.read(10)
+        time.sleep(0.05)
+        assert stream.cache.cached_blocks() == [0]
+        assert stream.cache.stats.read_ahead_blocks == 0
+
+    def test_populate_races_are_harmless(self, bsfs: BSFS):
+        bsfs.write_file("/ra3.bin", b"p" * (2 * BLOCK))
+        stream = bsfs.open("/ra3.bin")
+        data = stream.read(BLOCK)  # caches block 0
+        assert not stream.cache.populate(0, b"ignored")  # already present
+        assert stream.pread(0, BLOCK) == data
+
+
 class TestSharedBlobSeerDeployment:
     def test_bsfs_over_external_blobseer(self):
         from repro.core import BlobSeer

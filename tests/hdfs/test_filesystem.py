@@ -54,6 +54,42 @@ class TestBlockAllocationAndPipeline:
         assert len(meta.locations) >= 1
         assert hdfs.read_file("/tolerant.bin") == b"t" * BLOCK
 
+    def test_replica_pushes_run_concurrently(self):
+        # The write pipeline must push one block's replicas to the chosen
+        # datanodes in parallel: three barrier-gated datanodes can only all
+        # accept the block if their writes overlap in time.
+        import threading
+
+        from repro.hdfs import DataNode
+
+        barrier = threading.Barrier(3, timeout=5)
+
+        class GatedDataNode(DataNode):
+            def write_block(self, block_id, data):
+                barrier.wait()
+                super().write_block(block_id, data)
+
+        nodes = [GatedDataNode(i, host=f"g{i}", rack=f"r{i}") for i in range(3)]
+        fs = HDFS(datanodes=nodes, default_block_size=BLOCK, default_replication=3)
+        fs.write_file("/parallel.bin", b"p" * BLOCK)
+        meta = fs.namenode.file_blocks("/parallel.bin")[0]
+        assert sorted(meta.locations) == [0, 1, 2]
+
+    def test_many_small_writes_do_linear_copy_work(self, hdfs: HDFS):
+        # Regression for the O(n²) block-writer buffer: 20k one-byte writes
+        # against a 16 KiB block must not re-copy the pending buffer per
+        # write.  Asserted on the chunk buffer's join counter (op count),
+        # not on wall clock.
+        writes = 20_000
+        stream = hdfs.create("/tiny-writes.bin")
+        for _ in range(writes):
+            stream.write(b"k")
+        buffer_joined = stream._buffer.bytes_joined
+        stream.close()
+        assert buffer_joined <= 2 * writes
+        assert hdfs.size("/tiny-writes.bin") == writes
+        assert hdfs.read_file("/tiny-writes.bin") == b"k" * writes
+
 
 class TestReads:
     def test_reader_prefers_local_replica(self, hdfs: HDFS):

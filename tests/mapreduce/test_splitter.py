@@ -139,6 +139,76 @@ class TestLineRecordReader:
         assert collected == expected
 
 
+class TestReaderSizeBoundary:
+    def test_reader_respects_a_clamped_status_size(self, bsfs):
+        # Regression: the streaming reader must bound its byte stream by
+        # the size ``status`` reports, not by how many bytes ``open_read``
+        # could produce.  Snapshot views (benchmarks/E7) clamp ``status``
+        # to a snapshot size while delegating the byte stream — records
+        # appended past the snapshot must stay invisible.
+        path = "/in/growing.txt"
+        write_lines(bsfs, path, [b"one", b"two"], newline_at_end=True)
+        snapshot_size = bsfs.size(path)  # 8: "one\ntwo\n"
+        bsfs.concurrent_append(path, b"three\n")
+
+        class ClampedView:
+            def status(self, p):
+                status = bsfs.status(p)
+                return type(status)(
+                    path=status.path,
+                    is_dir=status.is_dir,
+                    size=min(snapshot_size, status.size),
+                    block_size=status.block_size,
+                    replication=status.replication,
+                    modification_time=status.modification_time,
+                )
+
+            def __getattr__(self, name):
+                return getattr(bsfs, name)
+
+        split = InputSplit(split_id=0, path=path, offset=0, length=snapshot_size)
+        records = [
+            line for _offset, line in LineRecordReader(ClampedView(), split)
+        ]
+        assert records == [b"one", b"two"]
+
+
+class TestSkipScanMemory:
+    def test_skip_phase_buffers_at_most_one_chunk(self, bsfs):
+        # Review finding: a split starting inside a huge newline-free run
+        # must not accumulate everything up to the next newline while
+        # skipping its leading partial line — the scanned bytes are
+        # dropped chunk by chunk.  Measured by peak traced allocation: the
+        # pre-fix reader buffered the whole 4 MiB run (peak >= 4 MiB).
+        import tracemalloc
+
+        path = "/in/one-line.bin"
+        run = 4 * 1024 * KB  # 4 MiB without a single newline
+        bsfs.write_file(path, b"q" * run)
+        split = InputSplit(split_id=1, path=path, offset=10, length=100)
+        reader = LineRecordReader(bsfs, split, read_chunk=64 * KB)
+        tracemalloc.start()
+        try:
+            records = list(reader)
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        assert records == []  # no newline at or after the offset
+        assert peak < 2 * 1024 * KB, f"skip scan buffered ~{peak} bytes"
+
+    def test_skip_scan_yields_line_after_giant_run(self, bsfs):
+        path = "/in/one-line2.bin"
+        run = 100 * KB
+        bsfs.write_file(path, b"q" * run + b"\ntail-line\n")
+        # Split covering the newline: owns the record starting after it.
+        split = InputSplit(split_id=1, path=path, offset=10, length=run)
+        records = [
+            line
+            for _offset, line in LineRecordReader(bsfs, split, read_chunk=4 * KB)
+        ]
+        assert records == [b"tail-line"]
+
+
 class TestSyntheticInputFormat:
     def test_one_split_per_map_task(self, bsfs):
         conf = JobConf(name="gen", output_dir="/out", num_reduce_tasks=0, num_map_tasks=5)
