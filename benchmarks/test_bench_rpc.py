@@ -1,0 +1,202 @@
+"""F4 — service-layer cost and failure-detection speed.
+
+The paper's deployment pays a real RPC for every page transfer and
+heartbeat; this benchmark prices that layer.  Three RPC scenarios measure
+round-trip rate (loopback codec path, TCP, and TCP with pipelined
+concurrent callers on one connection), and a fourth measures the
+availability story end to end: how quickly a killed provider is detected
+by missed heartbeats and its pages are re-replicated until a read
+returns byte-identical data.
+
+Every row reports ``ops_per_s`` (higher is better) so the perf gate can
+compare scenarios uniformly; for the detect-recover row the "op" is one
+full detection-and-recovery cycle, i.e. ``ops_per_s = 1 / seconds to
+recover``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport
+from repro.bsfs import BSFS
+from repro.core import KB, BlobSeer, BlobSeerConfig, DataProvider
+from repro.net import (
+    ClusterConfig,
+    ControlService,
+    HeartbeatPump,
+    LoopbackTransport,
+    NetworkFaultPlan,
+    RecoveryCoordinator,
+    RetryPolicy,
+    RpcServer,
+    ServiceRegistry,
+    TcpTransport,
+    loopback_provider_stub,
+)
+
+EXPERIMENT = "F4"
+
+PAYLOAD = b"x" * KB
+
+
+class EchoService:
+    """Minimal service so the benchmark times the layer, not the work."""
+
+    def echo(self, value):
+        return value
+
+
+def _echo_registry() -> ServiceRegistry:
+    registry = ServiceRegistry()
+    registry.register("echo", EchoService())
+    return registry
+
+
+def _time_calls(call, count: int) -> float:
+    started = time.perf_counter()
+    for _ in range(count):
+        call()
+    return time.perf_counter() - started
+
+
+def _bench_loopback(calls: int) -> float:
+    with LoopbackTransport(_echo_registry()) as transport:
+        return _time_calls(lambda: transport.call("echo", "echo", PAYLOAD), calls)
+
+
+def _bench_tcp(calls: int) -> float:
+    with RpcServer(_echo_registry()) as server:
+        host, port = server.address
+        with TcpTransport(host, port, retry=RetryPolicy.no_retry()) as transport:
+            return _time_calls(
+                lambda: transport.call("echo", "echo", PAYLOAD), calls
+            )
+
+
+def _bench_tcp_pipelined(calls: int, workers: int = 8) -> float:
+    """Concurrent callers multiplexed on one pooled connection."""
+    with RpcServer(_echo_registry()) as server:
+        host, port = server.address
+        with TcpTransport(
+            host, port, pool_size=1, retry=RetryPolicy.no_retry()
+        ) as transport:
+            per_worker = calls // workers
+
+            def worker():
+                for _ in range(per_worker):
+                    transport.call("echo", "echo", PAYLOAD)
+
+            threads = [threading.Thread(target=worker) for _ in range(workers)]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - started
+
+
+def _bench_detect_recover() -> float:
+    """Seconds from killing a provider to a byte-identical read back."""
+    fast = ClusterConfig(heartbeat_interval=0.02, max_missed_heartbeats=2)
+    faults = NetworkFaultPlan()
+    config = BlobSeerConfig(
+        page_size=4 * KB,
+        num_providers=4,
+        num_metadata_providers=3,
+        replication=2,
+        rng_seed=7,
+    )
+    backends = [
+        DataProvider(i, host=f"node-{i}", rack=f"rack-{i % 2}")
+        for i in range(config.num_providers)
+    ]
+    stubs = [
+        loopback_provider_stub(p, faults=faults, retry=RetryPolicy.no_retry())
+        for p in backends
+    ]
+    bs = BlobSeer(config, providers=stubs)
+    fs = BSFS(blobseer=bs, default_block_size=16 * KB)
+    registry = fast.make_registry()
+    control = ControlService(registry)
+    coordinator = RecoveryCoordinator(registry, blobseer=bs, control=control)
+    pumps = []
+    for backend in backends:
+        control.register(backend.host, "provider", backend.provider_id)
+        pumps.append(
+            HeartbeatPump(
+                lambda name=backend.host: (
+                    faults.on_message(name, "control"),
+                    control.heartbeat(name),
+                ),
+                interval=fast.heartbeat_interval,
+                should_beat=lambda name=backend.host: not faults.is_killed(name),
+            ).start()
+        )
+    try:
+        payload = bytes(range(256)) * 128  # 32 KiB
+        fs.write_file("/durable.bin", payload)
+        victim = backends[1]
+        started = time.perf_counter()
+        faults.kill(victim.host)
+        victim.fail()
+        with coordinator.monitor():
+            assert registry.await_death(victim.host, timeout=30.0)
+        assert fs.read_file("/durable.bin") == payload
+        elapsed = time.perf_counter() - started
+        assert coordinator.recoveries
+        return elapsed
+    finally:
+        for pump in pumps:
+            pump.stop()
+
+
+def _run(scale):
+    calls = 4000 if scale.paper else 800
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"RPC round-trip rate and failure detect-to-recover time — {scale.label}",
+    )
+    rates = {}
+    for scenario, elapsed in (
+        ("loopback-rpc", _bench_loopback(calls)),
+        ("tcp-rpc", _bench_tcp(calls)),
+        ("tcp-rpc-pipelined", _bench_tcp_pipelined(calls)),
+    ):
+        rates[scenario] = calls / elapsed
+        report.add_row(
+            {
+                "scenario": scenario,
+                "calls": calls,
+                "ops_per_s": round(calls / elapsed, 1),
+                "mean_latency_us": round(elapsed / calls * 1e6, 1),
+            }
+        )
+    recovery_seconds = _bench_detect_recover()
+    rates["detect-recover"] = 1.0 / recovery_seconds
+    report.add_row(
+        {
+            "scenario": "detect-recover",
+            "calls": 1,
+            "ops_per_s": round(1.0 / recovery_seconds, 2),
+            "mean_latency_us": round(recovery_seconds * 1e6, 1),
+        }
+    )
+    report.note(
+        "detect-recover op = SIGKILL-equivalent fault -> missed-heartbeat "
+        "death -> re-replication -> byte-identical read "
+        f"({recovery_seconds * 1000:.0f} ms)"
+    )
+    return report, rates
+
+
+def test_bench_rpc(benchmark, scale):
+    report, rates = run_once(benchmark, _run, scale)
+    report.print()
+    # The loopback path skips sockets entirely: it must beat real TCP.
+    assert rates["loopback-rpc"] > rates["tcp-rpc"]
+    # Detection plus recovery completes in seconds, not minutes.
+    assert rates["detect-recover"] > 1 / 60

@@ -185,10 +185,16 @@ class ProviderManager:
             self.register(provider)
 
     # -- registry -----------------------------------------------------------------
-    def register(self, provider: DataProvider) -> None:
-        """Add a provider to the pool; its id must be unique."""
+    def register(self, provider: DataProvider, *, replace: bool = False) -> None:
+        """Add a provider to the pool; its id must be unique.
+
+        ``replace=True`` allows a restarted node process to re-register
+        under its old id: the stale entry is swapped out instead of
+        double-counting capacity.  Without it a duplicate id is an error,
+        preserving the strict semantics the allocator tests rely on.
+        """
         with self._lock:
-            if provider.provider_id in self._providers:
+            if provider.provider_id in self._providers and not replace:
                 raise AllocationError(
                     f"provider id {provider.provider_id} already registered"
                 )
@@ -203,6 +209,17 @@ class ProviderManager:
                 raise AllocationError(
                     f"provider id {provider_id} is not registered"
                 ) from None
+
+    def deregister(self, provider_id: int) -> DataProvider | None:
+        """Remove a provider if present (idempotent :meth:`unregister`).
+
+        Failure-detection paths call this when a node is declared dead;
+        the node may already be gone (clean shutdown raced the heartbeat
+        timeout), so a missing id is not an error.  Returns the removed
+        provider, or ``None`` if the id was not registered.
+        """
+        with self._lock:
+            return self._providers.pop(provider_id, None)
 
     def get(self, provider_id: int) -> DataProvider:
         """Return the provider registered under ``provider_id``."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import sys
 import threading
 from functools import partial
 
@@ -313,12 +314,21 @@ class HDFS(FileSystem):
                 client_rack = node.rack
                 break
 
+        def load(node: DataNode) -> int:
+            # Over a remote stub the stats call itself can fail when the
+            # node process is gone; sort such replicas last instead of
+            # failing the read before the failover loop gets a chance.
+            try:
+                return node.stats().blocks_read
+            except ProviderUnavailableError:
+                return sys.maxsize
+
         def distance(node: DataNode) -> tuple[int, int]:
             if client_host is not None and node.host == client_host:
-                return (0, node.stats().blocks_read)
+                return (0, load(node))
             if client_rack is not None and node.rack == client_rack:
-                return (1, node.stats().blocks_read)
-            return (2, node.stats().blocks_read)
+                return (1, load(node))
+            return (2, load(node))
 
         for node in sorted(replicas, key=distance):
             if not node.available:

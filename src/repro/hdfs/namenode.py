@@ -72,9 +72,104 @@ class NameNode:
         return self._datanodes[node_id]
 
     def register_datanode(self, datanode: DataNode) -> None:
-        """Add a datanode to the cluster."""
+        """Add a datanode to the cluster (re-registration replaces the
+        stale entry, so a restarted node process never double-counts)."""
         with self._lock:
             self._datanodes[datanode.node_id] = datanode
+
+    def deregister_datanode(self, node_id: int) -> DataNode | None:
+        """Drop a datanode from the cluster (idempotent).
+
+        Called on clean shutdown and by failure detection; a node that is
+        already gone is not an error.  Block metadata keeps the node id in
+        ``locations`` until :meth:`handle_dead_datanode` re-replicates —
+        readers skip unknown ids (see :meth:`block_locations`).
+        """
+        with self._lock:
+            return self._datanodes.pop(node_id, None)
+
+    def apply_block_report(self, node_id: int, block_ids: list[int]) -> dict:
+        """Reconcile the block map with a datanode's full report.
+
+        Mirrors HDFS block reports: the datanode's word is authoritative
+        for what *it* stores.  Blocks the namenode thought the node held
+        but the report omits are removed from their locations; reported
+        blocks the namenode tracks but did not map to the node are added.
+        Unknown block ids (e.g. of deleted files) are ignored.  Returns
+        ``{"added": n, "removed": m}`` for monitoring.
+        """
+        reported = set(block_ids)
+        added = removed = 0
+        with self._lock:
+            for block_id, meta in self._blocks.items():
+                holds = block_id in reported
+                listed = node_id in meta.locations
+                if holds and not listed:
+                    meta.locations = meta.locations + (node_id,)
+                    added += 1
+                elif listed and not holds:
+                    meta.locations = tuple(
+                        n for n in meta.locations if n != node_id
+                    )
+                    removed += 1
+        return {"added": added, "removed": removed}
+
+    def handle_dead_datanode(self, node_id: int) -> int:
+        """Re-replicate every block that lost a replica on ``node_id``.
+
+        Called when failure detection declares a datanode dead.  For each
+        affected block a surviving replica is copied to a live datanode
+        not already holding it, restoring the block's previous replica
+        count (a single-replica block whose only copy died stays lost —
+        there is nothing to copy from).  Returns the number of new
+        replicas created.
+        """
+        with self._lock:
+            self._datanodes.pop(node_id, None)
+            work: list[tuple[BlockMeta, int]] = []
+            for meta in self._blocks.values():
+                if node_id in meta.locations:
+                    target = len(meta.locations)
+                    meta.locations = tuple(
+                        n for n in meta.locations if n != node_id
+                    )
+                    work.append((meta, target))
+        copied = 0
+        for meta, target in work:
+            copied += self._replicate_block(meta, target)
+        return copied
+
+    def _replicate_block(self, meta: BlockMeta, target: int) -> int:
+        """Copy ``meta``'s block to live nodes until ``target`` replicas exist."""
+        created = 0
+        while True:
+            with self._lock:
+                if len(meta.locations) >= target:
+                    return created
+                sources = [
+                    self._datanodes[n]
+                    for n in meta.locations
+                    if n in self._datanodes and self._datanodes[n].available
+                ]
+                candidates = [
+                    d
+                    for d in self._datanodes.values()
+                    if d.available and d.node_id not in meta.locations
+                ]
+            if not sources or not candidates:
+                return created
+            destination = min(
+                candidates, key=lambda d: d.stats().blocks_stored
+            )
+            try:
+                data = sources[0].read_block(meta.block_id)
+                destination.write_block(meta.block_id, data)
+            except Exception:
+                return created  # source raced a failure; give up on this block
+            with self._lock:
+                if destination.node_id not in meta.locations:
+                    meta.locations = meta.locations + (destination.node_id,)
+                    created += 1
 
     # -- namespace --------------------------------------------------------------------
     @property

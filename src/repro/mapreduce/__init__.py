@@ -11,15 +11,20 @@ from .faults import (
     FaultInjectedError,
     FaultPlan,
     InjectedTaskFailure,
+    NetworkFault,
     StorageFault,
     TaskFault,
     TrackerDeadError,
     TrackerFault,
+    delay_messages,
     delay_task,
+    drop_messages,
     fail_storage,
     fail_task,
+    kill_node,
     kill_storage_host,
     kill_tracker,
+    partition_peer,
 )
 from .job import (
     Counters,
@@ -58,15 +63,20 @@ __all__ = [
     "FaultInjectedError",
     "FaultPlan",
     "InjectedTaskFailure",
+    "NetworkFault",
     "StorageFault",
     "TaskFault",
     "TrackerDeadError",
     "TrackerFault",
+    "delay_messages",
     "delay_task",
+    "drop_messages",
     "fail_storage",
     "fail_task",
+    "kill_node",
     "kill_storage_host",
     "kill_tracker",
+    "partition_peer",
     "Counters",
     "TaskContext",
     "TaskTracker",

@@ -51,6 +51,7 @@ from ..core.transfer import TransferEngine
 from ..fs import path as fspath
 from ..fs.interface import FileSystem
 from ..fs.registry import get_filesystem
+from ..net.liveness import HeartbeatPump, LivenessMonitor, LivenessRegistry
 from .faults import FaultPlan, TrackerDeadError
 from .job import Counters, Job
 from .scheduler import LocalityAwareScheduler, LocalityStats
@@ -606,6 +607,37 @@ class JobTracker:
         started = time.perf_counter()
         counters = Counters()
         scheduler = LocalityAwareScheduler(self.trackers)
+
+        # Tracker failure detection.  With tracker faults in play, a
+        # killed tracker is no longer blacklisted synchronously from the
+        # TrackerDeadError its attempts raise: every tracker heartbeats a
+        # liveness registry, a killed one falls silent, and the registry
+        # declares it dead after max_missed intervals — that death event
+        # is what blacklists the host, the way a real jobtracker learns
+        # of a crashed tasktracker.
+        tracker_liveness: LivenessRegistry | None = None
+        liveness_monitor: LivenessMonitor | None = None
+        heartbeat_pumps: list[HeartbeatPump] = []
+        if fault_plan is not None and fault_plan.tracker_faults:
+            tracker_liveness = LivenessRegistry(
+                heartbeat_interval=0.02, max_missed=2
+            )
+            tracker_liveness.on_death(
+                lambda host: scheduler.report_task_failure(host, fatal=True)
+            )
+            for tracker in self.trackers:
+                tracker_liveness.register(tracker.host)
+                pump = HeartbeatPump(
+                    partial(tracker_liveness.heartbeat, tracker.host),
+                    interval=tracker_liveness.heartbeat_interval,
+                    should_beat=partial(
+                        lambda plan, host: not plan.tracker_is_dead(host),
+                        fault_plan,
+                        tracker.host,
+                    ),
+                )
+                heartbeat_pumps.append(pump.start())
+            liveness_monitor = LivenessMonitor(tracker_liveness).start()
         input_format = job.input_format or (
             TextInputFormat() if job.conf.input_paths else SyntheticInputFormat()
         )
@@ -705,7 +737,9 @@ class JobTracker:
                     attempt=attempt,
                     speculative=speculative,
                 )
-                return failed, True, isinstance(exc, TrackerDeadError)
+                return failed, True, (
+                    isinstance(exc, TrackerDeadError) and tracker_liveness is None
+                )
             return result, True, False
 
         def on_map_permanent_failure(index: int, result: TaskResult) -> None:
@@ -793,7 +827,9 @@ class JobTracker:
                     attempt=attempt,
                     speculative=speculative,
                 )
-                return failed, True, isinstance(exc, TrackerDeadError)
+                return failed, True, (
+                    isinstance(exc, TrackerDeadError) and tracker_liveness is None
+                )
             return result, True, False
 
         reduce_phase = _RetryingPhase(
@@ -864,6 +900,19 @@ class JobTracker:
                 shuffle_service.cleanup()
             if shuffle_transfer is not None:
                 shuffle_transfer.close()
+            if liveness_monitor is not None:
+                liveness_monitor.stop()
+            for pump in heartbeat_pumps:
+                pump.stop()
+            if tracker_liveness is not None and fault_plan is not None:
+                # A short job can finish before the detector's deadline
+                # passes; wait out the missed-heartbeat window for every
+                # tracker the plan actually killed so the blacklist is
+                # deterministic — the detection still happens through the
+                # registry, never synchronously.
+                for tracker in self.trackers:
+                    if fault_plan.tracker_is_dead(tracker.host):
+                        tracker_liveness.await_death(tracker.host, timeout=2.0)
 
         # Results are read only now, after every pool joined: race-losing
         # attempts finishing during pool shutdown are included too.

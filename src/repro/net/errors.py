@@ -1,0 +1,100 @@
+"""Errors of the :mod:`repro.net` service layer.
+
+The hierarchy separates the three failure domains a caller must tell
+apart:
+
+* **framing errors** (:class:`FrameError` and subclasses) — the byte
+  stream itself is malformed: a corrupted header, an oversized frame, a
+  stream cut mid-frame.  These are protocol violations; the connection
+  carrying them is unusable and must be dropped.
+* **transport errors** (:class:`TransportError` and subclasses) — the
+  bytes never made it (or the reply never came back): the peer is down,
+  the call timed out.  These are *retryable* and, crucially, ambiguous —
+  a timed-out request may or may not have executed remotely, which is why
+  the services exposed over this layer keep their mutating operations
+  idempotent (see ``ProviderManager.deregister``).
+* **remote application errors** are *not* wrapped: the remote exception
+  object travels back in the response and is re-raised as-is at the call
+  site, so client stubs stay transparent (a remote
+  ``ProviderUnavailableError`` still triggers replica failover).  Only
+  when the original exception cannot be serialised does the caller see a
+  :class:`RemoteCallError` carrying its repr.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NetError",
+    "FrameError",
+    "FrameTooLargeError",
+    "TruncatedFrameError",
+    "MessageDecodeError",
+    "TransportError",
+    "RpcTimeoutError",
+    "PeerUnavailableError",
+    "RemoteCallError",
+    "UnknownServiceError",
+]
+
+
+class NetError(Exception):
+    """Base class of every error raised by the service layer itself."""
+
+
+class FrameError(NetError):
+    """The byte stream violates the framing protocol."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame header announces a payload above the configured maximum."""
+
+    def __init__(self, announced: int, limit: int) -> None:
+        super().__init__(
+            f"frame announces {announced} payload bytes, above the "
+            f"{limit}-byte limit"
+        )
+        self.announced = announced
+        self.limit = limit
+
+
+class TruncatedFrameError(FrameError):
+    """The stream ended in the middle of a frame."""
+
+
+class MessageDecodeError(FrameError):
+    """A frame's payload does not decode to a request or response."""
+
+
+class TransportError(NetError):
+    """A message could not be delivered or answered (retryable)."""
+
+
+class RpcTimeoutError(TransportError):
+    """No response arrived within the call's timeout.
+
+    The request *may* have executed remotely — timeout is inherently
+    ambiguous, which is why control-plane mutations are idempotent.
+    """
+
+
+class PeerUnavailableError(TransportError):
+    """The peer refused, closed or never accepted the connection."""
+
+    def __init__(self, peer: str, detail: str | None = None) -> None:
+        message = f"peer {peer!r} is unavailable"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.peer = peer
+
+
+class RemoteCallError(NetError):
+    """The remote call raised an exception that could not travel back.
+
+    Carries the remote exception's repr; the common, picklable exception
+    types are re-raised as themselves instead.
+    """
+
+
+class UnknownServiceError(NetError):
+    """The request names a service or method the peer does not expose."""

@@ -1,0 +1,176 @@
+"""Network fault injection: drop, delay, partition and kill at the wire.
+
+PR 4's fault framework injects failures *inside* the task runtime; this
+module injects them *between* nodes, where real distributed failures
+live.  A :class:`NetworkFaultPlan` is shared by every transport of a
+deployment and consulted on each message:
+
+* **kill** — the peer's process is gone: every message to it fails fast
+  with :class:`~repro.net.errors.PeerUnavailableError` (connection
+  refused semantics).  This is the loopback-transport equivalent of
+  ``SIGKILL`` on a real node process.
+* **partition** — both endpoints are up but cannot reach each other:
+  messages are silently lost, surfacing as
+  :class:`~repro.net.errors.RpcTimeoutError` after the call's timeout.
+* **drop** — lose the next *n* matching messages (one direction,
+  optionally one method), modelling flaky links.
+* **delay** — add fixed latency to every message of a peer (limplock).
+
+Faults are addressed by *peer name* (the node id used for heartbeats),
+so a chaos test can kill exactly the node whose recovery it then
+asserts.  All state changes are thread-safe and reversible
+(:meth:`revive`, :meth:`heal`, :meth:`clear_delay`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from .errors import PeerUnavailableError, RpcTimeoutError
+
+__all__ = ["NetworkFaultPlan"]
+
+#: Wildcard matching any endpoint in drop rules.
+ANY = "*"
+
+
+@dataclass
+class _DropRule:
+    src: str
+    dst: str
+    method: str | None
+    remaining: int | None  # None = drop forever
+
+    def matches(self, src: str, dst: str, method: str | None) -> bool:
+        if self.src not in (ANY, src) or self.dst not in (ANY, dst):
+            return False
+        if self.method is not None and self.method != method:
+            return False
+        return self.remaining is None or self.remaining > 0
+
+
+class NetworkFaultPlan:
+    """Mutable, thread-safe schedule of wire-level faults.
+
+    Transports call :meth:`on_message` for each message direction; the
+    method either returns normally (possibly after sleeping an injected
+    delay) or raises the transport error the fault models.
+    """
+
+    def __init__(self, *, sleep=time.sleep) -> None:
+        self._lock = threading.Lock()
+        self._killed: set[str] = set()
+        self._partitions: set[frozenset[str]] = set()
+        self._drops: list[_DropRule] = []
+        self._delays: dict[str, float] = {}
+        self._sleep = sleep
+        #: Counters for tests and reports.
+        self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.messages_refused = 0
+
+    # -- fault programming --------------------------------------------------------
+    def kill(self, peer: str) -> None:
+        """Take ``peer``'s process down: calls to it fail immediately."""
+        with self._lock:
+            self._killed.add(peer)
+
+    def revive(self, peer: str) -> None:
+        """Bring a killed peer back (its service object survived)."""
+        with self._lock:
+            self._killed.discard(peer)
+
+    def is_killed(self, peer: str) -> bool:
+        """Whether ``peer`` is currently killed."""
+        with self._lock:
+            return peer in self._killed
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between ``a`` and ``b`` (both directions)."""
+        with self._lock:
+            self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        with self._lock:
+            self._partitions.discard(frozenset((a, b)))
+
+    def drop(
+        self,
+        *,
+        src: str = ANY,
+        dst: str = ANY,
+        count: int | None = 1,
+        method: str | None = None,
+    ) -> None:
+        """Lose the next ``count`` messages from ``src`` to ``dst``
+        (``count=None`` drops them forever; ``method`` narrows the rule)."""
+        with self._lock:
+            self._drops.append(
+                _DropRule(src=src, dst=dst, method=method, remaining=count)
+            )
+
+    def delay(self, peer: str, seconds: float) -> None:
+        """Add ``seconds`` of latency to every message touching ``peer``."""
+        if seconds < 0:
+            raise ValueError("delay must be non-negative")
+        with self._lock:
+            self._delays[peer] = seconds
+
+    def clear_delay(self, peer: str) -> None:
+        """Remove an injected latency."""
+        with self._lock:
+            self._delays.pop(peer, None)
+
+    # -- the hook transports call -------------------------------------------------
+    def on_message(
+        self,
+        src: str,
+        dst: str,
+        *,
+        method: str | None = None,
+    ) -> None:
+        """Apply the plan to one message from ``src`` to ``dst``.
+
+        Raises :class:`PeerUnavailableError` when the destination (or the
+        source — a killed node sends nothing) is killed, and
+        :class:`RpcTimeoutError` when the message is lost to a partition
+        or a drop rule.  Injected delays sleep here.
+        """
+        delay = 0.0
+        with self._lock:
+            if dst in self._killed or src in self._killed:
+                self.messages_refused += 1
+                victim = dst if dst in self._killed else src
+                raise PeerUnavailableError(victim, "process killed by fault plan")
+            if frozenset((src, dst)) in self._partitions:
+                self.messages_dropped += 1
+                raise RpcTimeoutError(
+                    f"message {src} -> {dst} lost to a network partition"
+                )
+            for rule in self._drops:
+                if rule.matches(src, dst, method):
+                    if rule.remaining is not None:
+                        rule.remaining -= 1
+                    self.messages_dropped += 1
+                    raise RpcTimeoutError(
+                        f"message {src} -> {dst} "
+                        f"({method or 'any'}) dropped by fault plan"
+                    )
+            delay = max(
+                self._delays.get(src, 0.0), self._delays.get(dst, 0.0)
+            )
+            if delay > 0:
+                self.messages_delayed += 1
+        if delay > 0:
+            self._sleep(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"NetworkFaultPlan(killed={sorted(self._killed)}, "
+                f"partitions={len(self._partitions)}, "
+                f"drops={len(self._drops)}, delays={dict(self._delays)})"
+            )

@@ -1,0 +1,284 @@
+"""Failure detection: heartbeats, liveness registry, heartbeat pumps.
+
+BlobSeer-style clusters never ask a node "are you alive?" — the node
+proves it, periodically, by heartbeating the control endpoint.  The
+:class:`LivenessRegistry` is that endpoint's memory: it records the last
+beat of every node and declares a node **dead** once
+``max_missed × heartbeat_interval`` elapses without one.  Death and
+recovery fire callbacks (re-replication hooks, scheduler blacklisting);
+a node that beats again after being declared dead is *recovered*, not
+silently resurrected, so the control plane can reconcile its state
+(e.g. via a fresh block report).
+
+Three moving parts:
+
+* :class:`LivenessRegistry` — the bookkeeping.  Pure and clock-injectable
+  so tests drive time deterministically.
+* :class:`LivenessMonitor` — a thread that periodically calls
+  :meth:`LivenessRegistry.check` (the registry itself never spins).
+* :class:`HeartbeatPump` — the node side: a thread that beats a control
+  stub every interval and attaches a block report every *n*-th beat.
+  Transport failures are swallowed — a pump must outlive a flaky link;
+  the registry's timeout is the arbiter of death, not a client error.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from .errors import NetError
+
+__all__ = ["LivenessRegistry", "LivenessMonitor", "HeartbeatPump"]
+
+
+class LivenessRegistry:
+    """Heartbeat bookkeeping and dead/alive classification for a cluster."""
+
+    def __init__(
+        self,
+        *,
+        heartbeat_interval: float = 0.5,
+        max_missed: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if max_missed < 1:
+            raise ValueError("max_missed must be at least 1")
+        self.heartbeat_interval = heartbeat_interval
+        self.max_missed = max_missed
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_beat: dict[str, float] = {}
+        self._dead: set[str] = set()
+        self._meta: dict[str, dict[str, Any]] = {}
+        self._on_death: list[Callable[[str], None]] = []
+        self._on_recover: list[Callable[[str], None]] = []
+        self._changed = threading.Condition(self._lock)
+        #: Death events declared so far (monitoring/tests).
+        self.deaths_declared = 0
+
+    # -- callbacks ------------------------------------------------------------------
+    def on_death(self, callback: Callable[[str], None]) -> None:
+        """Run ``callback(node_id)`` when a node is declared dead."""
+        with self._lock:
+            self._on_death.append(callback)
+
+    def on_recover(self, callback: Callable[[str], None]) -> None:
+        """Run ``callback(node_id)`` when a dead node heartbeats again."""
+        with self._lock:
+            self._on_recover.append(callback)
+
+    # -- node side ------------------------------------------------------------------
+    def register(self, node_id: str, **meta: Any) -> None:
+        """Start tracking ``node_id`` (counts as its first heartbeat)."""
+        with self._lock:
+            self._last_beat[node_id] = self._clock()
+            self._meta[node_id] = dict(meta)
+            self._dead.discard(node_id)
+            self._changed.notify_all()
+
+    def heartbeat(self, node_id: str) -> None:
+        """Record one beat; auto-registers unknown nodes, revives dead ones."""
+        recovered: list[Callable[[str], None]] = []
+        with self._lock:
+            self._last_beat[node_id] = self._clock()
+            self._meta.setdefault(node_id, {})
+            if node_id in self._dead:
+                self._dead.discard(node_id)
+                recovered = list(self._on_recover)
+            self._changed.notify_all()
+        for callback in recovered:
+            callback(node_id)
+
+    def block_report(self, node_id: str, block_ids: Iterable[Any]) -> None:
+        """Record a full block report (counts as a heartbeat)."""
+        blocks = list(block_ids)
+        self.heartbeat(node_id)
+        with self._lock:
+            self._meta.setdefault(node_id, {})["blocks"] = blocks
+
+    def deregister(self, node_id: str) -> None:
+        """Stop tracking a node (clean shutdown — no death callback)."""
+        with self._lock:
+            self._last_beat.pop(node_id, None)
+            self._meta.pop(node_id, None)
+            self._dead.discard(node_id)
+            self._changed.notify_all()
+
+    # -- control side ----------------------------------------------------------------
+    def check(self) -> list[str]:
+        """Classify nodes; return those *newly* declared dead.
+
+        Death callbacks run here, outside the lock, so a re-replication
+        hook may itself query the registry.
+        """
+        deadline = self.max_missed * self.heartbeat_interval
+        now = self._clock()
+        newly_dead: list[str] = []
+        with self._lock:
+            for node_id, last in self._last_beat.items():
+                if node_id not in self._dead and now - last > deadline:
+                    self._dead.add(node_id)
+                    self.deaths_declared += 1
+                    newly_dead.append(node_id)
+            callbacks = list(self._on_death)
+            if newly_dead:
+                self._changed.notify_all()
+        for node_id in newly_dead:
+            for callback in callbacks:
+                callback(node_id)
+        return newly_dead
+
+    def is_alive(self, node_id: str) -> bool:
+        """Whether ``node_id`` is tracked and not declared dead."""
+        with self._lock:
+            return node_id in self._last_beat and node_id not in self._dead
+
+    def alive_nodes(self) -> list[str]:
+        """Tracked nodes not declared dead."""
+        with self._lock:
+            return sorted(set(self._last_beat) - self._dead)
+
+    def dead_nodes(self) -> list[str]:
+        """Nodes currently declared dead."""
+        with self._lock:
+            return sorted(self._dead)
+
+    def last_report(self, node_id: str) -> list[Any] | None:
+        """The node's most recent block report, if it sent one."""
+        with self._lock:
+            meta = self._meta.get(node_id)
+            blocks = None if meta is None else meta.get("blocks")
+            return None if blocks is None else list(blocks)
+
+    def await_death(self, node_id: str, timeout: float = 5.0) -> bool:
+        """Block until ``node_id`` is declared dead (or ``timeout`` expires).
+
+        Runs :meth:`check` itself while waiting, so it works without a
+        :class:`LivenessMonitor` thread.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            self.check()
+            with self._lock:
+                if node_id in self._dead or node_id not in self._last_beat:
+                    return node_id in self._dead
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._changed.wait(min(remaining, self.heartbeat_interval / 2))
+
+
+class LivenessMonitor:
+    """Background thread periodically running ``registry.check()``."""
+
+    def __init__(
+        self, registry: LivenessRegistry, *, poll_interval: float | None = None
+    ) -> None:
+        self._registry = registry
+        self._poll = (
+            poll_interval
+            if poll_interval is not None
+            else registry.heartbeat_interval / 2
+        )
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "LivenessMonitor":
+        if self._thread is not None:
+            raise RuntimeError("monitor already started")
+        self._thread = threading.Thread(
+            target=self._run, name="liveness-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._poll):
+            self._registry.check()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "LivenessMonitor":
+        return self.start() if self._thread is None else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class HeartbeatPump:
+    """Node-side thread beating a control endpoint at a fixed interval.
+
+    ``beat`` is any zero-argument callable performing one heartbeat RPC;
+    ``report`` (optional) performs a block report and is used instead of
+    ``beat`` every ``report_every``-th cycle, so the control plane's view
+    of the node's blocks stays fresh without per-beat payloads.  An
+    optional ``should_beat`` gate lets fault plans silence a pump (a dead
+    process sends nothing).  Transport errors are counted and swallowed.
+    """
+
+    def __init__(
+        self,
+        beat: Callable[[], None],
+        *,
+        interval: float = 0.5,
+        report: Callable[[], None] | None = None,
+        report_every: int = 5,
+        should_beat: Callable[[], bool] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if report_every < 1:
+            raise ValueError("report_every must be at least 1")
+        self._beat = beat
+        self._report = report
+        self._report_every = report_every
+        self._should_beat = should_beat
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Beats sent / beats that failed at the transport (monitoring).
+        self.beats_sent = 0
+        self.beats_failed = 0
+
+    def start(self) -> "HeartbeatPump":
+        if self._thread is not None:
+            raise RuntimeError("pump already started")
+        self._thread = threading.Thread(
+            target=self._run, name="heartbeat-pump", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        cycle = 0
+        while True:
+            cycle += 1
+            if self._should_beat is None or self._should_beat():
+                use_report = (
+                    self._report is not None and cycle % self._report_every == 0
+                )
+                try:
+                    (self._report if use_report else self._beat)()
+                    self.beats_sent += 1
+                except NetError:
+                    self.beats_failed += 1
+            if self._stop.wait(self.interval):
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "HeartbeatPump":
+        return self.start() if self._thread is None else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,95 @@
+"""RPC message types and their serialisation.
+
+Two message kinds flow over the framed stream:
+
+* :class:`Request` — ``(msg_id, service, method, args, kwargs)``.  The
+  ``msg_id`` is the *correlation id*: responses may come back in any
+  order (the server handles requests of one connection concurrently), so
+  the client matches them by id, never by position.
+* :class:`Response` — ``(msg_id, ok, value | error)``.  Application
+  errors travel as the pickled exception *object* so the caller re-raises
+  the original type (replica failover relies on catching
+  ``ProviderUnavailableError`` from a stub exactly like from a local
+  provider).  Unpicklable values or exceptions degrade to a
+  :class:`~repro.net.errors.RemoteCallError` carrying their repr.
+
+Serialisation is pickle (the segment files of the shuffle already commit
+to pickle for on-storage data); the framing layer above bounds message
+size, and decode failures surface as
+:class:`~repro.net.errors.MessageDecodeError` so a garbage frame cannot
+crash a server loop.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import MessageDecodeError, RemoteCallError
+
+__all__ = ["Request", "Response", "encode_message", "decode_message"]
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One method invocation on a named remote service."""
+
+    msg_id: int
+    service: str
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """The outcome of one request, correlated by ``msg_id``."""
+
+    msg_id: int
+    ok: bool
+    value: Any = None
+    error: BaseException | None = None
+
+
+def encode_message(message: Request | Response) -> bytes:
+    """Serialise a message; unpicklable content degrades, never raises.
+
+    A response whose value or error cannot be pickled is replaced by an
+    error response carrying the repr — the caller gets a
+    :class:`RemoteCallError` instead of the connection dying on a
+    serialisation failure the remote side could not anticipate.
+    """
+    try:
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        if isinstance(message, Response):
+            fallback = Response(
+                msg_id=message.msg_id,
+                ok=False,
+                error=RemoteCallError(
+                    f"response not serialisable ({exc!r}); "
+                    f"value/error was {message.value!r} / {message.error!r}"
+                ),
+            )
+            return pickle.dumps(fallback, protocol=pickle.HIGHEST_PROTOCOL)
+        raise MessageDecodeError(f"request not serialisable: {exc!r}") from exc
+
+
+def decode_message(payload: bytes) -> Request | Response:
+    """Deserialise one frame payload into a message.
+
+    Anything that does not unpickle to a :class:`Request` or
+    :class:`Response` raises :class:`MessageDecodeError` — garbage frames
+    are a protocol violation, handled by dropping the connection.
+    """
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise MessageDecodeError(f"frame payload does not unpickle: {exc!r}") from exc
+    if not isinstance(message, (Request, Response)):
+        raise MessageDecodeError(
+            f"frame payload decodes to {type(message).__name__}, "
+            "not a Request or Response"
+        )
+    return message

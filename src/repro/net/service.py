@@ -1,0 +1,85 @@
+"""Server-side service registry and request dispatch.
+
+A *service* is any plain object registered under a name: the dispatcher
+resolves ``request.method`` to a public attribute, calls it (or reads it,
+when it is a plain attribute or property — stubs use this to mirror
+``provider_id`` / ``host`` / ``available`` without per-class adapters)
+and wraps the outcome in a :class:`~repro.net.messages.Response`.
+
+Application exceptions are captured into the response — the server loop
+never dies on a failing handler — while private attributes and unknown
+names come back as :class:`~repro.net.errors.UnknownServiceError`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .errors import UnknownServiceError
+from .messages import Request, Response
+
+__all__ = ["ServiceRegistry"]
+
+
+class ServiceRegistry:
+    """Named services exposed by one node, plus the dispatch logic."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, service: object) -> None:
+        """Expose ``service`` under ``name`` (replaces a previous one)."""
+        if not name:
+            raise ValueError("a service needs a non-empty name")
+        with self._lock:
+            self._services[name] = service
+
+    def unregister(self, name: str) -> None:
+        """Stop exposing ``name`` (idempotent)."""
+        with self._lock:
+            self._services.pop(name, None)
+
+    def get(self, name: str) -> object:
+        """The object registered under ``name``."""
+        with self._lock:
+            try:
+                return self._services[name]
+            except KeyError:
+                raise UnknownServiceError(f"no service named {name!r}") from None
+
+    @property
+    def service_names(self) -> list[str]:
+        """Names of every exposed service."""
+        with self._lock:
+            return sorted(self._services)
+
+    def dispatch(self, request: Request) -> Response:
+        """Execute one request and return its response (never raises).
+
+        ``method`` must name a public attribute of the service: a callable
+        is invoked with the request's arguments, a non-callable is read
+        (argument-less attribute access, used by stubs for identity and
+        availability fields).
+        """
+        try:
+            service = self.get(request.service)
+            if request.method.startswith("_"):
+                raise UnknownServiceError(
+                    f"method {request.method!r} of service "
+                    f"{request.service!r} is not public"
+                )
+            try:
+                attribute = getattr(service, request.method)
+            except AttributeError:
+                raise UnknownServiceError(
+                    f"service {request.service!r} has no method "
+                    f"{request.method!r}"
+                ) from None
+            if callable(attribute):
+                value = attribute(*request.args, **request.kwargs)
+            else:
+                value = attribute
+            return Response(msg_id=request.msg_id, ok=True, value=value)
+        except Exception as exc:
+            return Response(msg_id=request.msg_id, ok=False, error=exc)

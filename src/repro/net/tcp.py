@@ -1,0 +1,372 @@
+"""TCP transport: asyncio RPC server + multiplexing client connections.
+
+The server (:class:`RpcServer`) runs an asyncio event loop on a
+dedicated thread.  Each connection is a framed stream; every decoded
+request is handled as its own task (dispatch runs in the loop's default
+executor because services are synchronous objects), so *many requests of
+one connection execute concurrently* and responses return in completion
+order — the correlation id, not arrival order, pairs them up.
+
+The client (:class:`TcpTransport`) keeps a small per-peer connection
+pool.  Each pooled connection multiplexes any number of in-flight calls:
+a writer lock serialises frame writes, a background reader thread
+demultiplexes responses to per-call events by ``msg_id``.  Connection
+failures fail all in-flight calls with
+:class:`~repro.net.errors.PeerUnavailableError` and the next call
+reconnects (the base class's retry policy provides the backoff).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Any
+
+from .errors import (
+    FrameError,
+    MessageDecodeError,
+    PeerUnavailableError,
+    RpcTimeoutError,
+)
+from .faults import NetworkFaultPlan
+from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
+from .messages import Request, Response, decode_message, encode_message
+from .service import ServiceRegistry
+from .transport import RetryPolicy, Transport
+
+__all__ = ["RpcServer", "TcpTransport"]
+
+_READ_CHUNK = 256 * 1024
+
+
+class RpcServer:
+    """Asyncio TCP server dispatching framed requests to a registry."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._registry = registry
+        self._host = host
+        self._port = port
+        self._max_frame = max_frame
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        #: Requests served since start (monitoring/tests).
+        self.requests_served = 0
+        #: Connections rejected for protocol violations (bad frames).
+        self.protocol_errors = 0
+
+    # -- lifecycle ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is bound to (after :meth:`start`)."""
+        if not self._started.is_set() or self._server is None:
+            raise RuntimeError("server is not running")
+        return self._host, self._port
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a background event-loop thread."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="rpc-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._start_error is not None:
+            raise self._start_error
+        return self.address
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle_connection, self._host, self._port)
+            )
+            bound = self._server.sockets[0].getsockname()
+            self._host, self._port = bound[0], bound[1]
+        except BaseException as exc:  # bind failure must reach start()
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop serving and join the loop thread (idempotent)."""
+        loop, server = self._loop, self._server
+        if loop is None or not loop.is_running():
+            return
+
+        def _shutdown() -> None:
+            if server is not None:
+                server.close()
+            loop.stop()
+
+        loop.call_soon_threadsafe(_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "RpcServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- connection handling ----------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder(max_frame=self._max_frame)
+        write_lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                try:
+                    payloads = decoder.feed(data)
+                except FrameError:
+                    # Malformed stream: a framing violation poisons the
+                    # whole connection; drop it (in-flight tasks of this
+                    # connection still complete and write their responses
+                    # before the close below takes effect).
+                    self.protocol_errors += 1
+                    break
+                for payload in payloads:
+                    loop.create_task(self._serve_one(payload, writer, write_lock))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _serve_one(
+        self,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            message = decode_message(payload)
+        except MessageDecodeError:
+            self.protocol_errors += 1
+            return
+        if not isinstance(message, Request):
+            self.protocol_errors += 1
+            return
+        loop = asyncio.get_running_loop()
+        # Services are synchronous objects; running dispatch on the
+        # executor keeps slow handlers from stalling the event loop, and
+        # gives one connection real request concurrency.
+        response = await loop.run_in_executor(
+            None, self._registry.dispatch, message
+        )
+        wire = encode_frame(encode_message(response), max_frame=self._max_frame)
+        try:
+            async with write_lock:
+                writer.write(wire)
+                await writer.drain()
+            self.requests_served += 1
+        except (ConnectionError, RuntimeError):
+            pass  # client went away mid-response
+
+
+class _PendingCall:
+    """One in-flight request awaiting its correlated response."""
+
+    __slots__ = ("event", "response", "failure")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Response | None = None
+        self.failure: Exception | None = None
+
+
+class _Connection:
+    """One multiplexed client connection: send lock + reader thread."""
+
+    def __init__(self, host: str, port: int, *, peer: str, max_frame: int) -> None:
+        self._peer = peer
+        self._max_frame = max_frame
+        try:
+            self._sock = socket.create_connection((host, port), timeout=10.0)
+        except OSError as exc:
+            raise PeerUnavailableError(peer, repr(exc)) from exc
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, _PendingCall] = {}
+        self._dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"rpc-client-{peer}", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    @property
+    def in_flight(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    def request(self, request: Request, timeout: float) -> Response:
+        """Send one request and block for its correlated response."""
+        pending = _PendingCall()
+        with self._pending_lock:
+            if self._dead:
+                raise PeerUnavailableError(self._peer, "connection lost")
+            self._pending[request.msg_id] = pending
+        wire = encode_frame(encode_message(request), max_frame=self._max_frame)
+        try:
+            with self._send_lock:
+                self._sock.sendall(wire)
+        except OSError as exc:
+            self._fail_all(PeerUnavailableError(self._peer, repr(exc)))
+            raise PeerUnavailableError(self._peer, repr(exc)) from exc
+        if not pending.event.wait(timeout):
+            with self._pending_lock:
+                self._pending.pop(request.msg_id, None)
+            raise RpcTimeoutError(
+                f"call to {self._peer!r} timed out after {timeout:g}s "
+                f"(msg_id={request.msg_id})"
+            )
+        if pending.failure is not None:
+            raise pending.failure
+        assert pending.response is not None
+        return pending.response
+
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder(max_frame=self._max_frame)
+        try:
+            while True:
+                data = self._sock.recv(_READ_CHUNK)
+                if not data:
+                    raise ConnectionError("peer closed the connection")
+                for payload in decoder.feed(data):
+                    message = decode_message(payload)
+                    if not isinstance(message, Response):
+                        raise MessageDecodeError(
+                            "server sent a non-response message"
+                        )
+                    with self._pending_lock:
+                        pending = self._pending.pop(message.msg_id, None)
+                    if pending is not None:  # late reply after timeout: drop
+                        pending.response = message
+                        pending.event.set()
+        except Exception as exc:
+            self._fail_all(PeerUnavailableError(self._peer, repr(exc)))
+
+    def _fail_all(self, error: Exception) -> None:
+        with self._pending_lock:
+            self._dead = True
+            pending, self._pending = self._pending, {}
+        for call in pending.values():
+            call.failure = error
+            call.event.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._fail_all(PeerUnavailableError(self._peer, "connection closed"))
+
+
+class TcpTransport(Transport):
+    """Pooled, multiplexed TCP channel to one :class:`RpcServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        peer: str | None = None,
+        local: str = "client",
+        timeout: float = 5.0,
+        retry: RetryPolicy | None = None,
+        faults: NetworkFaultPlan | None = None,
+        pool_size: int = 2,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        super().__init__(
+            peer=peer if peer is not None else f"{host}:{port}",
+            local=local,
+            timeout=timeout,
+            retry=retry,
+            faults=faults,
+        )
+        self._host = host
+        self._port = port
+        self._pool_size = pool_size
+        self._max_frame = max_frame
+        self._pool_lock = threading.Lock()
+        self._pool: list[_Connection] = []
+
+    def _checkout(self) -> _Connection:
+        """Pick the least-loaded live connection, dialling up to the cap."""
+        with self._pool_lock:
+            if self._closed:
+                raise PeerUnavailableError(self.peer, "transport closed")
+            self._pool = [c for c in self._pool if c.alive]
+            if self._pool and (
+                len(self._pool) >= self._pool_size
+                or min(c.in_flight for c in self._pool) == 0
+            ):
+                return min(self._pool, key=lambda c: c.in_flight)
+            connection = _Connection(
+                self._host, self._port, peer=self.peer, max_frame=self._max_frame
+            )
+            self._pool.append(connection)
+            return connection
+
+    def _call_once(
+        self,
+        service: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        timeout: float,
+    ) -> Any:
+        self._check_faults(self.local, self.peer, method)
+        with self._pool_lock:
+            msg_id = next(self._msg_ids)
+        request = Request(
+            msg_id=msg_id, service=service, method=method, args=args, kwargs=kwargs
+        )
+        response = self._checkout().request(request, timeout)
+        self._check_faults(self.peer, self.local, method)
+        return self._unwrap(response)
+
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for connection in pool:
+            connection.close()

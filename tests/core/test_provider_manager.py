@@ -45,6 +45,30 @@ class TestRegistry:
         with pytest.raises(AllocationError):
             manager.get(99)
 
+    def test_reregistration_replaces_instead_of_double_counting(self):
+        # A restarted node process re-registers under its old id: the
+        # stale entry is swapped, capacity is not duplicated.
+        manager = ProviderManager(make_providers(3))
+        restarted = DataProvider(1)
+        manager.register(restarted, replace=True)
+        assert len(manager.providers) == 3
+        assert manager.get(1) is restarted
+
+    def test_deregister_is_idempotent(self):
+        manager = ProviderManager(make_providers(2))
+        removed = manager.deregister(0)
+        assert removed is not None and removed.provider_id == 0
+        assert manager.deregister(0) is None  # already gone: no error
+        assert manager.deregister(99) is None
+        assert sorted(manager.provider_ids) == [1]
+
+    def test_deregister_then_register_cycle(self):
+        # Full restart path: deregister on death, register on rejoin.
+        manager = ProviderManager(make_providers(2))
+        manager.deregister(1)
+        manager.register(DataProvider(1))  # no replace needed: id is free
+        assert sorted(manager.provider_ids) == [0, 1]
+
 
 class TestAllocation:
     def test_allocation_size_and_distinct_replicas(self):

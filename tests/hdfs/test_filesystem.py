@@ -149,6 +149,68 @@ class TestNamenodeBookkeeping:
         total_bytes = sum(d.stats().bytes_stored for d in hdfs.datanodes)
         assert total_bytes == 100 * hdfs.namenode.default_replication
 
+    def test_deregister_datanode_is_idempotent(self, hdfs: HDFS):
+        removed = hdfs.namenode.deregister_datanode(0)
+        assert removed is not None and removed.node_id == 0
+        assert hdfs.namenode.deregister_datanode(0) is None
+        assert hdfs.namenode.deregister_datanode(99) is None
+        assert len(hdfs.datanodes) == 5
+
+    def test_reregistration_replaces_stale_entry(self, hdfs: HDFS):
+        from repro.hdfs import DataNode
+
+        restarted = DataNode(2, host="node-2", rack="rack-2")
+        hdfs.namenode.register_datanode(restarted)
+        assert len(hdfs.datanodes) == 6  # replaced, not appended
+        assert hdfs.namenode.datanode(2) is restarted
+
+    def test_block_report_reconciles_locations(self, hdfs: HDFS):
+        hdfs.write_file("/br.bin", b"b" * BLOCK, replication=2)
+        meta = hdfs.namenode.file_blocks("/br.bin")[0]
+        node_id = meta.locations[0]
+        other = meta.locations[1]
+        # The node restarted empty: its report no longer lists the block.
+        outcome = hdfs.namenode.apply_block_report(node_id, [])
+        assert outcome["removed"] == 1
+        meta = hdfs.namenode.block_meta(meta.block_id)
+        assert meta.locations == (other,)
+        # The report is authoritative the other way too.
+        outcome = hdfs.namenode.apply_block_report(node_id, [meta.block_id])
+        assert outcome["added"] == 1
+        assert set(hdfs.namenode.block_meta(meta.block_id).locations) == {
+            node_id,
+            other,
+        }
+        # Unknown block ids (deleted files) are ignored.
+        outcome = hdfs.namenode.apply_block_report(node_id, [meta.block_id, 424242])
+        assert outcome == {"added": 0, "removed": 0}
+
+    def test_dead_datanode_triggers_re_replication(self, hdfs: HDFS):
+        payload = b"x" * (2 * BLOCK)
+        hdfs.write_file("/rerep.bin", payload, replication=2)
+        metas = hdfs.namenode.file_blocks("/rerep.bin")
+        victim = metas[0].locations[0]
+        hdfs.namenode.datanode(victim).fail()
+        copied = hdfs.namenode.handle_dead_datanode(victim)
+        assert copied >= 1
+        for meta in hdfs.namenode.file_blocks("/rerep.bin"):
+            assert victim not in meta.locations
+            assert len(meta.locations) == 2  # replica count restored
+            for node_id in meta.locations:
+                assert hdfs.namenode.datanode(node_id).has_block(meta.block_id)
+        assert hdfs.read_file("/rerep.bin") == payload
+
+    def test_dead_datanode_with_lost_only_replica_degrades_gracefully(
+        self, hdfs: HDFS
+    ):
+        hdfs.write_file("/lost.bin", b"l" * BLOCK, replication=1)
+        meta = hdfs.namenode.file_blocks("/lost.bin")[0]
+        victim = meta.locations[0]
+        hdfs.namenode.datanode(victim).fail()
+        copied = hdfs.namenode.handle_dead_datanode(victim)
+        assert copied == 0  # nothing to copy from; no crash
+        assert hdfs.namenode.block_meta(meta.block_id).locations == ()
+
     def test_report_structure(self, hdfs: HDFS):
         hdfs.write_file("/r.bin", b"r" * BLOCK)
         report = hdfs.stats()

@@ -222,6 +222,83 @@ class TestTrackerFailure:
         plan.on_task_start(kind="map", index=1, attempt=0, tracker_host="node-2")
 
 
+class TestNetworkFaults:
+    """Wire-level fault specs and their materialisation for transports."""
+
+    def test_spec_validation(self):
+        from repro.mapreduce import NetworkFault
+
+        with pytest.raises(ValueError, match="unknown network fault action"):
+            NetworkFault(action="explode", peer="node-1")
+        with pytest.raises(ValueError, match="concrete peer"):
+            NetworkFault(action="kill")  # "*" cannot be killed
+        with pytest.raises(ValueError, match="both endpoints"):
+            NetworkFault(action="partition", peer="node-1")
+        with pytest.raises(ValueError, match="non-negative"):
+            NetworkFault(action="delay", peer="node-1", seconds=-1.0)
+        # Drop rules may be fully wildcarded.
+        NetworkFault(action="drop")
+
+    def test_helpers_build_the_right_specs(self):
+        from repro.mapreduce import (
+            delay_messages,
+            drop_messages,
+            kill_node,
+            partition_peer,
+        )
+
+        assert kill_node("node-3").action == "kill"
+        partition = partition_peer("node-1", "node-2")
+        assert (partition.peer, partition.other) == ("node-1", "node-2")
+        drop = drop_messages(src="client", dst="node-0", count=2, method="put_page")
+        assert (drop.count, drop.method) == (2, "put_page")
+        assert delay_messages("node-4", 0.25).seconds == 0.25
+
+    def test_network_plan_materialises_specs(self):
+        from repro.mapreduce import drop_messages, kill_node
+        from repro.net import PeerUnavailableError, RpcTimeoutError
+
+        plan = FaultPlan(
+            [
+                kill_node("node-0"),
+                drop_messages(src="client", dst="node-1", count=1),
+                fail_task("map", 0),  # runtime faults coexist with wire faults
+            ]
+        )
+        assert len(plan.network_faults) == 2
+        wire = plan.network_plan(sleep=lambda _s: None)
+        assert wire.is_killed("node-0")
+        with pytest.raises(PeerUnavailableError):
+            wire.on_message("client", "node-0")
+        with pytest.raises(RpcTimeoutError):
+            wire.on_message("client", "node-1")  # the one dropped message
+        wire.on_message("client", "node-1")  # rule exhausted: delivered
+        assert wire.messages_dropped == 1
+
+    def test_network_plan_is_fresh_per_call(self):
+        from repro.mapreduce import drop_messages
+        from repro.net import RpcTimeoutError
+
+        plan = FaultPlan([drop_messages(src="a", dst="b", count=1)])
+        first = plan.network_plan(sleep=lambda _s: None)
+        with pytest.raises(RpcTimeoutError):
+            first.on_message("a", "b")
+        # A second materialisation starts with its drop budget intact.
+        second = plan.network_plan(sleep=lambda _s: None)
+        with pytest.raises(RpcTimeoutError):
+            second.on_message("a", "b")
+
+    def test_delay_spec_injects_latency(self):
+        from repro.mapreduce import delay_messages
+
+        plan = FaultPlan([delay_messages("node-2", 0.5)])
+        slept = []
+        wire = plan.network_plan(sleep=slept.append)
+        wire.on_message("client", "node-2")
+        assert slept == [0.5]
+        assert wire.messages_delayed == 1
+
+
 class TestSpeculativeExecution:
     @pytest.mark.parametrize("spill", [False, True])
     def test_straggler_backup_wins_and_output_matches(self, bsfs, spill):

@@ -1,0 +1,121 @@
+"""Frame codec: round-trips, incremental decoding, protocol violations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.errors import FrameError, FrameTooLargeError, TruncatedFrameError
+from repro.net.framing import (
+    HEADER,
+    MAGIC,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    def test_single_frame(self):
+        wire = encode_frame(b"hello")
+        decoder = FrameDecoder()
+        assert decoder.feed(wire) == [b"hello"]
+        assert decoder.at_boundary
+        assert decoder.pending_bytes == 0
+
+    def test_empty_payload(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_back_to_back_frames_in_one_feed(self):
+        wire = encode_frame(b"one") + encode_frame(b"two") + encode_frame(b"three")
+        assert FrameDecoder().feed(wire) == [b"one", b"two", b"three"]
+
+    @given(payloads=st.lists(st.binary(max_size=2048), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_many_payloads_round_trip(self, payloads):
+        wire = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        assert decoder.feed(wire) == payloads
+        decoder.eof()  # stream ends exactly on a frame boundary
+
+    @given(
+        payloads=st.lists(st.binary(max_size=512), min_size=1, max_size=6),
+        chunk=st.integers(min_value=1, max_value=17),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_byte_dribble_reassembles(self, payloads, chunk):
+        # However the stream is fragmented, the decoder reassembles the
+        # exact payload sequence — the property TCP delivery depends on.
+        wire = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(wire), chunk):
+            out.extend(decoder.feed(wire[start : start + chunk]))
+        assert out == payloads
+        assert decoder.frames_decoded == len(payloads)
+
+
+class TestRejection:
+    def test_bad_magic_rejected(self):
+        wire = bytearray(encode_frame(b"x"))
+        wire[0] ^= 0xFF
+        with pytest.raises(FrameError, match="magic"):
+            FrameDecoder().feed(bytes(wire))
+
+    def test_bad_version_rejected(self):
+        wire = HEADER.pack(MAGIC, PROTOCOL_VERSION + 1, 1) + b"x"
+        with pytest.raises(FrameError, match="version"):
+            FrameDecoder().feed(wire)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(b"GET / HTTP/1.1\r\n\r\n")
+
+    def test_oversized_announcement_rejected_before_buffering(self):
+        # The length field announces more than the cap: rejected from the
+        # header alone, without waiting for (or buffering) the body.
+        wire = HEADER.pack(MAGIC, PROTOCOL_VERSION, 1024 * 1024)
+        decoder = FrameDecoder(max_frame=1024)
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            decoder.feed(wire)
+        assert excinfo.value.announced == 1024 * 1024
+        assert excinfo.value.limit == 1024
+
+    def test_encode_refuses_oversized_payload(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(b"x" * 2048, max_frame=1024)
+
+    def test_truncated_stream_detected_at_eof(self):
+        wire = encode_frame(b"hello world")
+        decoder = FrameDecoder()
+        decoder.feed(wire[:-3])
+        assert decoder.pending_bytes > 0
+        assert not decoder.at_boundary
+        with pytest.raises(TruncatedFrameError):
+            decoder.eof()
+
+    def test_truncated_header_detected_at_eof(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"payload")[:3])
+        with pytest.raises(TruncatedFrameError):
+            decoder.eof()
+
+    @given(junk=st.binary(min_size=HEADER.size, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_random_junk_never_decodes_silently(self, junk):
+        # Random bytes either raise FrameError or stay pending; any frame
+        # that does come out corresponds exactly to a validly-headed
+        # region of the input — junk never invents payloads.
+        decoder = FrameDecoder(max_frame=1 << 16)
+        try:
+            frames = decoder.feed(junk)
+        except FrameError:
+            return
+        position = 0
+        for frame in frames:
+            magic, version, length = HEADER.unpack_from(junk, position)
+            assert magic == MAGIC and version == PROTOCOL_VERSION
+            assert junk[position + HEADER.size : position + HEADER.size + length] == frame
+            position += HEADER.size + length

@@ -1,0 +1,197 @@
+"""Filesystems running over remote stubs: BSFS and HDFS unchanged on RPC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KB, BlobSeer, BlobSeerConfig, DataProvider
+from repro.core.errors import ProviderUnavailableError
+from repro.bsfs import BSFS
+from repro.hdfs import HDFS, DataNode
+from repro.net import (
+    NetworkFaultPlan,
+    NodeServer,
+    RemoteDataNode,
+    RemoteDataProvider,
+    RetryPolicy,
+    connect_datanode,
+    connect_provider,
+    loopback_datanode_stub,
+    loopback_provider_stub,
+)
+
+BLOCK = 16 * KB
+
+
+def make_config(*, replication: int = 2) -> BlobSeerConfig:
+    return BlobSeerConfig(
+        page_size=4 * KB,
+        num_providers=4,
+        num_metadata_providers=3,
+        replication=replication,
+        rng_seed=7,
+    )
+
+
+@pytest.fixture
+def faults():
+    return NetworkFaultPlan(sleep=lambda _s: None)
+
+
+class TestProviderStub:
+    def test_stub_mirrors_provider_identity(self, faults):
+        provider = DataProvider(3, host="node-3", rack="rack-1")
+        stub = loopback_provider_stub(provider, faults=faults)
+        assert isinstance(stub, RemoteDataProvider)
+        assert stub.provider_id == 3
+        assert stub.host == "node-3"
+        assert stub.rack == "rack-1"
+
+    def test_stub_page_round_trip(self, faults):
+        from repro.core.pages import PageKey
+
+        provider = DataProvider(0)
+        stub = loopback_provider_stub(provider, faults=faults)
+        key = PageKey(1, 1, 0)
+        stub.put_page(key, b"payload")
+        assert stub.get_page(key) == b"payload"
+        assert stub.has_page(key)
+        assert provider.has_page(key)  # it really landed on the backend
+
+    def test_killed_peer_surfaces_as_provider_unavailable(self, faults):
+        provider = DataProvider(0, host="node-0")
+        stub = loopback_provider_stub(provider, faults=faults)
+        faults.kill("node-0")
+        assert not stub.available
+        with pytest.raises(ProviderUnavailableError):
+            stub.page_keys()
+
+
+class TestBsfsOverStubs:
+    def make_blobseer(self, faults, *, replication=2):
+        config = make_config(replication=replication)
+        self.backends = [
+            DataProvider(i, host=f"node-{i}", rack=f"rack-{i % 2}")
+            for i in range(config.num_providers)
+        ]
+        stubs = [
+            loopback_provider_stub(p, faults=faults, retry=RetryPolicy.no_retry())
+            for p in self.backends
+        ]
+        return BlobSeer(config, providers=stubs)
+
+    def test_write_read_byte_identical(self, faults):
+        bs = self.make_blobseer(faults)
+        fs = BSFS(blobseer=bs, default_block_size=BLOCK)
+        payload = bytes(range(256)) * 128  # 32 KiB, multi-page
+        fs.write_file("/stub.bin", payload)
+        assert fs.read_file("/stub.bin") == payload
+
+    def test_read_fails_over_when_peer_killed(self, faults):
+        bs = self.make_blobseer(faults, replication=2)
+        fs = BSFS(blobseer=bs, default_block_size=BLOCK)
+        payload = b"f" * (2 * BLOCK)
+        fs.write_file("/failover.bin", payload)
+        # Kill one node-process; the replica on a live peer serves reads.
+        faults.kill("node-1")
+        assert fs.read_file("/failover.bin") == payload
+
+
+class TestHdfsOverStubs:
+    def make_hdfs(self, faults, *, replication=2):
+        self.backends = [
+            DataNode(i, host=f"node-{i}", rack=f"rack-{i % 3}") for i in range(4)
+        ]
+        stubs = [
+            loopback_datanode_stub(d, faults=faults, retry=RetryPolicy.no_retry())
+            for d in self.backends
+        ]
+        return HDFS(
+            datanodes=stubs,
+            default_block_size=BLOCK,
+            default_replication=replication,
+        )
+
+    def test_stub_mirrors_datanode_identity(self, faults):
+        node = DataNode(7, host="node-7", rack="rack-0")
+        stub = loopback_datanode_stub(node, faults=faults)
+        assert isinstance(stub, RemoteDataNode)
+        assert stub.node_id == 7
+        assert stub.host == "node-7"
+
+    def test_write_read_byte_identical(self, faults):
+        fs = self.make_hdfs(faults)
+        payload = b"h" * (2 * BLOCK + 500)
+        fs.write_file("/stub.bin", payload)
+        assert fs.read_file("/stub.bin") == payload
+        blocks = fs.namenode.file_blocks("/stub.bin")
+        assert [b.length for b in blocks] == [BLOCK, BLOCK, 500]
+
+    def test_read_fails_over_when_peer_killed(self, faults):
+        fs = self.make_hdfs(faults, replication=2)
+        payload = b"f" * BLOCK
+        fs.write_file("/failover.bin", payload)
+        meta = fs.namenode.file_blocks("/failover.bin")[0]
+        victim = fs.namenode.datanode(meta.locations[0])
+        faults.kill(victim.host)
+        assert fs.read_file("/failover.bin") == payload
+
+    def test_partitioned_writer_still_writes_elsewhere(self, faults):
+        fs = self.make_hdfs(faults, replication=2)
+        faults.partition("client", "node-0")
+        fs.write_file("/part.bin", b"p" * BLOCK, replication=2)
+        meta = fs.namenode.file_blocks("/part.bin")[0]
+        assert 0 not in meta.locations
+        assert fs.read_file("/part.bin") == b"p" * BLOCK
+
+
+class TestTcpStubs:
+    def test_provider_node_server_round_trip(self):
+        from repro.core.pages import PageKey
+
+        provider = DataProvider(5, host="node-5", rack="rack-0")
+        server = NodeServer(provider, host="127.0.0.1", port=0)
+        host, port = server.start()
+        try:
+            stub = connect_provider(host, port)
+            assert stub.provider_id == 5
+            key = PageKey(9, 1, 0)
+            stub.put_page(key, b"over tcp")
+            assert stub.get_page(key) == b"over tcp"
+            assert provider.has_page(key)
+            stub.close()
+        finally:
+            server.stop()
+
+    def test_datanode_node_server_round_trip(self):
+        node = DataNode(2, host="node-2", rack="rack-1")
+        server = NodeServer(node, host="127.0.0.1", port=0)
+        host, port = server.start()
+        try:
+            stub = connect_datanode(host, port)
+            stub.write_block(11, b"tcp block")
+            assert stub.read_block(11) == b"tcp block"
+            assert stub.block_ids() == [11]
+            stub.close()
+        finally:
+            server.stop()
+
+    def test_hdfs_over_tcp_stubs(self):
+        backends = [DataNode(i, host=f"node-{i}", rack="r0") for i in range(3)]
+        servers = [NodeServer(d, host="127.0.0.1", port=0) for d in backends]
+        stubs = []
+        try:
+            for server in servers:
+                host, port = server.start()
+                stubs.append(connect_datanode(host, port))
+            fs = HDFS(
+                datanodes=stubs, default_block_size=BLOCK, default_replication=2
+            )
+            payload = bytes(range(256)) * 256  # 64 KiB
+            fs.write_file("/tcp.bin", payload)
+            assert fs.read_file("/tcp.bin") == payload
+        finally:
+            for stub in stubs:
+                stub.close()
+            for server in servers:
+                server.stop()

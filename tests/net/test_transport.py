@@ -1,0 +1,240 @@
+"""Transports: loopback and TCP request/response, retries, faults, concurrency."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    LoopbackTransport,
+    NetworkFaultPlan,
+    PeerUnavailableError,
+    RetryPolicy,
+    RpcServer,
+    RpcTimeoutError,
+    ServiceRegistry,
+    TcpTransport,
+    TransportError,
+    UnknownServiceError,
+)
+
+
+class Echo:
+    """Tiny test service: methods, attributes, failures, slowness."""
+
+    greeting = "hello"
+
+    def __init__(self):
+        self.calls = 0
+
+    def echo(self, value):
+        self.calls += 1
+        return value
+
+    def add(self, a, b, *, bias=0):
+        return a + b + bias
+
+    def boom(self):
+        raise ValueError("application error")
+
+    def slow(self, seconds):
+        time.sleep(seconds)
+        return "done"
+
+    def _secret(self):  # pragma: no cover - must never be reachable
+        raise AssertionError("private method invoked over RPC")
+
+
+@pytest.fixture
+def registry():
+    reg = ServiceRegistry()
+    reg.register("echo", Echo())
+    return reg
+
+
+@pytest.fixture
+def loopback(registry):
+    with LoopbackTransport(registry) as transport:
+        yield transport
+
+
+@pytest.fixture
+def tcp(registry):
+    with RpcServer(registry) as server:
+        host, port = server.address
+        with TcpTransport(host, port, retry=RetryPolicy.no_retry()) as transport:
+            yield transport
+
+
+@pytest.fixture(params=["loopback", "tcp"])
+def transport(request):
+    return request.getfixturevalue(request.param)
+
+
+class TestRequestResponse:
+    def test_call_round_trips_values(self, transport):
+        assert transport.call("echo", "echo", b"payload" * 100) == b"payload" * 100
+        assert transport.call("echo", "add", 2, 3, bias=10) == 15
+
+    def test_attribute_read(self, transport):
+        assert transport.call("echo", "greeting") == "hello"
+
+    def test_remote_exception_rethrown_as_itself(self, transport):
+        with pytest.raises(ValueError, match="application error"):
+            transport.call("echo", "boom")
+
+    def test_unknown_service_and_method(self, transport):
+        with pytest.raises(UnknownServiceError):
+            transport.call("nope", "echo", 1)
+        with pytest.raises(UnknownServiceError):
+            transport.call("echo", "no_such_method")
+
+    def test_private_methods_rejected(self, transport):
+        with pytest.raises(UnknownServiceError):
+            transport.call("echo", "_secret")
+
+
+class TestRetries:
+    def test_transport_errors_retried_then_succeed(self, registry):
+        faults = NetworkFaultPlan(sleep=lambda _s: None)
+        faults.drop(src="client", dst="loopback", count=2)
+        transport = LoopbackTransport(
+            registry,
+            faults=faults,
+            retry=RetryPolicy(retries=3, backoff=0.001),
+        )
+        assert transport.call("echo", "echo", "x") == "x"
+        assert faults.messages_dropped == 2
+        assert transport.calls_retried == 1
+
+    def test_retries_exhausted_raises_last_error(self, registry):
+        faults = NetworkFaultPlan(sleep=lambda _s: None)
+        faults.drop(src="client", dst="loopback", count=None)
+        transport = LoopbackTransport(
+            registry, faults=faults, retry=RetryPolicy(retries=2, backoff=0.001)
+        )
+        with pytest.raises(RpcTimeoutError):
+            transport.call("echo", "echo", "x")
+        assert faults.messages_dropped == 3  # first try + 2 retries
+
+    def test_application_errors_never_retried(self, registry):
+        service = registry.get("echo")
+        transport = LoopbackTransport(
+            registry, retry=RetryPolicy(retries=5, backoff=0.001)
+        )
+        with pytest.raises(ValueError):
+            transport.call("echo", "boom")
+        # boom() raised once; a retried application error would re-call it.
+        transport.call("echo", "echo", 1)
+        assert service.calls == 1
+
+    def test_killed_peer_fails_fast(self, registry):
+        faults = NetworkFaultPlan()
+        faults.kill("loopback")
+        transport = LoopbackTransport(
+            registry, faults=faults, retry=RetryPolicy.no_retry()
+        )
+        with pytest.raises(PeerUnavailableError):
+            transport.call("echo", "echo", 1)
+        faults.revive("loopback")
+        assert transport.call("echo", "echo", 1) == 1
+
+    def test_retry_policy_delays_are_bounded_exponential(self):
+        policy = RetryPolicy(retries=4, backoff=0.1, backoff_factor=2.0, max_backoff=0.3)
+        assert list(policy.delays()) == [0.1, 0.2, 0.3, 0.3]
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+
+
+class TestTcpSpecifics:
+    def test_timeout_raises_rpc_timeout(self, registry):
+        with RpcServer(registry) as server:
+            host, port = server.address
+            with TcpTransport(
+                host, port, timeout=0.2, retry=RetryPolicy.no_retry()
+            ) as transport:
+                with pytest.raises(RpcTimeoutError):
+                    transport.call("echo", "slow", 5.0)
+
+    def test_connect_failure_is_peer_unavailable(self):
+        # Nothing listens on this port (bind-then-close reserves a dead one).
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with TcpTransport(
+            "127.0.0.1", port, retry=RetryPolicy.no_retry()
+        ) as transport:
+            with pytest.raises(PeerUnavailableError):
+                transport.call("echo", "echo", 1)
+
+    def test_server_death_fails_inflight_then_reconnect_fails(self, registry):
+        server = RpcServer(registry)
+        host, port = server.start()
+        transport = TcpTransport(host, port, retry=RetryPolicy.no_retry(), timeout=2.0)
+        assert transport.call("echo", "echo", 1) == 1
+        server.stop()
+        with pytest.raises(TransportError):
+            transport.call("echo", "echo", 2)
+        transport.close()
+
+    def test_concurrent_requests_interleave_on_one_connection(self, registry):
+        # One pooled connection, many threads: a slow call must not block
+        # fast calls behind it — responses come back by correlation id,
+        # not arrival order.
+        with RpcServer(registry) as server:
+            host, port = server.address
+            with TcpTransport(
+                host, port, pool_size=1, retry=RetryPolicy.no_retry(), timeout=5.0
+            ) as transport:
+                order: list[str] = []
+                lock = threading.Lock()
+
+                def slow():
+                    transport.call("echo", "slow", 0.4)
+                    with lock:
+                        order.append("slow")
+
+                def fast(i):
+                    transport.call("echo", "echo", i)
+                    with lock:
+                        order.append(f"fast-{i}")
+
+                threads = [threading.Thread(target=slow)]
+                threads += [
+                    threading.Thread(target=fast, args=(i,)) for i in range(8)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert len(order) == 9
+                # Every fast call overtook the in-flight slow call.
+                assert order[-1] == "slow"
+
+    def test_large_payload_round_trip(self, registry):
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        with RpcServer(registry) as server:
+            host, port = server.address
+            with TcpTransport(host, port) as transport:
+                assert transport.call("echo", "echo", blob) == blob
+
+    def test_malformed_stream_drops_connection_not_server(self, registry):
+        import socket
+
+        with RpcServer(registry) as server:
+            host, port = server.address
+            raw = socket.create_connection((host, port))
+            raw.sendall(b"NOT AN RPC STREAM AT ALL")
+            # Server closes our connection...
+            raw.settimeout(2.0)
+            assert raw.recv(1024) == b""
+            raw.close()
+            # ...but keeps serving everyone else.
+            with TcpTransport(host, port) as transport:
+                assert transport.call("echo", "echo", "still alive") == "still alive"
+            assert server.protocol_errors >= 1
