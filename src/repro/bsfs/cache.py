@@ -21,7 +21,12 @@ from typing import Callable
 
 from ..core.transfer import ChunkBuffer
 
-__all__ = ["CacheStats", "BlockReadCache", "WriteAggregator"]
+__all__ = [
+    "CacheStats",
+    "VersionedBlockCache",
+    "BlockReadCache",
+    "WriteAggregator",
+]
 
 
 class CacheStats:
@@ -57,8 +62,80 @@ class CacheStats:
         }
 
 
+class VersionedBlockCache:
+    """Shared LRU store of whole blocks keyed by ``(blob, version, block)``.
+
+    Snapshots are immutable, so a block cached under its full
+    ``(blob, version, block)`` identity can never go stale — and, crucially,
+    a pinned-snapshot reader can never be served newer bytes deposited by a
+    stream reading the latest version of the same file: the two streams use
+    different version components and therefore different keys.  One store is
+    shared by every stream of a BSFS instance, so two readers of the *same*
+    snapshot share each other's fetches.
+    """
+
+    def __init__(self, capacity_blocks: int = 32) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be at least 1")
+        self._capacity = capacity_blocks
+        self._blocks: OrderedDict[tuple, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.insertions = 0
+        self.evictions = 0
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._capacity
+
+    def get(self, key: tuple) -> bytes | None:
+        """The block under ``key`` (LRU touch), or ``None`` on miss."""
+        with self._lock:
+            data = self._blocks.get(key)
+            if data is not None:
+                self._blocks.move_to_end(key)
+            return data
+
+    def put(self, key: tuple, data: bytes) -> bool:
+        """Insert-if-absent; returns whether the block was inserted."""
+        with self._lock:
+            if key in self._blocks:
+                return False
+            self._blocks[key] = data
+            self.insertions += 1
+            while len(self._blocks) > self._capacity:
+                self._blocks.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def contains(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._blocks
+
+    def invalidate(
+        self, key: tuple | None = None, *, prefix: tuple | None = None
+    ) -> None:
+        """Drop one key, every key under ``prefix``, or everything."""
+        with self._lock:
+            if key is not None:
+                self._blocks.pop(key, None)
+            elif prefix is not None:
+                for k in [k for k in self._blocks if k[: len(prefix)] == prefix]:
+                    del self._blocks[k]
+            else:
+                self._blocks.clear()
+
+    def keys(self) -> list[tuple]:
+        """Every cached key (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._blocks.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+
 class BlockReadCache:
-    """LRU cache of whole blocks with miss-triggered prefetching.
+    """Per-stream view over an LRU block store, with miss-triggered prefetch.
 
     Parameters
     ----------
@@ -69,7 +146,16 @@ class BlockReadCache:
         content (possibly shorter than ``block_size`` for the file's last
         block).
     capacity_blocks:
-        Maximum number of blocks kept (LRU eviction).
+        Maximum number of blocks kept (LRU eviction) when the cache owns a
+        private store; ignored when ``store`` is supplied.
+    store:
+        Optional shared :class:`VersionedBlockCache`.  When given, blocks
+        live in the shared store under ``key + (block_index,)`` so streams
+        of the same snapshot share fetches while streams of different
+        versions can never serve each other's bytes.
+    key:
+        Namespace prefix of this stream's blocks in the store — for BSFS,
+        ``(blob_id, version)``.
     """
 
     def __init__(
@@ -79,6 +165,8 @@ class BlockReadCache:
         *,
         capacity_blocks: int = 4,
         on_access: Callable[[int], None] | None = None,
+        store: VersionedBlockCache | None = None,
+        key: tuple = (),
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
@@ -86,8 +174,10 @@ class BlockReadCache:
             raise ValueError("capacity_blocks must be at least 1")
         self._block_size = block_size
         self._fetch_block = fetch_block
-        self._capacity = capacity_blocks
-        self._blocks: OrderedDict[int, bytes] = OrderedDict()
+        self._store = store if store is not None else VersionedBlockCache(
+            capacity_blocks
+        )
+        self._key = key
         self._lock = threading.Lock()
         #: Called (outside the lock) with every accessed block index, hit
         #: or miss — the read-ahead hook: firing on hits too is what keeps
@@ -101,25 +191,30 @@ class BlockReadCache:
         """Size of one cached block."""
         return self._block_size
 
+    @property
+    def store(self) -> VersionedBlockCache:
+        """The backing block store (shared or private)."""
+        return self._store
+
+    def _full_key(self, block_index: int) -> tuple:
+        return self._key + (block_index,)
+
     def _get_block(self, block_index: int) -> bytes:
-        data: bytes | None = None
+        data = self._store.get(self._full_key(block_index))
         with self._lock:
-            if block_index in self._blocks:
-                self._blocks.move_to_end(block_index)
+            if data is not None:
                 self.stats.hits += 1
-                data = self._blocks[block_index]
             else:
                 self.stats.misses += 1
         if data is None:
-            # Fetch outside the lock: the fetch may be slow (a real BlobSeer
-            # read).
+            # Fetch outside any lock: the fetch may be slow (a real
+            # BlobSeer read).  A concurrent fetch of the same immutable
+            # block produces identical bytes, so losing the put race is
+            # harmless.
             data = self._fetch_block(block_index)
+            self._store.put(self._full_key(block_index), data)
             with self._lock:
-                self._blocks[block_index] = data
-                self._blocks.move_to_end(block_index)
                 self.stats.prefetched_blocks += 1
-                while len(self._blocks) > self._capacity:
-                    self._blocks.popitem(last=False)
         if self._on_access is not None:
             self._on_access(block_index)
         return data
@@ -147,8 +242,7 @@ class BlockReadCache:
 
     def contains(self, block_index: int) -> bool:
         """Whether a block is currently cached (no LRU touch, no stats)."""
-        with self._lock:
-            return block_index in self._blocks
+        return self._store.contains(self._full_key(block_index))
 
     def populate(self, block_index: int, data: bytes) -> bool:
         """Insert an externally fetched block if it is not cached yet.
@@ -159,28 +253,27 @@ class BlockReadCache:
         block was inserted (``False`` when it raced an ordinary fetch —
         both fetched identical bytes, so dropping one copy is harmless).
         """
-        with self._lock:
-            if block_index in self._blocks:
-                return False
-            self._blocks[block_index] = data
-            self._blocks.move_to_end(block_index)
-            self.stats.read_ahead_blocks += 1
-            while len(self._blocks) > self._capacity:
-                self._blocks.popitem(last=False)
-        return True
+        inserted = self._store.put(self._full_key(block_index), data)
+        if inserted:
+            with self._lock:
+                self.stats.read_ahead_blocks += 1
+        return inserted
 
     def invalidate(self, block_index: int | None = None) -> None:
-        """Drop one block (or the whole cache when ``block_index`` is ``None``)."""
-        with self._lock:
-            if block_index is None:
-                self._blocks.clear()
-            else:
-                self._blocks.pop(block_index, None)
+        """Drop one block (or this stream's whole namespace on ``None``)."""
+        if block_index is None:
+            self._store.invalidate(prefix=self._key)
+        else:
+            self._store.invalidate(self._full_key(block_index))
 
     def cached_blocks(self) -> list[int]:
-        """Indices of the blocks currently cached (LRU order, oldest first)."""
-        with self._lock:
-            return list(self._blocks.keys())
+        """Indices of this stream's cached blocks (LRU order, oldest first)."""
+        prefix_len = len(self._key)
+        return [
+            k[-1]
+            for k in self._store.keys()
+            if k[:prefix_len] == self._key and len(k) == prefix_len + 1
+        ]
 
 
 class WriteAggregator:

@@ -6,7 +6,7 @@ from typing import Callable
 
 from ..core.client import BlobSeer
 from ..fs.interface import InputStream, OutputStream
-from .cache import BlockReadCache, WriteAggregator
+from .cache import BlockReadCache, VersionedBlockCache, WriteAggregator
 
 __all__ = ["BSFSInputStream", "BSFSOutputStream"]
 
@@ -19,6 +19,14 @@ class BSFSInputStream(InputStream):
     and a miss additionally schedules the *next* block's fetch on the
     engine — so a sequential scan finds its next block already cached
     while it is still decoding the current one.
+
+    The snapshot to read is resolved *once, at open time*: a stream opened
+    with ``version=None`` captures the latest published version and keeps
+    reading it even while writers publish newer ones, so every block of one
+    stream comes from the same immutable snapshot (no torn reads).  Cached
+    blocks are keyed by ``(blob, version, block)`` in the (optionally
+    shared) store, so a snapshot stream can never be served newer bytes
+    cached by a concurrent latest-version reader.
     """
 
     def __init__(
@@ -31,10 +39,13 @@ class BSFSInputStream(InputStream):
         version: int | None = None,
         cache_blocks: int = 4,
         read_ahead: bool = True,
+        store: VersionedBlockCache | None = None,
     ) -> None:
         super().__init__(size)
         self._blobseer = blobseer
         self._blob_id = blob_id
+        if version is None:
+            version = blobseer.latest_version(blob_id)
         self._version = version
         self._read_ahead = read_ahead
         self._cache = BlockReadCache(
@@ -42,12 +53,19 @@ class BSFSInputStream(InputStream):
             self._fetch_block,
             capacity_blocks=cache_blocks,
             on_access=self._on_block_access if read_ahead else None,
+            store=store,
+            key=(blob_id, version),
         )
 
     @property
     def cache(self) -> BlockReadCache:
         """The stream's block cache (exposed for tests and metrics)."""
         return self._cache
+
+    @property
+    def version(self) -> int:
+        """The published snapshot this stream reads (fixed at open time)."""
+        return self._version
 
     def _read_raw(self, block_index: int) -> bytes:
         """Fetch one block's bytes from the blob (no cache interaction)."""

@@ -25,9 +25,12 @@ import threading
 
 from ..core.client import BlobSeer
 from ..core.config import MB, BlobSeerConfig
+from ..core.errors import BlobPinnedError
 from ..fs import path as fspath
 from ..fs.errors import InvalidRangeError, NoSuchPathError
 from ..fs.interface import BlockLocation, FileStatus, FileSystem
+from ..versions.pins import SnapshotHandle
+from .cache import VersionedBlockCache
 from .file import BSFSInputStream, BSFSOutputStream
 from .locality import block_locations_for_blob
 from .namespace import NamespaceManager
@@ -50,6 +53,7 @@ class BSFS(FileSystem):
         config: BlobSeerConfig | None = None,
         default_block_size: int = DEFAULT_BLOCK_SIZE,
         cache_blocks: int = 4,
+        shared_cache_blocks: int | None = None,
     ) -> None:
         """Create a BSFS instance.
 
@@ -65,11 +69,22 @@ class BSFS(FileSystem):
             Block size used for files that do not specify one.
         cache_blocks:
             Number of blocks each input stream caches (LRU).
+        shared_cache_blocks:
+            Capacity of the instance-wide block store all input streams
+            share.  Blocks are keyed ``(blob, version, block)``, so streams
+            of the same snapshot share fetches while a pinned-snapshot
+            reader can never be served a concurrent latest-reader's bytes.
+            Defaults to ``8 × cache_blocks`` (at least 32).
         """
         self.blobseer = blobseer if blobseer is not None else BlobSeer(config)
         self.namespace = NamespaceManager()
         self._default_block_size = default_block_size
         self._cache_blocks = cache_blocks
+        if shared_cache_blocks is None:
+            shared_cache_blocks = max(32, cache_blocks * 8)
+        #: Instance-wide version-keyed block store shared by every input
+        #: stream (see :class:`~repro.bsfs.cache.VersionedBlockCache`).
+        self.block_store = VersionedBlockCache(shared_cache_blocks)
         self._client_ids = itertools.count(1)
         self._lock = threading.Lock()
 
@@ -100,10 +115,7 @@ class BSFS(FileSystem):
         blob_id = self.blobseer.create_blob(replication=replication)
 
         def _release_overwritten(entry) -> None:
-            try:
-                self.blobseer.delete_blob(entry.payload)
-            except Exception:
-                pass
+            self._release_blob(entry.payload)
 
         self.namespace.register_file(
             norm,
@@ -191,13 +203,24 @@ class BSFS(FileSystem):
     ) -> BSFSInputStream:
         """Open a file for reading; ``version`` selects an older blob snapshot.
 
+        The snapshot may equivalently be named inline (``/logs/events@v12``).
+        With ``version=None`` the stream captures the latest published
+        version *at open time* and keeps reading it while writers publish
+        newer ones — one stream never mixes bytes of two snapshots.
+
         ``read_ahead=False`` disables the stream's engine-side next-block
         prefetch — worth it for scattered positional reads, where
         prefetching the following block is pure read amplification.
         """
-        record = self.namespace.record(path)
+        bare, version = self._resolve_read_target(path, version)
+        record = self.namespace.record(bare)
         if version is None:
-            size = record.size
+            # Capture the snapshot here so size and version agree: the
+            # namespace size is maintained monotonically from published
+            # versions, so it can never exceed the latest version's extent,
+            # but clamping makes the invariant local and obvious.
+            version = self.blobseer.latest_version(record.blob_id)
+            size = min(record.size, self.blobseer.get_size(record.blob_id, version))
         else:
             size = self.blobseer.get_size(record.blob_id, version)
         return BSFSInputStream(
@@ -208,6 +231,7 @@ class BSFS(FileSystem):
             version=version,
             cache_blocks=self._cache_blocks,
             read_ahead=read_ahead,
+            store=self.block_store,
         )
 
     def open_read(
@@ -228,11 +252,17 @@ class BSFS(FileSystem):
         ``BlobSeerConfig.read_ahead_pages``, so provider latency overlaps
         with the consumer.  ``chunk_size`` is advisory here — chunks arrive
         page-sized, the natural transfer unit.
+
+        Like :meth:`open`, the snapshot is resolved *before* streaming
+        starts (``version=None`` captures the latest published version), so
+        a stream started during concurrent appends is byte-stable.
         """
         self._validate_stream_range(offset, length, chunk_size)
-        record = self.namespace.record(path)
+        bare, version = self._resolve_read_target(path, version)
+        record = self.namespace.record(bare)
         if version is None:
-            size = record.size
+            version = self.blobseer.latest_version(record.blob_id)
+            size = min(record.size, self.blobseer.get_size(record.blob_id, version))
         else:
             size = self.blobseer.get_size(record.blob_id, version)
         end = size if length is None else min(offset + length, size)
@@ -254,12 +284,36 @@ class BSFS(FileSystem):
 
     def delete(self, path: str, *, recursive: bool = False) -> None:
         def _release(file_path: str, entry) -> None:
-            try:
-                self.blobseer.delete_blob(entry.payload)
-            except Exception:
-                pass
+            self._release_blob(entry.payload)
 
         self.namespace.tree.delete(path, recursive=recursive, on_delete_file=_release)
+
+    def _release_blob(self, blob_id: int) -> None:
+        """Reclaim a blob whose file was deleted or overwritten.
+
+        A blob with in-flight snapshot pins cannot be deleted (the version
+        manager's delete guard raises :class:`BlobPinnedError`); the
+        namespace entry is gone either way, so the delete is *deferred*
+        until the last pin drains rather than orphaning the blob's pages.
+        Cached blocks of the blob are dropped eagerly — the keys can never
+        be served again once the file is unlinked.
+        """
+        self.block_store.invalidate(prefix=(blob_id,))
+        try:
+            self.blobseer.delete_blob(blob_id)
+        except BlobPinnedError:
+            self.blobseer.pins.on_drain(
+                blob_id, lambda: self._delete_drained(blob_id)
+            )
+        except Exception:
+            pass
+
+    def _delete_drained(self, blob_id: int) -> None:
+        """Drain hook: complete a deferred blob delete (never raises)."""
+        try:
+            self.blobseer.delete_blob(blob_id)
+        except Exception:
+            pass
 
     def rename(self, src: str, dst: str) -> None:
         self.namespace.tree.rename(src, dst)
@@ -311,6 +365,34 @@ class BSFS(FileSystem):
         """
         record = self.namespace.record(path)
         return self.blobseer.latest_version(record.blob_id)
+
+    def snapshot_size(self, path: str, version: int | None = None) -> int:
+        """Size of ``path`` as of blob snapshot ``version`` (current when None)."""
+        record = self.namespace.record(path)
+        if version is None:
+            return record.size
+        return self.blobseer.get_size(record.blob_id, version)
+
+    def pin(
+        self,
+        path: str,
+        version: int | None = None,
+        *,
+        owner: str = "reader",
+        ttl: float | None = None,
+    ) -> SnapshotHandle:
+        """Take a real lease on a snapshot of ``path`` in the pin registry.
+
+        Unlike the base class's token pin, the returned
+        :class:`~repro.versions.pins.SnapshotHandle` actually protects the
+        snapshot: the version GC will not retire a pinned version and
+        :meth:`delete` defers blob reclamation until the pin drains.
+        ``version=None`` pins the latest published version.
+        """
+        record = self.namespace.record(path)
+        return self.blobseer.pin_version(
+            record.blob_id, version, owner=owner, ttl=ttl
+        )
 
     # ----------------------------------------------------------------- monitoring
     def stats(self) -> dict:

@@ -15,6 +15,7 @@ from .errors import (
     AlignmentError,
     AllocationError,
     BlobNotFoundError,
+    BlobPinnedError,
     BlobSeerError,
     InvalidRangeError,
     MetadataCorruptionError,
@@ -25,6 +26,7 @@ from .errors import (
     TicketError,
     VersionNotFoundError,
     VersionNotPublishedError,
+    VersionRetiredError,
 )
 from .metadata import MetadataManager, NodeKey, TreeNode, next_power_of_two
 from .pages import (
@@ -103,6 +105,8 @@ __all__ = [
     "BlobNotFoundError",
     "VersionNotFoundError",
     "VersionNotPublishedError",
+    "VersionRetiredError",
+    "BlobPinnedError",
     "PageNotFoundError",
     "ProviderUnavailableError",
     "NoProvidersError",

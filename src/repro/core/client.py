@@ -57,6 +57,12 @@ from .replication import ReplicationManager, read_page, write_replicas
 from .transfer import InflightBudget, TransferEngine, pipelined
 from .version_manager import BlobInfo, VersionManager, WriteTicket
 
+# The snapshot lifecycle subsystem only depends back on repro.core through
+# TYPE_CHECKING imports, so this import is acyclic.
+from ..versions.gc import VersionGC
+from ..versions.pins import PinRegistry, SnapshotHandle
+from ..versions.retention import RetentionPolicy
+
 __all__ = ["PageLocation", "BlobWriteSink", "BlobSeer"]
 
 
@@ -142,6 +148,19 @@ class BlobSeer:
         )
         self._rng = random.Random(self.config.rng_seed)
         self._rng_lock = threading.Lock()
+        #: Snapshot lifecycle: pins protect published versions from the
+        #: collector (and the blob from deletion); the retention policy and
+        #: collector turn `max_versions_kept` / `version_ttl_seconds` into
+        #: reclaimed space.
+        self.pins = PinRegistry(default_ttl=self.config.pin_default_ttl_seconds)
+        self.retention = RetentionPolicy(
+            keep_last=self.config.max_versions_kept,
+            ttl_seconds=self.config.version_ttl_seconds,
+        )
+        self.gc = VersionGC(self, policy=self.retention, pins=self.pins)
+        self.version_manager.add_delete_guard(self.pins.guard_delete)
+        if self.config.gc_interval_seconds is not None:
+            self.gc.start(self.config.gc_interval_seconds)
 
     def _op_rng(self) -> random.Random:
         """Derive one deterministic RNG for a whole client operation.
@@ -170,8 +189,40 @@ class BlobSeer:
         """Static properties (page size, replication) of a blob."""
         return self.version_manager.blob_info(blob_id)
 
+    def pin_version(
+        self,
+        blob_id: int,
+        version: int | None = None,
+        *,
+        owner: str = "reader",
+        ttl: float | None = None,
+    ) -> SnapshotHandle:
+        """Pin a published version against GC and deletion; returns the lease.
+
+        ``version=None`` pins the latest published snapshot.  The handle is
+        a context manager; release it (or let its TTL lapse) when done.
+        """
+        info = self.version_manager.version_info(blob_id, version)
+        handle = self.pins.pin(blob_id, info.version, owner=owner, ttl=ttl)
+        # A GC cycle may have planned before our pin landed: its atomic
+        # retire step either saw the pin (version spared) or retired the
+        # version before the pin — re-validate so the caller never holds a
+        # pin on a collected snapshot.
+        try:
+            self.version_manager.version_info(blob_id, info.version)
+        except Exception:
+            handle.release()
+            raise
+        return handle
+
     def delete_blob(self, blob_id: int) -> None:
-        """Drop a blob from the version manager and release its pages."""
+        """Drop a blob from the version manager and release its pages.
+
+        Raises :class:`~repro.core.errors.BlobPinnedError` while snapshot
+        pins are active — callers either wait for
+        ``pins.wait_for_drain(blob_id)`` or defer through
+        ``pins.on_drain``.
+        """
         # Collect pages of every published version before forgetting the blob.
         roots = self.version_manager.snapshot_roots(blob_id)
         page_size = self.blob_info(blob_id).page_size
@@ -193,7 +244,8 @@ class BlobSeer:
                     continue
 
     def close(self) -> None:
-        """Stop the transfer engine and close every provider's backing store."""
+        """Stop the GC daemon and transfer engine, close provider stores."""
+        self.gc.stop()
         self.transfer.close()
         for provider in self.provider_manager.providers:
             provider.close()
@@ -697,6 +749,7 @@ class BlobSeer:
             "imbalance": self.provider_manager.imbalance(),
             "metadata_distribution": self.dht.distribution(),
             "blobs": self.version_manager.describe(),
+            "pins": self.pins.describe(),
         }
 
 

@@ -46,8 +46,24 @@ class BlobSeerConfig:
         consistent-hashing ring; more virtual nodes means a smoother key
         distribution.
     max_versions_kept:
-        If not ``None``, old published versions beyond this count become
-        eligible for garbage collection (not reclaimed automatically).
+        If not ``None``, only the newest ``max_versions_kept`` published
+        versions are retained by the version garbage collector
+        (:mod:`repro.versions`); older ones become reclaimable unless
+        pinned.  ``None`` retains every version forever (the seed
+        behaviour).
+    version_ttl_seconds:
+        If not ``None``, published versions younger than this many seconds
+        are always retained regardless of ``max_versions_kept`` (and older
+        unpinned ones become reclaimable when ``max_versions_kept`` is
+        also unset).
+    gc_interval_seconds:
+        If not ``None``, the deployment starts a background
+        :class:`~repro.versions.VersionGC` daemon sweeping every blob at
+        this period.  ``None`` leaves GC to explicit ``run_once`` calls
+        (in-process or via the control plane).
+    pin_default_ttl_seconds:
+        Default lease duration of snapshot pins taken without an explicit
+        ``ttl``; ``None`` means pins never expire and must be released.
     read_replica_policy:
         How a reader chooses among page replicas: ``"least_loaded"``,
         ``"random"`` or ``"first"``.
@@ -80,6 +96,9 @@ class BlobSeerConfig:
     allocation_strategy: str = "load_balanced"
     virtual_nodes_per_metadata_provider: int = 64
     max_versions_kept: int | None = None
+    version_ttl_seconds: float | None = None
+    gc_interval_seconds: float | None = None
+    pin_default_ttl_seconds: float | None = None
     read_replica_policy: str = "least_loaded"
     transfer_workers: int = 8
     read_ahead_pages: int = 4
@@ -122,6 +141,15 @@ class BlobSeerConfig:
             raise ValueError("max_inflight_bytes must be None or positive")
         if self.max_versions_kept is not None and self.max_versions_kept < 1:
             raise ValueError("max_versions_kept must be None or >= 1")
+        if self.version_ttl_seconds is not None and self.version_ttl_seconds < 0:
+            raise ValueError("version_ttl_seconds must be None or >= 0")
+        if self.gc_interval_seconds is not None and self.gc_interval_seconds <= 0:
+            raise ValueError("gc_interval_seconds must be None or positive")
+        if (
+            self.pin_default_ttl_seconds is not None
+            and self.pin_default_ttl_seconds <= 0
+        ):
+            raise ValueError("pin_default_ttl_seconds must be None or positive")
 
     def with_overrides(self, **overrides: Any) -> "BlobSeerConfig":
         """Return a copy of the configuration with the given fields replaced."""
@@ -145,6 +173,9 @@ class BlobSeerConfig:
                 self.virtual_nodes_per_metadata_provider
             ),
             "max_versions_kept": self.max_versions_kept,
+            "version_ttl_seconds": self.version_ttl_seconds,
+            "gc_interval_seconds": self.gc_interval_seconds,
+            "pin_default_ttl_seconds": self.pin_default_ttl_seconds,
             "read_replica_policy": self.read_replica_policy,
             "transfer_workers": self.transfer_workers,
             "read_ahead_pages": self.read_ahead_pages,

@@ -13,6 +13,8 @@ __all__ = [
     "BlobNotFoundError",
     "VersionNotFoundError",
     "VersionNotPublishedError",
+    "VersionRetiredError",
+    "BlobPinnedError",
     "PageNotFoundError",
     "ProviderUnavailableError",
     "NoProvidersError",
@@ -60,6 +62,42 @@ class VersionNotPublishedError(BlobSeerError):
         )
         self.blob_id = blob_id
         self.version = version
+
+
+class VersionRetiredError(VersionNotFoundError):
+    """Raised when reading a version reclaimed by the version garbage collector.
+
+    Subclasses :class:`VersionNotFoundError` because from a reader's point of
+    view the snapshot no longer exists; the distinct type lets tests and
+    monitoring tell "never existed" apart from "existed and was collected".
+    """
+
+    def __init__(self, blob_id: int, version: int) -> None:
+        # Bypass VersionNotFoundError.__init__ to keep a precise message.
+        BlobSeerError.__init__(
+            self,
+            f"version {version!r} of blob {blob_id!r} was retired by the "
+            "version garbage collector",
+        )
+        self.blob_id = blob_id
+        self.version = version
+
+
+class BlobPinnedError(BlobSeerError):
+    """Raised when deleting a blob that still has active snapshot pins.
+
+    Pins are leases held by readers and jobs; deleting the blob under them
+    would orphan their metadata mid-read.  Callers either release the pins,
+    wait for them to drain, or defer the delete.
+    """
+
+    def __init__(self, blob_id: int, pin_count: int) -> None:
+        super().__init__(
+            f"blob {blob_id!r} has {pin_count} active snapshot pin(s); "
+            "release them or wait for the pins to drain before deleting"
+        )
+        self.blob_id = blob_id
+        self.pin_count = pin_count
 
 
 class PageNotFoundError(BlobSeerError):

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from .config import BlobSeerConfig
 from .errors import (
@@ -32,6 +33,7 @@ from .errors import (
     TicketError,
     VersionNotFoundError,
     VersionNotPublishedError,
+    VersionRetiredError,
 )
 from .metadata import NodeKey, next_power_of_two
 
@@ -115,16 +117,27 @@ class _BlobState:
     published_version: int = 0
     published_sizes: dict[int, int] = field(default_factory=dict)
     published_roots: dict[int, NodeKey | None] = field(default_factory=dict)
+    published_times: dict[int, float] = field(default_factory=dict)
+    retired: set[int] = field(default_factory=set)
 
 
 class VersionManager:
     """Centralized version assignment and ordered publication service."""
 
-    def __init__(self, config: BlobSeerConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BlobSeerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self._config = config or BlobSeerConfig()
         self._blobs: dict[int, _BlobState] = {}
         self._blob_ids = itertools.count(1)
         self._lock = threading.Lock()
+        #: Clock used to stamp publication times (injectable so retention
+        #: TTL tests can run on a virtual clock).
+        self._clock = clock
+        self._delete_guards: list[Callable[[int], None]] = []
 
     # -- blob lifecycle -----------------------------------------------------------
     def create_blob(
@@ -149,6 +162,7 @@ class VersionManager:
             # Version 0 is the implicit empty snapshot.
             state.published_sizes[0] = 0
             state.published_roots[0] = None
+            state.published_times[0] = self._clock()
             self._blobs[blob_id] = state
         return info
 
@@ -167,8 +181,27 @@ class VersionManager:
         with self._lock:
             return sorted(self._blobs.keys())
 
+    def add_delete_guard(self, guard: Callable[[int], None]) -> None:
+        """Register a veto hook consulted before every :meth:`delete_blob`.
+
+        Guards receive the blob id and raise to block the deletion — the
+        pin registry installs one so a blob with active snapshot pins
+        cannot be deleted out from under its readers.
+        """
+        self._delete_guards.append(guard)
+
     def delete_blob(self, blob_id: int) -> None:
-        """Forget a blob entirely (its pages are left to garbage collection)."""
+        """Forget a blob entirely (its pages are left to garbage collection).
+
+        Raises whatever a registered delete guard raises (for example
+        :class:`~repro.core.errors.BlobPinnedError` when snapshot pins are
+        still active) and leaves the blob intact in that case.
+        """
+        # Guards run outside the registry lock: they may consult other
+        # subsystems (the pin registry) that take their own locks.
+        self._state(blob_id)  # surface BlobNotFoundError first
+        for guard in self._delete_guards:
+            guard(blob_id)
         with self._lock:
             if blob_id not in self._blobs:
                 raise BlobNotFoundError(blob_id)
@@ -290,6 +323,7 @@ class VersionManager:
             else:
                 state.published_roots[nxt] = slot.root
                 state.published_sizes[nxt] = slot.ticket.new_size
+            state.published_times[nxt] = self._clock()
             state.published_version = nxt
 
     def wait_for_publication(
@@ -325,6 +359,8 @@ class VersionManager:
                 raise VersionNotFoundError(blob_id, version)
             if version > state.published_version:
                 raise VersionNotPublishedError(blob_id, version)
+            if version in state.retired:
+                raise VersionRetiredError(blob_id, version)
             if version == 0:
                 return VersionInfo(
                     blob_id=blob_id,
@@ -347,10 +383,74 @@ class VersionManager:
             )
 
     def published_versions(self, blob_id: int) -> list[int]:
-        """All published version numbers including the empty version 0."""
+        """Live published version numbers (version 0 included, retired excluded)."""
         state = self._state(blob_id)
         with state.lock:
-            return list(range(0, state.published_version + 1))
+            return [
+                v
+                for v in range(0, state.published_version + 1)
+                if v not in state.retired
+            ]
+
+    def publication_times(self, blob_id: int) -> dict[int, float]:
+        """Map live published version -> publication timestamp (manager clock)."""
+        state = self._state(blob_id)
+        with state.lock:
+            return {
+                v: t
+                for v, t in state.published_times.items()
+                if v not in state.retired
+            }
+
+    def inflight_floor(self, blob_id: int) -> int | None:
+        """Lowest base version any in-flight (unpublished) writer depends on.
+
+        Writers merge boundary pages by reading their ticket's base version,
+        so the garbage collector must not reclaim any version at or above
+        this floor.  ``None`` means no writer is in flight.
+        """
+        state = self._state(blob_id)
+        with state.lock:
+            bases = [
+                slot.ticket.base_version
+                for slot in state.versions.values()
+                if not slot.ready
+            ]
+            return min(bases) if bases else None
+
+    def retire_versions(self, blob_id: int, versions: Iterable[int]) -> list[int]:
+        """Drop published versions from the catalogue (GC's final step).
+
+        Only strictly-old snapshots may retire: never version 0 (the empty
+        snapshot every blob shares), never the latest published version, and
+        never a version that was not published.  Returns the versions
+        actually retired (already-retired ones are skipped silently so GC
+        runs are idempotent).
+        """
+        state = self._state(blob_id)
+        retired: list[int] = []
+        with state.lock:
+            for version in sorted(set(versions)):
+                if version in state.retired:
+                    continue
+                if version <= 0:
+                    raise ValueError("version 0 (the empty snapshot) cannot retire")
+                if version > state.published_version:
+                    raise VersionNotPublishedError(blob_id, version)
+                if version == state.published_version:
+                    raise ValueError(
+                        f"cannot retire the latest published version {version} "
+                        f"of blob {blob_id}"
+                    )
+                state.retired.add(version)
+                state.published_roots.pop(version, None)
+                state.published_sizes.pop(version, None)
+                state.published_times.pop(version, None)
+                # The write ticket's slot is no longer needed: the version
+                # published long ago and _advance never revisits it.
+                state.versions.pop(version, None)
+                retired.append(version)
+        return retired
 
     def size(self, blob_id: int, version: int | None = None) -> int:
         """Size in bytes of a published version (default: the latest)."""
@@ -393,5 +493,7 @@ class VersionManager:
                     "published_version": state.published_version,
                     "assigned_version": state.assigned_version,
                     "size": state.published_sizes.get(state.published_version, 0),
+                    "live_versions": len(state.published_roots),
+                    "retired_versions": len(state.retired),
                 }
         return result

@@ -29,6 +29,7 @@ __all__ = [
     "FileStatus",
     "OutputStream",
     "InputStream",
+    "SnapshotPin",
     "FileSystem",
     "copy_path",
 ]
@@ -194,6 +195,34 @@ class InputStream(ABC):
             yield chunk
 
 
+class SnapshotPin:
+    """A held snapshot lease returned by :meth:`FileSystem.pin`.
+
+    For backends without a version garbage collector this is a pure token
+    (nothing can reclaim the snapshot, so there is nothing to hold); BSFS
+    returns a handle backed by the deployment's real pin registry.  Either
+    way it is a context manager carrying the pinned ``version``, so callers
+    (the MapReduce jobtracker) pin uniformly across backends.
+    """
+
+    def __init__(self, path: str, version: int) -> None:
+        self.path = path
+        self.version = version
+        self.released = False
+
+    def release(self) -> None:
+        self.released = True
+
+    def renew(self, ttl: float) -> None:
+        """Extend the lease (no-op for token pins)."""
+
+    def __enter__(self) -> "SnapshotPin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
 class FileSystem(ABC):
     """Hadoop-style file system API implemented by BSFS and the HDFS baseline."""
 
@@ -225,8 +254,48 @@ class FileSystem(ABC):
         """Create ``path`` and return a stream for writing its content."""
 
     @abstractmethod
-    def open(self, path: str, *, client_host: str | None = None) -> InputStream:
-        """Open an existing file for reading."""
+    def open(
+        self,
+        path: str,
+        *,
+        version: int | None = None,
+        client_host: str | None = None,
+    ) -> InputStream:
+        """Open an existing file for reading.
+
+        ``version`` selects an ``AS OF`` snapshot of the file; ``None``
+        captures the latest state at open time.  The snapshot can also be
+        named inline with an ``@vN`` path suffix (``/logs/events@v12``);
+        see :meth:`_resolve_read_target`.  What a version *is* differs by
+        backend — BSFS uses real BlobSeer snapshot versions, while backends
+        without multi-versioning use the file size as the snapshot token
+        (see :meth:`snapshot`) — but in all cases a given version's bytes
+        never change once it exists.
+        """
+
+    @staticmethod
+    def _resolve_read_target(
+        path: str, version: int | None
+    ) -> tuple[str, int | None]:
+        """Apply the ``@vN`` read suffix, reconciling it with ``version``.
+
+        Every backend's read entry points call this first, so the suffix
+        behaves identically across BSFS, HDFS and LocalFS.  Naming two
+        *different* versions (suffix and keyword) is rejected; naming the
+        same one twice is allowed.
+        """
+        from .errors import InvalidPathError
+        from .path import split_as_of
+
+        bare, suffix_version = split_as_of(path)
+        if suffix_version is None:
+            return path, version
+        if version is not None and version != suffix_version:
+            raise InvalidPathError(
+                path,
+                f"@v{suffix_version} suffix conflicts with version={version}",
+            )
+        return bare, suffix_version
 
     def append(self, path: str, *, client_host: str | None = None) -> OutputStream:
         """Open an existing file for appending (optional operation)."""
@@ -257,6 +326,7 @@ class FileSystem(ABC):
         offset: int = 0,
         length: int | None = None,
         chunk_size: int = 1024 * 1024,
+        version: int | None = None,
         client_host: str | None = None,
     ) -> Iterator[memoryview]:
         """Stream a byte range of ``path`` as an iterator of memoryview chunks.
@@ -266,12 +336,14 @@ class FileSystem(ABC):
         :meth:`open`; backends override it to pipeline transfers (BSFS
         fetches pages concurrently with read-ahead, HDFS prefetches block
         chunks, LocalFS streams straight from disk).  ``length=None``
-        streams to the end of the file as sized at open time.
+        streams to the end of the file as sized at open time.  ``version``
+        (or an ``@vN`` path suffix) streams an ``AS OF`` snapshot, as in
+        :meth:`open`.
         """
         self._validate_stream_range(offset, length, chunk_size)
 
         def generate() -> Iterator[memoryview]:
-            with self.open(path, client_host=client_host) as stream:
+            with self.open(path, version=version, client_host=client_host) as stream:
                 end = stream.size if length is None else min(
                     offset + length, stream.size
                 )
@@ -340,6 +412,57 @@ class FileSystem(ABC):
         self, path: str, offset: int = 0, length: int | None = None
     ) -> list[BlockLocation]:
         """Expose where the blocks of ``path`` live (for locality-aware scheduling)."""
+
+    # -- snapshots ---------------------------------------------------------------------
+    def snapshot(self, path: str) -> int:
+        """Capture a snapshot token for the current state of ``path``.
+
+        Reading with ``version=snapshot(path)`` later returns exactly the
+        bytes the file held now, regardless of concurrent appends.  The
+        base implementation — the documented no-op passthrough for
+        backends without multi-versioning (HDFS, LocalFS) — uses the
+        *file size* as the token: their files only grow (HDFS files are
+        immutable once closed, appends on LocalFS only extend), so
+        truncating reads at the captured size reproduces the old content.
+        BSFS overrides this with real BlobSeer snapshot versions.
+        """
+        return self.size(path)
+
+    def snapshot_size(self, path: str, version: int | None = None) -> int:
+        """Size of ``path`` as of ``version`` (current size when ``None``).
+
+        For size-token backends the version *is* the byte length, clamped
+        to the current size for robustness; BSFS overrides this to ask the
+        version manager.
+        """
+        current = self.size(path)
+        if version is None:
+            return current
+        if version < 0:
+            raise ValueError("snapshot version must be non-negative")
+        return min(current, version)
+
+    def pin(
+        self,
+        path: str,
+        version: int | None = None,
+        *,
+        owner: str = "reader",
+        ttl: float | None = None,
+    ) -> SnapshotPin:
+        """Pin a snapshot of ``path`` against reclamation; returns the lease.
+
+        ``version=None`` pins the snapshot captured right now (via
+        :meth:`snapshot`).  On backends without a garbage collector the
+        returned pin is a pure token — old content is implicitly retained
+        because files only grow — so this base implementation never
+        blocks or expires anything.  BSFS overrides it to take a real
+        lease in the deployment's pin registry, which the version GC
+        honours.
+        """
+        if version is None:
+            version = self.snapshot(path)
+        return SnapshotPin(path, version)
 
     # -- convenience helpers -------------------------------------------------------
     def is_dir(self, path: str) -> bool:

@@ -209,10 +209,25 @@ class LocalFS(FileSystem):
         return offset
 
     # -- read path -------------------------------------------------------------------
-    def open(self, path: str, *, client_host: str | None = None) -> LocalFSInputStream:
-        """Open a file for reading (size snapshot taken at open time)."""
-        entry = self._tree.get_file(path)
-        return LocalFSInputStream(entry.payload, size=entry.size)
+    def open(
+        self,
+        path: str,
+        *,
+        version: int | None = None,
+        client_host: str | None = None,
+    ) -> LocalFSInputStream:
+        """Open a file for reading (size snapshot taken at open time).
+
+        LocalFS is a size-token backend: files only grow (appends extend,
+        overwrites replace the backing object), so ``version`` — the byte
+        length captured by :meth:`~repro.fs.interface.FileSystem.snapshot`
+        — reproduces the old content by truncating the readable range.
+        """
+        norm, version = self._resolve_read_target(path, version)
+        entry = self._tree.get_file(norm)
+        return LocalFSInputStream(
+            entry.payload, size=self.snapshot_size(norm, version)
+        )
 
     def open_read(
         self,
@@ -221,13 +236,17 @@ class LocalFS(FileSystem):
         offset: int = 0,
         length: int | None = None,
         chunk_size: int = 1024 * 1024,
+        version: int | None = None,
         client_host: str | None = None,
     ):
         """Stream straight from disk: one sequential file handle, no
-        per-chunk seek/lock round trip through the InputStream wrapper."""
+        per-chunk seek/lock round trip through the InputStream wrapper.
+        ``version`` truncates the stream at the snapshot's size token."""
         self._validate_stream_range(offset, length, chunk_size)
-        entry = self._tree.get_file(path)
-        end = entry.size if length is None else min(offset + length, entry.size)
+        norm, version = self._resolve_read_target(path, version)
+        entry = self._tree.get_file(norm)
+        size = self.snapshot_size(norm, version)
+        end = size if length is None else min(offset + length, size)
 
         def generate():
             with open(entry.payload, "rb") as backing:

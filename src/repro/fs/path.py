@@ -10,6 +10,8 @@ identical across BSFS and the HDFS baseline.
 
 from __future__ import annotations
 
+import re
+
 from .errors import InvalidPathError
 
 __all__ = [
@@ -20,6 +22,7 @@ __all__ = [
     "basename",
     "join",
     "is_ancestor",
+    "split_as_of",
 ]
 
 #: The root directory path.
@@ -79,6 +82,26 @@ def join(base: str, *parts: str) -> str:
             pieces.append(cleaned)
     joined = "/".join(pieces)
     return normalize(joined if joined.startswith("/") else "/" + joined)
+
+
+#: ``AS OF`` read suffix: ``/logs/events@v12`` reads snapshot 12 of the file.
+_AS_OF = re.compile(r"^(?P<path>.+?)@v(?P<version>\d+)$")
+
+
+def split_as_of(path: str) -> tuple[str, int | None]:
+    """Split an ``AS OF`` suffix off a read path.
+
+    ``"/a/b@v12"`` becomes ``("/a/b", 12)``; a path without the suffix is
+    returned unchanged with ``None``.  Only *read* entry points (``open``,
+    ``open_read`` and the input formats built on them) interpret the
+    suffix; namespace operations treat ``@`` as an ordinary character.
+    """
+    if not isinstance(path, str):
+        raise InvalidPathError(path, "paths must be strings")
+    match = _AS_OF.match(path)
+    if match is None:
+        return path, None
+    return match.group("path"), int(match.group("version"))
 
 
 def is_ancestor(ancestor: str, path: str) -> bool:

@@ -80,9 +80,16 @@ class HDFSOutputStream(OutputStream):
 class HDFSInputStream(InputStream):
     """Reader choosing, per block, the closest live replica."""
 
-    def __init__(self, fs: "HDFS", path: str, *, client_host: str | None) -> None:
+    def __init__(
+        self,
+        fs: "HDFS",
+        path: str,
+        *,
+        client_host: str | None,
+        size: int | None = None,
+    ) -> None:
         status = fs.namenode.status(path)
-        super().__init__(status.size)
+        super().__init__(status.size if size is None else min(size, status.size))
         self._fs = fs
         self._path = path
         self._client_host = client_host
@@ -240,12 +247,27 @@ class HDFS(FileSystem):
         )
 
     # -- read path -------------------------------------------------------------------
-    def open(self, path: str, *, client_host: str | None = None) -> HDFSInputStream:
-        """Open a file for reading."""
-        norm = fspath.normalize(path)
+    def open(
+        self,
+        path: str,
+        *,
+        version: int | None = None,
+        client_host: str | None = None,
+    ) -> HDFSInputStream:
+        """Open a file for reading.
+
+        HDFS files are written once and sealed — there is nothing a later
+        writer could change, so snapshot versioning is the documented
+        no-op passthrough: ``version`` is the file-size token of the base
+        :meth:`~repro.fs.interface.FileSystem.snapshot` and merely bounds
+        the readable range (a sealed file's bytes are already immutable).
+        """
+        bare, version = self._resolve_read_target(path, version)
+        norm = fspath.normalize(bare)
         if not self.namenode.tree.exists(norm):
             raise NoSuchPathError(norm)
-        return HDFSInputStream(self, norm, client_host=client_host)
+        size = None if version is None else self.snapshot_size(norm, version)
+        return HDFSInputStream(self, norm, client_host=client_host, size=size)
 
     def open_read(
         self,
@@ -254,6 +276,7 @@ class HDFS(FileSystem):
         offset: int = 0,
         length: int | None = None,
         chunk_size: int = 1024 * 1024,
+        version: int | None = None,
         client_host: str | None = None,
         read_ahead: int = 4,
     ):
@@ -262,15 +285,18 @@ class HDFS(FileSystem):
         Chunks are fetched through the transfer engine up to ``read_ahead``
         ahead of the consumer, so datanode latency overlaps with
         processing; every chunk keeps the per-chunk replica failover of
-        :meth:`_read_block`.
+        :meth:`_read_block`.  ``version`` bounds the stream at the
+        snapshot's size token (see :meth:`open`).
         """
         self._validate_stream_range(offset, length, chunk_size)
-        norm = fspath.normalize(path)
+        bare, version = self._resolve_read_target(path, version)
+        norm = fspath.normalize(bare)
         if not self.namenode.tree.exists(norm):
             raise NoSuchPathError(norm)
         status = self.namenode.status(norm)
         blocks = self.namenode.file_blocks(norm)
-        end = status.size if length is None else min(offset + length, status.size)
+        size = self.snapshot_size(norm, version)
+        end = size if length is None else min(offset + length, size)
         if offset >= end:
             return iter(())
 

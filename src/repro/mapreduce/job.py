@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..fs.uri import FsUri
 
@@ -73,6 +73,15 @@ class JobConf:
     #: Speculate only once at most this fraction of the phase's tasks is
     #: still incomplete (Hadoop's slow-start idea, inverted).
     speculative_fraction: float = 0.5
+    #: Run the job ``AS OF`` a storage snapshot: an ``int`` reads every
+    #: input at that version, a mapping pins per-path versions (keys are
+    #: resolved in-filesystem file paths), ``None`` reads the current
+    #: state.  The jobtracker pins the snapshots for the job's duration,
+    #: so a job sees byte-stable input even while clients keep appending
+    #: (and the version GC cannot reclaim the snapshot mid-job).  An
+    #: ``@vN`` suffix on an input path overrides this setting for that
+    #: path.
+    snapshot_version: int | Mapping[str, int] | None = None
     properties: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -90,6 +99,22 @@ class JobConf:
             raise ValueError("slow_task_threshold must be positive")
         if not 0.0 < self.speculative_fraction <= 1.0:
             raise ValueError("speculative_fraction must be within (0, 1]")
+        if self.snapshot_version is not None:
+            if isinstance(self.snapshot_version, int):
+                if self.snapshot_version < 0:
+                    raise ValueError("snapshot_version must be non-negative")
+            elif isinstance(self.snapshot_version, Mapping):
+                for key, value in self.snapshot_version.items():
+                    if not isinstance(value, int) or value < 0:
+                        raise ValueError(
+                            f"snapshot_version for {key!r} must be a "
+                            "non-negative int"
+                        )
+            else:
+                raise ValueError(
+                    "snapshot_version must be an int, a path→version "
+                    "mapping, or None"
+                )
 
     @property
     def is_map_only(self) -> bool:
@@ -99,6 +124,19 @@ class JobConf:
     def get(self, key: str, default: Any = None) -> Any:
         """Look up a free-form job property (mirrors Hadoop's ``conf.get``)."""
         return self.properties.get(key, default)
+
+    def version_for(self, path: str) -> int | None:
+        """The pinned snapshot version for one input file, if any.
+
+        Resolves :attr:`snapshot_version`: an ``int`` applies to every
+        input, a mapping is looked up by the file's resolved path, ``None``
+        means "read the current state".
+        """
+        if self.snapshot_version is None:
+            return None
+        if isinstance(self.snapshot_version, int):
+            return self.snapshot_version
+        return self.snapshot_version.get(path)
 
     def resolve_for(self, fs: "FileSystem") -> "JobConf":
         """Reduce URI inputs/outputs to plain in-filesystem paths.

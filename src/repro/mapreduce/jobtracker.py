@@ -845,6 +845,12 @@ class JobTracker:
         )
 
         # -- execution ------------------------------------------------------------
+        # An AS OF job leases every snapshot it reads for its duration, so
+        # the version GC cannot retire a snapshot while map attempts (and
+        # late retries) are still streaming it.  Pinning also fails fast —
+        # with a clear VersionRetiredError — if a requested snapshot was
+        # already reclaimed, instead of mid-task.
+        snapshot_pins = self._pin_snapshots(job, splits)
         reduce_ran = False
         max_workers = max(sum(t.slots for t in self.trackers), 1)
         try:
@@ -888,6 +894,11 @@ class JobTracker:
                     map_outputs.extend(map_phase.winner_map_outputs())
                     reduce_phase.run_serial()
         finally:
+            for pin in snapshot_pins:
+                try:
+                    pin.release()
+                except Exception:
+                    pass
             shuffle_stats = None
             if shuffle_service is not None:
                 shuffle_stats = shuffle_service.stats()
@@ -937,6 +948,34 @@ class JobTracker:
             shuffle=shuffle_stats,
             blacklisted_hosts=sorted(scheduler.blacklisted_hosts),
         )
+
+    def _pin_snapshots(self, job: Job, splits: list) -> list:
+        """Lease every distinct ``(path, version)`` snapshot the job reads.
+
+        Returns the acquired pin handles (released by the caller's
+        ``finally``); a pin failing mid-way releases the ones already
+        taken before re-raising, so an aborted submission leaks nothing.
+        """
+        pins: list = []
+        seen: set[tuple[str, int]] = set()
+        try:
+            for split in splits:
+                path = getattr(split, "path", None)
+                version = getattr(split, "version", None)
+                if path is None or version is None or (path, version) in seen:
+                    continue
+                seen.add((path, version))
+                pins.append(
+                    self.fs.pin(path, version, owner=f"job:{job.name}")
+                )
+        except Exception:
+            for pin in pins:
+                try:
+                    pin.release()
+                except Exception:
+                    pass
+            raise
+        return pins
 
     def _select_output_formats(
         self, job: Job

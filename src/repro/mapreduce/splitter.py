@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..fs.interface import FileSystem
+from ..fs.path import split_as_of
 from .job import JobConf
 
 __all__ = [
@@ -40,6 +41,10 @@ class InputSplit:
     offset: int
     length: int
     hosts: tuple[str, ...] = ()
+    #: Storage snapshot the split reads (``AS OF`` jobs); ``None`` reads
+    #: the file's current state.  Stamped by the input format from the
+    #: job's ``snapshot_version`` or an ``@vN`` path suffix.
+    version: int | None = None
 
     @property
     def is_synthetic(self) -> bool:
@@ -74,18 +79,24 @@ class LineRecordReader:
 
     def __iter__(self) -> Iterator[tuple[int, bytes]]:
         split = self._split
-        file_size = self._fs.status(split.path).size
+        if split.version is None:
+            # Current-state split: bound by the size ``status`` reports
+            # (wrapping views may clamp it; see the size-boundary tests).
+            file_size = self._fs.status(split.path).size
+        else:
+            file_size = self._fs.snapshot_size(split.path, split.version)
         end = min(split.offset + split.length, file_size)
         start = min(split.offset, file_size)
-        # The stream is bounded by the size observed *now*: a split may
+        # The stream is bounded by the split's snapshot size: a split may
         # read past its end to finish its last line, but never past the
-        # file size its splits were computed against (which concurrent
-        # appenders — or a snapshot view — may disagree with).
+        # version its splits were computed against — so an ``AS OF`` job
+        # reads identical bytes however many appends land concurrently.
         chunks = self._fs.open_read(
             split.path,
             offset=start,
             length=file_size - start,
             chunk_size=self._read_chunk,
+            version=split.version,
         )
         buffer = bytearray()
         base = start  # absolute file offset of buffer[0]
@@ -164,18 +175,27 @@ class TextInputFormat:
         The split size defaults to the file's block size so splits align
         with storage blocks (the property locality-aware scheduling relies
         on); hosts come from the file system's block-location primitive.
+
+        Splits of an ``AS OF`` job are sized against the pinned snapshot
+        (an ``@vN`` path suffix wins over the job's ``snapshot_version``),
+        so concurrent appends change neither the split set nor the bytes
+        the map tasks read.
         """
         splits: list[InputSplit] = []
         split_id = 0
         for path in conf.input_paths:
-            status = fs.status(path)
+            bare, suffix_version = split_as_of(path)
+            status = fs.status(bare)
             if status.is_dir:
-                files = [s.path for s in fs.list_files(path, recursive=True)]
+                files = [s.path for s in fs.list_files(bare, recursive=True)]
             else:
-                files = [path]
+                files = [bare]
             for file_path in files:
+                version = suffix_version
+                if version is None:
+                    version = conf.version_for(file_path)
                 file_status = fs.status(file_path)
-                size = file_status.size
+                size = fs.snapshot_size(file_path, version)
                 if size == 0:
                     continue
                 split_size = (
@@ -203,6 +223,7 @@ class TextInputFormat:
                             offset=offset,
                             length=length,
                             hosts=hosts,
+                            version=version,
                         )
                     )
                     split_id += 1

@@ -1,0 +1,61 @@
+"""repro.versions — the snapshot lifecycle subsystem.
+
+BlobSeer's signature feature is multi-versioned concurrency: every write
+publishes an immutable snapshot.  This package turns that mechanism into a
+production lifecycle:
+
+* :class:`PinRegistry` / :class:`SnapshotHandle` — refcounted, optionally
+  expiring leases readers and MapReduce jobs take on a published version;
+* :class:`RetentionPolicy` — keep-last-N / TTL / pinned retention rules;
+* :class:`VersionGC` — mark-and-sweep collector walking the snapshot
+  metadata trees to reclaim unreachable pages and tree nodes, runnable
+  in-process (:class:`GcDaemon`) or over the ``repro.net`` control plane
+  (:mod:`repro.versions.service`).
+
+The control-plane adapters live in :mod:`repro.versions.service` and are
+re-exported lazily so importing this package never drags in the network
+stack.
+"""
+
+from __future__ import annotations
+
+from .gc import GcDaemon, GcPlan, GcReport, VersionGC
+from .pins import PinRegistry, SnapshotHandle
+from .retention import RetentionPolicy
+
+__all__ = [
+    "SnapshotHandle",
+    "PinRegistry",
+    "RetentionPolicy",
+    "VersionGC",
+    "GcDaemon",
+    "GcPlan",
+    "GcReport",
+    # lazily re-exported from repro.versions.service:
+    "GC_SERVICE",
+    "VersionGCService",
+    "RemoteVersionGC",
+    "expose_gc",
+    "connect_gc",
+    "drive_remote_gc",
+]
+
+_SERVICE_EXPORTS = {
+    "GC_SERVICE",
+    "VersionGCService",
+    "RemoteVersionGC",
+    "expose_gc",
+    "connect_gc",
+    "drive_remote_gc",
+}
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy import: repro.core imports this package, and the service
+    # module imports repro.net which imports repro.core — resolving the
+    # network-facing names on first use keeps the import graph acyclic.
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

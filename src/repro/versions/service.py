@@ -1,0 +1,136 @@
+"""Control-plane exposure of the version garbage collector.
+
+A deployment can drive GC two ways:
+
+* **in-process** — ``client.gc.start(interval)`` runs the daemon next to
+  the version manager (the default for the functional deployment);
+* **over the wire** — the node hosting the version manager registers a
+  :class:`VersionGCService` in its :class:`~repro.net.service.ServiceRegistry`
+  (alongside the control service that receives heartbeats), and an operator
+  or coordinator drives cycles through a :class:`RemoteVersionGC` stub —
+  optionally on a timer via :class:`~repro.versions.gc.GcDaemon`, exactly
+  like :class:`~repro.net.liveness.HeartbeatPump` drives heartbeats.
+
+Every RPC answer is a JSON-friendly dict so monitoring can forward it
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..net.errors import NetError
+from ..net.transport import Transport
+from .gc import GcDaemon, VersionGC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.service import ServiceRegistry
+
+__all__ = [
+    "GC_SERVICE",
+    "GcUnreachableError",
+    "VersionGCService",
+    "RemoteVersionGC",
+    "expose_gc",
+    "connect_gc",
+    "drive_remote_gc",
+]
+
+#: Service name the collector is exposed under on the version-manager node.
+GC_SERVICE = "version_gc"
+
+
+class VersionGCService:
+    """Server-side adapter: the RPC surface of one :class:`VersionGC`."""
+
+    def __init__(self, gc: VersionGC) -> None:
+        self._gc = gc
+
+    def run_once(self) -> dict:
+        """Collect every blob once; returns the aggregate report."""
+        return self._gc.run_once().describe()
+
+    def collect(self, blob_id: int) -> dict:
+        """Collect a single blob."""
+        return self._gc.collect(blob_id).describe()
+
+    def plan(self, blob_id: int) -> dict:
+        """Mark phase only: what a collection of ``blob_id`` would reclaim."""
+        plan = self._gc.plan(blob_id)
+        return {
+            "blob_id": plan.blob_id,
+            "live_versions": list(plan.live_versions),
+            "dead_versions": list(plan.dead_versions),
+            "dead_pages": len(plan.dead_pages),
+            "dead_nodes": len(plan.dead_nodes),
+            "live_pages": plan.live_pages,
+            "live_bytes": plan.live_bytes,
+        }
+
+    def describe(self) -> dict:
+        """Space accounting and lifetime counters."""
+        return self._gc.describe()
+
+
+def expose_gc(
+    registry: "ServiceRegistry", gc: VersionGC, *, name: str = GC_SERVICE
+) -> VersionGCService:
+    """Register ``gc`` in ``registry`` under ``name`` and return the adapter."""
+    service = VersionGCService(gc)
+    registry.register(name, service)
+    return service
+
+
+class GcUnreachableError(NetError):
+    """The GC node cannot be reached (transport failure after retries)."""
+
+
+class RemoteVersionGC:
+    """Client stub mirroring :class:`VersionGCService` over a transport."""
+
+    def __init__(self, transport: Transport, *, service: str = GC_SERVICE) -> None:
+        self._transport = transport
+        self._service = service
+
+    def _call(self, method: str, *args: Any) -> Any:
+        try:
+            return self._transport.call(self._service, method, *args)
+        except NetError as exc:
+            raise GcUnreachableError(
+                f"version GC at {self._transport.peer} unreachable: {exc!r}"
+            ) from exc
+
+    def run_once(self) -> dict:
+        return self._call("run_once")
+
+    def collect(self, blob_id: int) -> dict:
+        return self._call("collect", blob_id)
+
+    def plan(self, blob_id: int) -> dict:
+        return self._call("plan", blob_id)
+
+    def describe(self) -> dict:
+        return self._call("describe")
+
+    def close(self) -> None:
+        self._transport.close()
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
+    def __enter__(self) -> "RemoteVersionGC":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def connect_gc(transport: Transport, *, service: str = GC_SERVICE) -> RemoteVersionGC:
+    """Wrap ``transport`` in a :class:`RemoteVersionGC` stub."""
+    return RemoteVersionGC(transport, service=service)
+
+
+def drive_remote_gc(stub: RemoteVersionGC, interval: float) -> GcDaemon:
+    """Start a daemon invoking ``stub.run_once`` every ``interval`` seconds."""
+    return GcDaemon(stub.run_once, interval, name="remote-version-gc").start()

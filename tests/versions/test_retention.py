@@ -1,0 +1,91 @@
+"""Unit tests for the retention policy (repro.versions.retention)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.versions import RetentionPolicy
+
+
+class TestValidation:
+    def test_keep_last_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(keep_last=0)
+
+    def test_ttl_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(ttl_seconds=-1.0)
+
+    def test_default_retains_everything(self):
+        policy = RetentionPolicy()
+        assert policy.retains_everything
+        assert policy.retained([0, 1, 2, 3]) == {0, 1, 2, 3}
+        assert policy.dead([0, 1, 2, 3]) == set()
+
+
+class TestKeepLast:
+    def test_keeps_newest_n_real_versions(self):
+        policy = RetentionPolicy(keep_last=2)
+        assert policy.retained([0, 1, 2, 3, 4, 5]) == {0, 4, 5}
+        assert policy.dead([0, 1, 2, 3, 4, 5]) == {1, 2, 3}
+
+    def test_version_zero_never_consumes_a_slot(self):
+        policy = RetentionPolicy(keep_last=1)
+        assert policy.retained([0, 1, 2]) == {0, 2}
+
+    def test_latest_always_survives(self):
+        policy = RetentionPolicy(keep_last=1)
+        assert 7 in policy.retained([0, 3, 7])
+
+    def test_pinned_versions_survive_outside_the_window(self):
+        policy = RetentionPolicy(keep_last=1)
+        retained = policy.retained([0, 1, 2, 3, 4], pinned=[2])
+        assert retained == {0, 2, 4}
+
+    def test_pins_on_unpublished_versions_are_ignored(self):
+        policy = RetentionPolicy(keep_last=1)
+        assert policy.retained([0, 1, 2], pinned=[99]) == {0, 2}
+
+
+class TestTtl:
+    def test_ttl_requires_now(self):
+        policy = RetentionPolicy(ttl_seconds=10.0)
+        with pytest.raises(ValueError):
+            policy.retained([0, 1], published_times={1: 0.0})
+
+    def test_fresh_versions_survive_old_ones_die(self):
+        policy = RetentionPolicy(ttl_seconds=10.0)
+        times = {1: 0.0, 2: 6.0, 3: 14.0}
+        retained = policy.retained(
+            [0, 1, 2, 3], published_times=times, now=15.0
+        )
+        assert retained == {0, 2, 3}
+
+    def test_versions_without_timestamp_are_conservatively_kept(self):
+        policy = RetentionPolicy(ttl_seconds=1.0)
+        retained = policy.retained(
+            [0, 1, 2], published_times={2: 0.0}, now=100.0
+        )
+        # 1 has no timestamp -> kept; 2 is stale but the latest -> kept.
+        assert retained == {0, 1, 2}
+
+
+class TestComposition:
+    def test_keep_last_and_ttl_union(self):
+        policy = RetentionPolicy(keep_last=1, ttl_seconds=10.0)
+        times = {1: 0.0, 2: 95.0, 3: 99.0}
+        retained = policy.retained(
+            [0, 1, 2, 3], published_times=times, now=100.0
+        )
+        # 3 by keep-last (and latest), 2 by TTL, 1 dead, 0 always.
+        assert retained == {0, 2, 3}
+
+    def test_empty_published_set(self):
+        assert RetentionPolicy(keep_last=1).retained([]) == set()
+
+    def test_describe(self):
+        assert RetentionPolicy(keep_last=3).describe() == {
+            "keep_last": 3,
+            "ttl_seconds": None,
+            "retains_everything": False,
+        }
