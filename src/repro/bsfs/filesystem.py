@@ -77,7 +77,9 @@ class BSFS(FileSystem):
             Defaults to ``8 × cache_blocks`` (at least 32).
         """
         self.blobseer = blobseer if blobseer is not None else BlobSeer(config)
-        self.namespace = NamespaceManager()
+        self.namespace = NamespaceManager(
+            namespace_shards=self.blobseer.config.namespace_shards
+        )
         self._default_block_size = default_block_size
         self._cache_blocks = cache_blocks
         if shared_cache_blocks is None:

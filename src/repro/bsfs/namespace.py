@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..fs import path as fspath
 from ..fs.interface import FileStatus
 from ..fs.namespace import DirectoryEntry, FileEntry, NamespaceTree
+from ..fs.sharded import ShardedNamespaceTree, make_namespace_tree
 
 __all__ = ["BSFSFileRecord", "NamespaceManager"]
 
@@ -32,11 +33,13 @@ class BSFSFileRecord:
 class NamespaceManager:
     """Centralized file-to-BLOB namespace service of BSFS."""
 
-    def __init__(self) -> None:
-        self._tree: NamespaceTree[int] = NamespaceTree()
+    def __init__(self, *, namespace_shards: int = 1) -> None:
+        self._tree: NamespaceTree[int] | ShardedNamespaceTree[int] = make_namespace_tree(
+            namespace_shards
+        )
 
     @property
-    def tree(self) -> NamespaceTree[int]:
+    def tree(self) -> NamespaceTree[int] | ShardedNamespaceTree[int]:
         """The underlying namespace tree (exposed for the file system layer)."""
         return self._tree
 

@@ -125,6 +125,7 @@ class BlobSeer:
             providers,
             strategy=self.config.allocation_strategy,
             seed=self.config.rng_seed,
+            range_pages=self.config.allocation_range_pages,
         )
         self.dht = MetadataDHT(
             metadata_providers,
@@ -316,6 +317,173 @@ class BlobSeer:
             blob_id, offset=None, size=len(data), append=True
         )
         return self._complete_write(ticket, data, client_hint)
+
+    def append_batch(
+        self,
+        blob_id: int,
+        chunks: Sequence[bytes],
+        *,
+        client_hint: int | None = None,
+    ) -> list[int]:
+        """Append several chunks as consecutive versions with group-commit.
+
+        Semantically identical to calling :meth:`append` once per chunk, but
+        the control-plane cost is batched three ways:
+
+        * one ticket-assignment lock hold reserves contiguous tickets for
+          the whole batch (:meth:`VersionManager.assign_append_tickets`);
+        * each chunk's metadata tree derives from the *locally built* root
+          of its predecessor instead of waiting for that version's
+          publication, and any page shared between consecutive chunks is
+          merged from an in-memory carry of its bytes — no read-back;
+        * all versions publish in one critical section
+          (:meth:`VersionManager.publish_batch`).
+
+        Returns the version numbers, in order.  If a chunk fails, the
+        completed prefix is still published, the remaining tickets are
+        aborted, and the error propagates.
+        """
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        if any(not chunk for chunk in chunks):
+            raise InvalidRangeError("appends must carry at least one byte")
+        info = self.blob_info(blob_id)
+        page_size = info.page_size
+        tickets = self.version_manager.assign_append_tickets(
+            blob_id, [len(chunk) for chunk in chunks]
+        )
+        publications: list[tuple[WriteTicket, NodeKey | None]] = []
+        prev_root: NodeKey | None = None
+        carry: tuple[int, bytes] | None = None  # (page index, bytes so far)
+        try:
+            for position, (ticket, data) in enumerate(zip(tickets, chunks)):
+                written, carry = self._transfer_batch_chunk(
+                    ticket, data, page_size, info, client_hint, carry
+                )
+                if position == 0:
+                    # The batch's base is an *external* version: wait for
+                    # its publication as a lone append would.
+                    root = self._build_metadata(ticket, written, page_size)
+                else:
+                    # Intra-batch base: chain through the root built in the
+                    # previous iteration; it is unpublished but complete.
+                    base_pages = (
+                        ticket.base_size + page_size - 1
+                    ) // page_size
+                    total_pages = (ticket.new_size + page_size - 1) // page_size
+                    root = self.metadata_manager.build_version(
+                        blob_id,
+                        ticket.version,
+                        written,
+                        total_pages,
+                        base_root=prev_root,
+                        base_capacity=next_power_of_two(base_pages)
+                        if base_pages
+                        else 1,
+                    )
+                publications.append((ticket, root))
+                prev_root = root
+        except Exception:
+            self.version_manager.publish_batch(publications)
+            for ticket in tickets[len(publications) :]:
+                self.version_manager.abort(ticket)
+            raise
+        self.version_manager.publish_batch(publications)
+        return [ticket.version for ticket in tickets]
+
+    def _transfer_batch_chunk(
+        self,
+        ticket: WriteTicket,
+        data: bytes,
+        page_size: int,
+        info: BlobInfo,
+        client_hint: int | None,
+        carry: tuple[int, bytes] | None,
+    ) -> tuple[dict[int, PageDescriptor], tuple[int, bytes] | None]:
+        """Push one batched chunk's pages; returns (descriptors, new carry).
+
+        The carry holds the bytes of the previous chunk's partial tail
+        page.  When this chunk starts mid-page, its head page is rebuilt as
+        ``carry + head bytes`` in memory — the page the predecessor wrote
+        stays referenced by *its* version only (structural sharing keeps
+        versions immutable), and this version maps the merged page.
+        """
+        offset = ticket.offset
+        end = offset + len(data)
+        page_range = page_range_for_bytes(offset, len(data), page_size)
+        first_page, last_page = page_range.first, page_range.last
+        head_unaligned = offset % page_size != 0
+        merged_head: bytes | None = None
+
+        if not head_unaligned:
+            # Aligned chunk: the generic path is all interior pages (an
+            # append's tail never waits on anything).
+            written = self._transfer_pages(ticket, data, page_size, info, client_hint)
+        else:
+            if carry is not None and carry[0] == first_page:
+                prefix = carry[1]
+            else:
+                # First chunk of the batch starting mid-page: the prefix
+                # bytes live in the (external) base version.
+                self._wait_for_base(ticket)
+                base_info = self.version_manager.version_info(
+                    ticket.blob_id, ticket.base_version
+                )
+                page_bytes = self._merge_boundary_page(
+                    ticket,
+                    data,
+                    first_page,
+                    page_size,
+                    base_info.root,
+                    base_info.size,
+                    rng=self._op_rng(),
+                )
+                prefix = page_bytes[: offset - first_page * page_size]
+            head_take = min(page_size - len(prefix), len(data))
+            merged_head = bytes(prefix) + bytes(data[:head_take])
+            allocation = self.provider_manager.allocate(
+                len(page_range), info.replication, client_hint=client_hint
+            )
+            data_view = memoryview(data)
+
+            def push_page(page_index: int, chunk: bytes) -> tuple[int, PageDescriptor]:
+                key = PageKey(
+                    blob_id=ticket.blob_id,
+                    version=ticket.version,
+                    index=page_index,
+                )
+                stored = write_replicas(
+                    self.provider_manager,
+                    key,
+                    chunk,
+                    allocation[page_index - first_page],
+                    engine=self.transfer,
+                )
+                return page_index, PageDescriptor(
+                    key=key, providers=stored, size=len(chunk)
+                )
+
+            def push_interior(page_index: int) -> tuple[int, PageDescriptor]:
+                page_start = page_index * page_size
+                page_end = min(page_start + page_size, ticket.new_size)
+                chunk = bytes(data_view[page_start - offset : page_end - offset])
+                return push_page(page_index, chunk)
+
+            interior = [p for p in page_range if p != first_page]
+            written = dict(self.transfer.map(push_interior, interior))
+            index, descriptor = push_page(first_page, merged_head)
+            written[index] = descriptor
+
+        new_carry: tuple[int, bytes] | None = None
+        if end % page_size != 0:
+            tail_page = last_page - 1
+            if merged_head is not None and tail_page == first_page:
+                tail_bytes = merged_head
+            else:
+                tail_bytes = bytes(data[tail_page * page_size - offset :])
+            new_carry = (tail_page, tail_bytes)
+        return written, new_carry
 
     def _complete_write(
         self,
@@ -806,11 +974,24 @@ class BlobWriteSink:
             raise TypeError("blob sinks accept bytes-like objects only")
         self._buffer.append(bytes(data))
         self.bytes_written += len(data)
-        while len(self._buffer) >= self._flush_bytes:
+        full_units = len(self._buffer) // self._flush_bytes
+        if full_units == 1:
             # _flush_bytes is a whole number of pages, so every flush is
             # page-aligned and consecutive appends of this sink hit the
             # interior fast path as long as no other appender interleaves.
             self._flush(self._flush_bytes)
+        elif full_units > 1:
+            # A large write() delivers several flush units at once: commit
+            # them as one group (one ticket-assignment lock hold, one
+            # publish critical section) instead of one publish per unit.
+            chunks = [
+                self._buffer.take(self._flush_bytes) for _ in range(full_units)
+            ]
+            self.versions.extend(
+                self._client.append_batch(
+                    self._blob_id, chunks, client_hint=self._client_hint
+                )
+            )
         return len(data)
 
     def flush(self) -> None:

@@ -21,6 +21,7 @@ Three strategies are provided:
 
 from __future__ import annotations
 
+import heapq
 import random
 import threading
 from abc import ABC, abstractmethod
@@ -67,6 +68,42 @@ class AllocationStrategy(ABC):
             these as load so a large write spreads evenly.
         """
 
+    def select_range(
+        self,
+        stats: Sequence[ProviderStats],
+        num_pages: int,
+        replication: int,
+        *,
+        client_hint: int | None = None,
+        pending: dict[int, int] | None = None,
+        max_range: int = 1,
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        """Allocate ``num_pages`` consecutive pages as ``(run_length, providers)`` runs.
+
+        Each run assigns ``run_length`` consecutive pages to the same
+        replica set, so the caller pays one placement decision per run
+        instead of one per page; ``max_range`` caps the run length (the
+        ``allocation_range_pages`` knob).  ``pending`` is mutated with the
+        load this call assigns.  The default implementation preserves
+        per-page behaviour exactly: it calls :meth:`select` once per page
+        and coalesces adjacent identical choices.
+        """
+        pending = pending if pending is not None else {}
+        runs: list[tuple[int, tuple[int, ...]]] = []
+        for _ in range(num_pages):
+            chosen = tuple(
+                self.select(
+                    stats, replication, client_hint=client_hint, pending=pending
+                )
+            )
+            for provider_id in chosen:
+                pending[provider_id] = pending.get(provider_id, 0) + 1
+            if runs and runs[-1][1] == chosen and runs[-1][0] < max_range:
+                runs[-1] = (runs[-1][0] + 1, chosen)
+            else:
+                runs.append((1, chosen))
+        return runs
+
 
 class LoadBalancedStrategy(AllocationStrategy):
     """BlobSeer's default: replicas go to the least-loaded providers."""
@@ -99,8 +136,76 @@ class LoadBalancedStrategy(AllocationStrategy):
             # lock and is the *serial* section of the now-parallel write
             # path, so per-page cost here bounds aggregate throughput.
             return [min(stats, key=load).provider_id]
-        ranked = sorted(stats, key=load)
-        return [s.provider_id for s in ranked[:replication]]
+        # Replicated case: O(n log r) partial selection instead of sorting
+        # the whole pool per page.
+        ranked = heapq.nsmallest(replication, stats, key=load)
+        return [s.provider_id for s in ranked]
+
+    def select_range(
+        self,
+        stats: Sequence[ProviderStats],
+        num_pages: int,
+        replication: int,
+        *,
+        client_hint: int | None = None,
+        pending: dict[int, int] | None = None,
+        max_range: int = 1,
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        """Waterfill: hand each replica set a contiguous run of pages.
+
+        One heap round-trip covers up to ``max_range`` pages, so a large
+        write costs ``O(pages / max_range)`` placement decisions instead of
+        one per page.  Load balancing granularity coarsens to ``max_range``
+        pages — the knob trades allocator lock time against placement
+        smoothness (`allocation_range_pages` in the config).
+
+        Runs are additionally capped so the write still *stripes* across
+        the whole pool: a 4-page write over 4 providers lands one page per
+        provider exactly as per-page allocation would (the paper's parallel
+        I/O depends on that), and ranges only grow once there are more
+        pages than providers to keep busy.
+        """
+        # Never batch so coarsely that providers sit idle while the write's
+        # pages could fan out to them.
+        spread_cap = max(
+            1, (num_pages * replication + max(len(stats), 1) - 1) // max(len(stats), 1)
+        )
+        max_range = min(max_range, spread_cap)
+        if max_range <= 1 or num_pages <= 1:
+            return super().select_range(
+                stats,
+                num_pages,
+                replication,
+                client_hint=client_hint,
+                pending=pending,
+                max_range=max_range,
+            )
+        pending = pending if pending is not None else {}
+        self._round_robin += 1
+        modulus = max(len(stats), 1)
+
+        def key(s: ProviderStats) -> tuple[int, int, int, int]:
+            return (
+                s.pages_stored + pending.get(s.provider_id, 0),
+                s.pages_written,
+                (s.provider_id + self._round_robin) % modulus,
+                s.provider_id,
+            )
+
+        heap = [(key(s), s) for s in stats]
+        heapq.heapify(heap)
+        runs: list[tuple[int, tuple[int, ...]]] = []
+        remaining = num_pages
+        while remaining > 0:
+            run = min(max_range, remaining)
+            popped = [heapq.heappop(heap) for _ in range(replication)]
+            chosen = tuple(item[1].provider_id for item in popped)
+            for _key, s in popped:
+                pending[s.provider_id] = pending.get(s.provider_id, 0) + run
+                heapq.heappush(heap, (key(s), s))
+            runs.append((run, chosen))
+            remaining -= run
+        return runs
 
 
 class RandomStrategy(AllocationStrategy):
@@ -175,12 +280,18 @@ class ProviderManager:
         *,
         strategy: AllocationStrategy | str = "load_balanced",
         seed: int = 0,
+        range_pages: int = 1,
     ) -> None:
         self._providers: dict[int, DataProvider] = {}
         self._lock = threading.Lock()
         if isinstance(strategy, str):
             strategy = make_strategy(strategy, seed=seed)
         self._strategy = strategy
+        if range_pages < 1:
+            raise AllocationError("range_pages must be at least 1")
+        #: Default cap on contiguous pages per replica set handed out by one
+        #: placement decision (``allocation_range_pages`` in the config).
+        self._range_pages = range_pages
         for provider in providers or []:
             self.register(provider)
 
@@ -265,34 +376,85 @@ class ProviderManager:
         """
         if num_pages < 0:
             raise AllocationError("cannot allocate a negative number of pages")
+        allocation: list[tuple[int, ...]] = []
+        for run, chosen in self.allocate_ranges(
+            num_pages, replication, client_hint=client_hint
+        ):
+            allocation.extend([chosen] * run)
+        return allocation
+
+    def allocate_ranges(
+        self,
+        num_pages: int,
+        replication: int,
+        *,
+        client_hint: int | None = None,
+        max_range: int | None = None,
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        """Choose providers for ``num_pages`` consecutive pages as runs.
+
+        Returns ``(run_length, provider_ids)`` pairs covering the pages in
+        order: each run stores its pages' replicas on the same provider
+        set, so the strategy makes one placement decision per run instead
+        of one per page.  ``max_range`` defaults to the manager's
+        ``range_pages``.
+
+        Provider statistics are gathered *outside* the allocator lock
+        (``stats()`` may be an RPC for remote providers); only the strategy
+        run itself — the true serial section — holds it.
+        """
+        if num_pages < 0:
+            raise AllocationError("cannot allocate a negative number of pages")
         if replication < 1:
             raise AllocationError("replication must be at least 1")
+        if max_range is None:
+            max_range = self._range_pages
+        if max_range < 1:
+            raise AllocationError("max_range must be at least 1")
         with self._lock:
             available = [p for p in self._providers.values() if p.available]
-            if not available:
-                raise NoProvidersError("no data providers are available")
-            if replication > len(available):
+        if not available:
+            raise NoProvidersError("no data providers are available")
+        if replication > len(available):
+            raise AllocationError(
+                f"replication {replication} exceeds available providers "
+                f"({len(available)})"
+            )
+        stats = [p.stats() for p in available]
+        with self._lock:
+            runs = self._strategy.select_range(
+                stats,
+                num_pages,
+                replication,
+                client_hint=client_hint,
+                pending={},
+                max_range=max_range,
+            )
+        covered = 0
+        for run, chosen in runs:
+            if run < 1 or len(set(chosen)) != replication:
                 raise AllocationError(
-                    f"replication {replication} exceeds available providers "
-                    f"({len(available)})"
+                    "allocation strategy returned an invalid range"
                 )
-            stats = [p.stats() for p in available]
-            pending: dict[int, int] = {}
-            allocation: list[tuple[int, ...]] = []
-            for _ in range(num_pages):
-                chosen = self._strategy.select(
-                    stats, replication, client_hint=client_hint, pending=pending
-                )
-                if len(set(chosen)) != replication:
-                    raise AllocationError(
-                        "allocation strategy returned duplicate providers"
-                    )
-                for provider_id in chosen:
-                    pending[provider_id] = pending.get(provider_id, 0) + 1
-                allocation.append(tuple(chosen))
-            return allocation
+            covered += run
+        if covered != num_pages:
+            raise AllocationError(
+                f"allocation strategy covered {covered} of {num_pages} pages"
+            )
+        return runs
 
     # -- monitoring ---------------------------------------------------------------
+    def stats(self) -> dict[int, ProviderStats]:
+        """Per-provider statistics snapshot for monitoring.
+
+        The registry lock is held only to snapshot provider *references*;
+        the per-provider ``stats()`` calls (RPCs for remote providers) run
+        outside it, so a slow or dead node never stalls allocation.
+        """
+        with self._lock:
+            providers = list(self._providers.values())
+        return {p.provider_id: p.stats() for p in providers}
+
     def distribution(self) -> dict[int, int]:
         """Map provider id -> number of pages stored (load-balance metric)."""
         return {p.provider_id: p.stats().pages_stored for p in self.providers}

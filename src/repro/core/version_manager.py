@@ -131,9 +131,15 @@ class VersionManager:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._config = config or BlobSeerConfig()
-        self._blobs: dict[int, _BlobState] = {}
+        # The blob registry is striped: registration/removal of blob id B
+        # contends only on stripe B % version_lock_stripes, and lookups are
+        # lock-free (a GIL-atomic dict read), so the registry never
+        # serialises writers of unrelated blobs the way the old global
+        # lock did.  Per-blob ordering still lives in _BlobState.lock.
+        stripes = max(1, self._config.version_lock_stripes)
+        self._stripes: list[dict[int, _BlobState]] = [{} for _ in range(stripes)]
+        self._stripe_locks = [threading.Lock() for _ in range(stripes)]
         self._blob_ids = itertools.count(1)
-        self._lock = threading.Lock()
         #: Clock used to stamp publication times (injectable so retention
         #: TTL tests can run on a virtual clock).
         self._clock = clock
@@ -155,21 +161,25 @@ class VersionManager:
             raise ValueError("page_size must be positive")
         if replication < 1:
             raise ValueError("replication must be at least 1")
-        with self._lock:
-            blob_id = next(self._blob_ids)
-            info = BlobInfo(blob_id=blob_id, page_size=page_size, replication=replication)
-            state = _BlobState(info=info)
-            # Version 0 is the implicit empty snapshot.
-            state.published_sizes[0] = 0
-            state.published_roots[0] = None
-            state.published_times[0] = self._clock()
-            self._blobs[blob_id] = state
+        # itertools.count is GIL-atomic: id allocation needs no lock.
+        blob_id = next(self._blob_ids)
+        info = BlobInfo(blob_id=blob_id, page_size=page_size, replication=replication)
+        state = _BlobState(info=info)
+        # Version 0 is the implicit empty snapshot.
+        state.published_sizes[0] = 0
+        state.published_roots[0] = None
+        state.published_times[0] = self._clock()
+        stripe = blob_id % len(self._stripes)
+        with self._stripe_locks[stripe]:
+            self._stripes[stripe][blob_id] = state
         return info
 
     def _state(self, blob_id: int) -> _BlobState:
+        # Lock-free lookup: stripe dicts only ever gain/lose whole entries
+        # under their stripe lock, and a single dict read is atomic.
         try:
-            return self._blobs[blob_id]
-        except KeyError:
+            return self._stripes[blob_id % len(self._stripes)][blob_id]
+        except (KeyError, TypeError):
             raise BlobNotFoundError(blob_id) from None
 
     def blob_info(self, blob_id: int) -> BlobInfo:
@@ -178,8 +188,11 @@ class VersionManager:
 
     def blob_ids(self) -> list[int]:
         """Ids of every blob ever created (sorted)."""
-        with self._lock:
-            return sorted(self._blobs.keys())
+        ids: list[int] = []
+        for stripe, stripe_lock in zip(self._stripes, self._stripe_locks):
+            with stripe_lock:
+                ids.extend(stripe.keys())
+        return sorted(ids)
 
     def add_delete_guard(self, guard: Callable[[int], None]) -> None:
         """Register a veto hook consulted before every :meth:`delete_blob`.
@@ -202,10 +215,11 @@ class VersionManager:
         self._state(blob_id)  # surface BlobNotFoundError first
         for guard in self._delete_guards:
             guard(blob_id)
-        with self._lock:
-            if blob_id not in self._blobs:
+        stripe = blob_id % len(self._stripes)
+        with self._stripe_locks[stripe]:
+            if blob_id not in self._stripes[stripe]:
                 raise BlobNotFoundError(blob_id)
-            del self._blobs[blob_id]
+            del self._stripes[stripe][blob_id]
 
     # -- ticket assignment --------------------------------------------------------
     def assign_ticket(
@@ -256,6 +270,40 @@ class VersionManager:
             state.assigned_size = new_size
             return ticket
 
+    def assign_append_tickets(self, blob_id: int, sizes: Iterable[int]) -> list[WriteTicket]:
+        """Assign one append ticket per entry of ``sizes`` under one lock hold.
+
+        The tickets are contiguous in version *and* offset — exactly what a
+        batched writer needs: the whole batch reserves one contiguous byte
+        range, and group-commit can later publish it in one critical
+        section (:meth:`publish_batch`).
+        """
+        sizes = list(sizes)
+        if any(size < 0 for size in sizes):
+            raise ValueError("write size cannot be negative")
+        state = self._state(blob_id)
+        tickets: list[WriteTicket] = []
+        with state.lock:
+            for size in sizes:
+                offset = state.assigned_size
+                version = state.next_version
+                state.next_version += 1
+                ticket = WriteTicket(
+                    blob_id=blob_id,
+                    version=version,
+                    offset=offset,
+                    size=size,
+                    base_version=state.assigned_version,
+                    base_size=state.assigned_size,
+                    new_size=offset + size,
+                    is_append=True,
+                )
+                state.versions[version] = _VersionSlot(ticket=ticket)
+                state.assigned_version = version
+                state.assigned_size = ticket.new_size
+                tickets.append(ticket)
+        return tickets
+
     # -- publication --------------------------------------------------------------
     def publish(self, ticket: WriteTicket, root: NodeKey | None) -> int:
         """Mark ``ticket``'s version as complete and publish it when its turn comes.
@@ -282,6 +330,52 @@ class VersionManager:
             self._advance(state)
             state.lock.notify_all()
             return state.published_version
+
+    def publish_batch(
+        self, publications: Iterable[tuple[WriteTicket, NodeKey | None]]
+    ) -> dict[int, int]:
+        """Group-commit: publish many completed writes in one critical section per blob.
+
+        Tickets are grouped by blob; each blob's group is validated, marked
+        ready, advanced and its waiters notified under a *single* lock
+        acquisition — N publishes cost one lock round-trip and one
+        ``notify_all`` instead of N.  Validation runs before any slot in
+        the group is touched, so a bad ticket (never assigned, already
+        published, duplicated in the batch) raises :class:`TicketError`
+        and leaves that blob's whole group unpublished.
+
+        Returns a map of blob id to its highest published version after
+        the flush.
+        """
+        by_blob: dict[int, list[tuple[WriteTicket, NodeKey | None]]] = {}
+        for ticket, root in publications:
+            by_blob.setdefault(ticket.blob_id, []).append((ticket, root))
+        heads: dict[int, int] = {}
+        for blob_id, group in by_blob.items():
+            state = self._state(blob_id)
+            with state.lock:
+                seen: set[int] = set()
+                for ticket, _root in group:
+                    slot = state.versions.get(ticket.version)
+                    if slot is None or slot.ticket != ticket:
+                        raise TicketError(
+                            f"ticket for version {ticket.version} of blob "
+                            f"{blob_id} was never assigned"
+                        )
+                    if slot.ready or ticket.version in seen:
+                        raise TicketError(
+                            f"version {ticket.version} of blob {blob_id} "
+                            "was already published"
+                        )
+                    seen.add(ticket.version)
+                for ticket, root in group:
+                    slot = state.versions[ticket.version]
+                    slot.root = root
+                    slot.ready = True
+                self._advance(state)
+                state.lock.notify_all()
+                heads[blob_id] = state.published_version
+        return heads
 
     def abort(self, ticket: WriteTicket) -> None:
         """Abandon a ticket so later versions are not blocked forever.
@@ -427,30 +521,50 @@ class VersionManager:
         actually retired (already-retired ones are skipped silently so GC
         runs are idempotent).
         """
-        state = self._state(blob_id)
-        retired: list[int] = []
-        with state.lock:
-            for version in sorted(set(versions)):
-                if version in state.retired:
-                    continue
-                if version <= 0:
-                    raise ValueError("version 0 (the empty snapshot) cannot retire")
-                if version > state.published_version:
-                    raise VersionNotPublishedError(blob_id, version)
-                if version == state.published_version:
-                    raise ValueError(
-                        f"cannot retire the latest published version {version} "
-                        f"of blob {blob_id}"
-                    )
-                state.retired.add(version)
-                state.published_roots.pop(version, None)
-                state.published_sizes.pop(version, None)
-                state.published_times.pop(version, None)
-                # The write ticket's slot is no longer needed: the version
-                # published long ago and _advance never revisits it.
-                state.versions.pop(version, None)
-                retired.append(version)
-        return retired
+        return self.retire_batch([(blob_id, versions)]).get(blob_id, [])
+
+    def retire_batch(
+        self, requests: Iterable[tuple[int, Iterable[int]]]
+    ) -> dict[int, list[int]]:
+        """Retire versions of many blobs, one critical section per blob.
+
+        The group-commit counterpart of :meth:`retire_versions` for the GC
+        sweep phase: all of a blob's retirements (requests for the same
+        blob are merged) apply under a single lock hold.  Returns a map of
+        blob id to the versions actually retired there.
+        """
+        by_blob: dict[int, set[int]] = {}
+        for blob_id, versions in requests:
+            by_blob.setdefault(blob_id, set()).update(versions)
+        result: dict[int, list[int]] = {}
+        for blob_id, wanted in by_blob.items():
+            state = self._state(blob_id)
+            retired: list[int] = []
+            with state.lock:
+                for version in sorted(wanted):
+                    if version in state.retired:
+                        continue
+                    if version <= 0:
+                        raise ValueError(
+                            "version 0 (the empty snapshot) cannot retire"
+                        )
+                    if version > state.published_version:
+                        raise VersionNotPublishedError(blob_id, version)
+                    if version == state.published_version:
+                        raise ValueError(
+                            f"cannot retire the latest published version {version} "
+                            f"of blob {blob_id}"
+                        )
+                    state.retired.add(version)
+                    state.published_roots.pop(version, None)
+                    state.published_sizes.pop(version, None)
+                    state.published_times.pop(version, None)
+                    # The write ticket's slot is no longer needed: the version
+                    # published long ago and _advance never revisits it.
+                    state.versions.pop(version, None)
+                    retired.append(version)
+            result[blob_id] = retired
+        return result
 
     def size(self, blob_id: int, version: int | None = None) -> int:
         """Size in bytes of a published version (default: the latest)."""

@@ -23,6 +23,7 @@ from .interface import (
     copy_path,
 )
 from .local import LocalFS
+from .sharded import ShardedNamespaceTree, make_namespace_tree
 from .registry import (
     UnknownSchemeError,
     clear_instance_cache,
@@ -44,6 +45,8 @@ __all__ = [
     "FsUri",
     "FileSystem",
     "LocalFS",
+    "ShardedNamespaceTree",
+    "make_namespace_tree",
     "InputStream",
     "OutputStream",
     "BlockLocation",

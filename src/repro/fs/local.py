@@ -32,6 +32,7 @@ from . import path as fspath
 from .errors import InvalidRangeError, IsADirectoryError
 from .interface import BlockLocation, FileStatus, FileSystem, InputStream, OutputStream
 from .namespace import DirectoryEntry, FileEntry, NamespaceTree
+from .sharded import ShardedNamespaceTree, make_namespace_tree
 
 __all__ = ["LocalFS", "DEFAULT_BLOCK_SIZE", "LocalFSInputStream", "LocalFSOutputStream"]
 
@@ -90,6 +91,7 @@ class LocalFS(FileSystem):
         *,
         default_block_size: int = DEFAULT_BLOCK_SIZE,
         default_replication: int = 1,
+        namespace_shards: int = 4,
     ) -> None:
         """Create a LocalFS over a sandboxed root directory.
 
@@ -104,6 +106,9 @@ class LocalFS(FileSystem):
         default_replication:
             Replication factor reported in statuses (local disk stores one
             copy; the knob only affects reported metadata).
+        namespace_shards:
+            Namespace partitions (see :mod:`repro.fs.sharded`); ``1`` keeps
+            the single-lock tree.
         """
         self._owns_root = root is None
         if root is None:
@@ -117,7 +122,9 @@ class LocalFS(FileSystem):
         self._root = os.path.abspath(root)
         self._default_block_size = default_block_size
         self._default_replication = default_replication
-        self._tree: NamespaceTree[str] = NamespaceTree()
+        self._tree: NamespaceTree[str] | ShardedNamespaceTree[str] = make_namespace_tree(
+            namespace_shards
+        )
         self._lock = threading.Lock()
         self._object_ids = iter(range(1, 2**62))
         self._client_ids = iter(range(1, 2**62))

@@ -77,6 +77,16 @@ class NamespaceTree(Generic[PayloadT]):
         self._root = DirectoryEntry(name="")
         self._lock = threading.RLock()
 
+    @property
+    def lock(self) -> threading.RLock:
+        """The tree's re-entrant lock.
+
+        Exposed so :class:`~repro.fs.sharded.ShardedNamespaceTree` can pin a
+        whole shard across a multi-step operation: holding it and then
+        calling the public methods is safe (they re-acquire re-entrantly).
+        """
+        return self._lock
+
     # -- resolution helpers ---------------------------------------------------------
     def _resolve(self, path: str) -> DirectoryEntry | FileEntry[PayloadT]:
         node: DirectoryEntry | FileEntry[PayloadT] = self._root
@@ -287,6 +297,46 @@ class NamespaceTree(Generic[PayloadT]):
             dst_parent.children[new_name] = entry
             src_parent.modification_time = time.time()
             dst_parent.modification_time = time.time()
+
+    # -- entry transplantation --------------------------------------------------------
+    def detach_entry(self, path: str) -> DirectoryEntry | FileEntry[PayloadT]:
+        """Remove and return the entry at ``path`` without lease/emptiness checks.
+
+        Building block for cross-tree moves (the sharded namespace relocates
+        entries between shard trees under its own locking); not part of the
+        application-facing API, which goes through :meth:`rename`.
+        """
+        norm = fspath.normalize(path)
+        if norm == fspath.ROOT:
+            raise NoSuchPathError(norm)
+        with self._lock:
+            parent_dir = self._resolve_dir(fspath.parent(norm))
+            name = fspath.basename(norm)
+            if name not in parent_dir.children:
+                raise NoSuchPathError(norm)
+            entry = parent_dir.children.pop(name)
+            parent_dir.modification_time = time.time()
+            return entry  # type: ignore[return-value]
+
+    def attach_entry(
+        self, path: str, entry: DirectoryEntry | FileEntry[PayloadT]
+    ) -> None:
+        """Insert ``entry`` at ``path`` (renaming it to the path's basename).
+
+        The parent must already exist as a directory and the name must be
+        free; the counterpart of :meth:`detach_entry` for cross-tree moves.
+        """
+        norm = fspath.normalize(path)
+        if norm == fspath.ROOT:
+            raise PathExistsError(norm)
+        with self._lock:
+            parent_dir = self._resolve_dir(fspath.parent(norm))
+            name = fspath.basename(norm)
+            if name in parent_dir.children:
+                raise PathExistsError(norm)
+            entry.name = name
+            parent_dir.children[name] = entry
+            parent_dir.modification_time = time.time()
 
     # -- leases ---------------------------------------------------------------------
     def acquire_lease(self, path: str, holder: str) -> None:

@@ -1,0 +1,525 @@
+"""Hash-partitioned namespace: the metadata decentralisation the paper credits.
+
+The paper attributes BlobSeer's scalability under concurrent access to its
+*decentralised* metadata — "the metadata ... is distributed" across nodes via
+a DHT — whereas :class:`~repro.fs.namespace.NamespaceTree` funnels every
+operation through one re-entrant lock.  :class:`ShardedNamespaceTree`
+partitions the namespace over N independent :class:`NamespaceTree` shards
+selected by the same consistent-hash ring the metadata DHT uses
+(:class:`repro.core.dht.ConsistentHashRing`), so unrelated files contend on
+different locks.
+
+Placement invariants
+--------------------
+
+1. **Directories are mirrored**: a directory either exists on *every* shard
+   or on none.  Directory creation/removal is a broadcast under all shard
+   locks; in exchange, every file operation can verify its whole parent
+   chain *locally* on one shard.
+2. **Files are partitioned**: a file lives only on the shard owning its
+   normalised path (``ring.owner(path)``).
+3. **Kind-uniqueness**: no path is simultaneously a file on one shard and a
+   directory on another (mutations that could violate this run under all
+   shard locks).
+
+Lock hierarchy
+--------------
+
+Single-file operations (create into an existing directory, read, lease,
+update, delete, same/cross-shard file rename) take only the involved shard
+locks, always in **canonical order** (ascending shard index).  Structural
+operations (mkdirs, directory delete, directory rename) take *all* shard
+locks in canonical order.  No operation acquires shard locks in any other
+order, so the hierarchy is deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Callable, Generic, Iterator, TypeVar
+
+from ..core.dht import ConsistentHashRing
+from . import path as fspath
+from .errors import (
+    DirectoryNotEmptyError,
+    LeaseConflictError,
+    NoSuchPathError,
+    NotADirectoryError,
+    PathExistsError,
+)
+from .namespace import DirectoryEntry, FileEntry, NamespaceTree
+
+__all__ = ["ShardedNamespaceTree", "make_namespace_tree"]
+
+PayloadT = TypeVar("PayloadT")
+
+#: Virtual nodes per shard on the ring.  Shard counts are small (4-64), so a
+#: modest multiplier already spreads paths evenly; see BENCH_metadata's
+#: ``shard_balance_cv`` row.
+_VIRTUAL_NODES = 64
+
+#: Bounded optimistic retries for single-shard fast paths racing a broadcast
+#: structural change before falling back to the all-locks slow path.
+_FAST_PATH_RETRIES = 4
+
+
+class ShardedNamespaceTree(Generic[PayloadT]):
+    """Drop-in replacement for :class:`NamespaceTree` with per-shard locks.
+
+    The public API (methods, signatures, raised error types) matches
+    :class:`NamespaceTree`, so :class:`~repro.bsfs.namespace.NamespaceManager`,
+    :class:`~repro.fs.local.LocalFS` and
+    :class:`~repro.hdfs.namenode.NameNode` route through it unchanged.
+    """
+
+    def __init__(self, shards: int = 8, *, virtual_nodes: int = _VIRTUAL_NODES) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._shards: list[NamespaceTree[PayloadT]] = [
+            NamespaceTree() for _ in range(shards)
+        ]
+        self._ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
+        for index in range(shards):
+            self._ring.add_member(index)
+
+    # -- shard topology ---------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of namespace partitions."""
+        return len(self._shards)
+
+    def shard_of(self, path: str) -> int:
+        """Index of the shard owning ``path`` (its file home)."""
+        return self._ring.owner(fspath.normalize(path))
+
+    def shard_lock(self, index: int) -> threading.RLock:
+        """The lock of shard ``index`` (tests pin a shard to prove isolation)."""
+        return self._shards[index].lock
+
+    def shard_file_counts(self) -> dict[int, int]:
+        """Map shard index -> number of files homed there (balance analysis)."""
+        return {i: tree.count_files() for i, tree in enumerate(self._shards)}
+
+    def _tree_for(self, norm: str) -> NamespaceTree[PayloadT]:
+        return self._shards[self._ring.owner(norm)]
+
+    @contextmanager
+    def _all_locks(self) -> Iterator[None]:
+        """Hold every shard lock, acquired in canonical (ascending) order."""
+        with ExitStack() as stack:
+            for tree in self._shards:
+                stack.enter_context(tree.lock)
+            yield
+
+    # -- error translation ------------------------------------------------------------
+    def _entry_or_none(
+        self, tree: NamespaceTree[PayloadT], norm: str
+    ) -> DirectoryEntry | FileEntry[PayloadT] | None:
+        try:
+            return tree.get_entry(norm)
+        except (NoSuchPathError, NotADirectoryError):
+            return None
+
+    def _raise_missing(self, norm: str, report: str | None = None) -> None:
+        """Raise the error a single tree would for an unresolvable ``norm``.
+
+        Walks the path top-down consulting each prefix's owner shard: a file
+        ancestor means ``NotADirectoryError``, otherwise ``NoSuchPathError``
+        — matching :meth:`NamespaceTree._resolve`'s reporting.
+        """
+        report = norm if report is None else report
+        prefix = ""
+        for part in fspath.components(norm):
+            prefix = prefix + "/" + part
+            if prefix == norm:
+                break  # the leaf itself is simply absent
+            entry = self._entry_or_none(self._tree_for(prefix), prefix)
+            if entry is None:
+                break
+            if not entry.is_dir:
+                raise NotADirectoryError(report)
+        raise NoSuchPathError(report)
+
+    def _require_dir(self, norm: str) -> None:
+        """Raise like ``NamespaceTree._resolve_dir(norm)`` unless a directory."""
+        entry = self._entry_or_none(self._tree_for(norm), norm)
+        if entry is None:
+            self._raise_missing(norm)
+        if not entry.is_dir:
+            raise NotADirectoryError(norm)
+
+    def _check_chain_for_files(self, norm: str) -> None:
+        """Reject mkdirs-style creation when an ancestor (or ``norm``) is a file."""
+        prefix = ""
+        for part in fspath.components(norm):
+            prefix = prefix + "/" + part
+            entry = self._entry_or_none(self._tree_for(prefix), prefix)
+            if entry is not None and not entry.is_dir:
+                raise NotADirectoryError(norm)
+
+    # -- queries ----------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names an existing entry."""
+        norm = fspath.normalize(path)
+        return self._tree_for(norm).exists(norm)
+
+    def is_dir(self, path: str) -> bool:
+        """Whether ``path`` exists and is a directory."""
+        norm = fspath.normalize(path)
+        return self._tree_for(norm).is_dir(norm)
+
+    def get_file(self, path: str) -> FileEntry[PayloadT]:
+        """Return the file entry at ``path`` (raising if absent or a directory)."""
+        norm = fspath.normalize(path)
+        try:
+            return self._tree_for(norm).get_file(norm)
+        except (NoSuchPathError, NotADirectoryError):
+            self._raise_missing(norm)
+            raise AssertionError("unreachable")
+
+    def get_entry(self, path: str) -> DirectoryEntry | FileEntry[PayloadT]:
+        """Return the entry at ``path`` whatever its kind."""
+        norm = fspath.normalize(path)
+        try:
+            return self._tree_for(norm).get_entry(norm)
+        except (NoSuchPathError, NotADirectoryError):
+            self._raise_missing(norm)
+            raise AssertionError("unreachable")
+
+    def list_dir(self, path: str) -> list[tuple[str, DirectoryEntry | FileEntry[PayloadT]]]:
+        """Return ``(child path, entry)`` pairs of a directory, sorted by name.
+
+        Children are merged across shards: files are unique to their owner
+        shard; a child *directory* appears in every shard's mirror and is
+        reported once (freshest mtime wins).
+        """
+        norm = fspath.normalize(path)
+        self._require_dir(norm)
+        merged: dict[str, DirectoryEntry | FileEntry[PayloadT]] = {}
+        for tree in self._shards:
+            try:
+                children = tree.list_dir(norm)
+            except (NoSuchPathError, NotADirectoryError):
+                continue  # raced a concurrent structural change; skip the shard
+            for child_path, child in children:
+                prev = merged.get(child_path)
+                if prev is None or (
+                    child.is_dir
+                    and prev.is_dir
+                    and child.modification_time > prev.modification_time
+                ):
+                    merged[child_path] = child
+        return sorted(merged.items())
+
+    def walk_files(self, path: str = fspath.ROOT) -> Iterator[tuple[str, FileEntry[PayloadT]]]:
+        """Yield every file under ``path`` (depth-first, sorted)."""
+        norm = fspath.normalize(path)
+        self._require_dir(norm)
+        collected: dict[str, FileEntry[PayloadT]] = {}
+        for tree in self._shards:
+            try:
+                for file_path, entry in tree.walk_files(norm):
+                    collected[file_path] = entry
+            except (NoSuchPathError, NotADirectoryError):
+                continue
+        yield from sorted(collected.items(), key=lambda kv: fspath.components(kv[0]))
+
+    def count_files(self) -> int:
+        """Total number of regular files in the namespace."""
+        return sum(tree.count_files() for tree in self._shards)
+
+    # -- mutations --------------------------------------------------------------------
+    def mkdirs(self, path: str) -> None:
+        """Create a directory and any missing ancestors on every shard."""
+        norm = fspath.normalize(path)
+        with self._all_locks():
+            self._check_chain_for_files(norm)
+            for tree in self._shards:
+                tree.mkdirs(norm)
+
+    def create_file(
+        self,
+        path: str,
+        payload_factory: Callable[[], PayloadT],
+        *,
+        block_size: int,
+        replication: int,
+        overwrite: bool = False,
+        lease_holder: str | None = None,
+        on_overwrite: Callable[[FileEntry[PayloadT]], None] | None = None,
+    ) -> FileEntry[PayloadT]:
+        """Create a file entry, implicitly creating parent directories.
+
+        Fast path: when the parent directory already exists, the whole
+        operation runs under the owner shard's lock alone — the directory
+        mirror makes the parent-chain check local, and structural deletes
+        need this same lock, so the check cannot go stale before the insert.
+        """
+        norm = fspath.normalize(path)
+        if norm == fspath.ROOT:
+            raise PathExistsError(norm)
+        parent_path = fspath.parent(norm)
+        owner = self._tree_for(norm)
+        for _ in range(_FAST_PATH_RETRIES):
+            with owner.lock:
+                if owner.is_dir(parent_path):
+                    return owner.create_file(
+                        norm,
+                        payload_factory,
+                        block_size=block_size,
+                        replication=replication,
+                        overwrite=overwrite,
+                        lease_holder=lease_holder,
+                        on_overwrite=on_overwrite,
+                    )
+            # Parent missing on the owner mirror: broadcast-create it (this
+            # raises NotADirectoryError if an ancestor is a file), then retry
+            # the fast path in case a concurrent delete raced us.
+            self.mkdirs(parent_path)
+        with self._all_locks():
+            self._check_chain_for_files(parent_path)
+            for tree in self._shards:
+                tree.mkdirs(parent_path)
+            return owner.create_file(
+                norm,
+                payload_factory,
+                block_size=block_size,
+                replication=replication,
+                overwrite=overwrite,
+                lease_holder=lease_holder,
+                on_overwrite=on_overwrite,
+            )
+
+    def delete(
+        self,
+        path: str,
+        *,
+        recursive: bool = False,
+        on_delete_file: Callable[[str, FileEntry[PayloadT]], None] | None = None,
+    ) -> None:
+        """Remove a file or directory, invoking ``on_delete_file`` per removed file."""
+        norm = fspath.normalize(path)
+        if norm == fspath.ROOT:
+            raise DirectoryNotEmptyError(norm)
+        owner = self._tree_for(norm)
+        removed: list[tuple[str, FileEntry[PayloadT]]] = []
+
+        def collect(file_path: str, entry: FileEntry[PayloadT]) -> None:
+            removed.append((file_path, entry))
+
+        for _ in range(_FAST_PATH_RETRIES):
+            with owner.lock:
+                entry = self._entry_or_none(owner, norm)
+                if entry is not None and not entry.is_dir:
+                    # File delete: entirely owner-local.
+                    owner.delete(norm, recursive=recursive, on_delete_file=collect)
+                    break
+            if entry is None:
+                # Match NamespaceTree.delete's reporting: the parent is
+                # resolved first (its path in the error), then the leaf.
+                self._require_dir(fspath.parent(norm))
+                raise NoSuchPathError(norm)
+            with self._all_locks():
+                entry = self._entry_or_none(owner, norm)
+                if entry is None or not entry.is_dir:
+                    continue  # raced; redo kind dispatch
+                if not recursive:
+                    for tree in self._shards:
+                        try:
+                            if tree.list_dir(norm):
+                                raise DirectoryNotEmptyError(norm)
+                        except (NoSuchPathError, NotADirectoryError):
+                            continue
+                # Lease pre-check across every shard before removing anything,
+                # so a conflict leaves the namespace untouched (as the
+                # single-tree _collect_files does).
+                for tree in self._shards:
+                    try:
+                        for file_path, file_entry in tree.walk_files(norm):
+                            if file_entry.lease_holder is not None:
+                                raise LeaseConflictError(
+                                    file_path, file_entry.lease_holder
+                                )
+                    except (NoSuchPathError, NotADirectoryError):
+                        continue
+                for tree in self._shards:
+                    if tree.exists(norm):
+                        tree.delete(norm, recursive=True, on_delete_file=collect)
+                break
+        else:
+            raise NoSuchPathError(norm)
+        if on_delete_file is not None:
+            removed.sort(key=lambda kv: fspath.components(kv[0]))
+            for file_path, file_entry in removed:
+                on_delete_file(file_path, file_entry)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Move ``src`` (file or directory) to ``dst``.
+
+        ``dst`` must not exist; renaming a path under itself is rejected.
+        A file rename takes only the two involved shard locks (canonical
+        order); a directory rename is structural and takes all shard locks.
+        """
+        src_norm = fspath.normalize(src)
+        dst_norm = fspath.normalize(dst)
+        if src_norm == fspath.ROOT:
+            raise NoSuchPathError(src_norm)
+        if fspath.is_ancestor(src_norm, dst_norm):
+            raise PathExistsError(
+                f"cannot rename {src_norm!r} under itself ({dst_norm!r})"
+            )
+        for _ in range(_FAST_PATH_RETRIES):
+            src_owner = self._tree_for(src_norm)
+            entry = self._entry_or_none(src_owner, src_norm)
+            if entry is None:
+                self._require_dir(fspath.parent(src_norm))
+                raise NoSuchPathError(src_norm)
+            if entry.is_dir:
+                with self._all_locks():
+                    if self._rename_dir_locked(src_norm, dst_norm):
+                        return
+            else:
+                if self._rename_file(src_norm, dst_norm):
+                    return
+        raise NoSuchPathError(src_norm)
+
+    def _rename_file(self, src_norm: str, dst_norm: str) -> bool:
+        """One attempt at a file rename; ``False`` means re-dispatch on kind."""
+        src_owner_index = self._ring.owner(src_norm)
+        dst_owner_index = self._ring.owner(dst_norm)
+        src_tree = self._shards[src_owner_index]
+        dst_tree = self._shards[dst_owner_index]
+        ordered = sorted({src_owner_index, dst_owner_index})
+        with ExitStack() as stack:
+            for index in ordered:
+                stack.enter_context(self._shards[index].lock)
+            entry = self._entry_or_none(src_tree, src_norm)
+            if entry is None or entry.is_dir:
+                return False
+            if dst_tree.exists(dst_norm):
+                raise PathExistsError(dst_norm)
+            dst_parent = fspath.parent(dst_norm)
+            if not dst_tree.is_dir(dst_parent):
+                # Destination parents are missing: creating them is a
+                # broadcast, which must not nest inside shard locks.
+                pass
+            else:
+                moved = src_tree.detach_entry(src_norm)
+                dst_tree.attach_entry(dst_norm, moved)
+                return True
+        self.mkdirs(fspath.parent(dst_norm))
+        return False  # parents now exist; retry the move
+
+    def _rename_dir_locked(self, src_norm: str, dst_norm: str) -> bool:
+        """Directory rename under all shard locks; ``False`` re-dispatches."""
+        src_owner = self._tree_for(src_norm)
+        entry = self._entry_or_none(src_owner, src_norm)
+        if entry is None or not entry.is_dir:
+            return False
+        if self._tree_for(dst_norm).exists(dst_norm):
+            raise PathExistsError(dst_norm)
+        dst_parent = fspath.parent(dst_norm)
+        self._check_chain_for_files(dst_parent)
+        for tree in self._shards:
+            tree.mkdirs(dst_parent)
+        # Gather the subtree: directory paths seen on any shard, files from
+        # their owner shard.
+        dir_paths: set[str] = {src_norm}
+        files: list[tuple[str, FileEntry[PayloadT]]] = []
+        for tree in self._shards:
+            try:
+                for file_path, file_entry in tree.walk_files(src_norm):
+                    files.append((file_path, file_entry))
+            except (NoSuchPathError, NotADirectoryError):
+                continue
+            dir_paths.update(self._walk_dirs(tree, src_norm))
+        for tree in self._shards:
+            if tree.exists(src_norm):
+                tree.detach_entry(src_norm)
+        prefix_len = len(src_norm)
+        remapped_dirs = sorted(
+            dst_norm + d[prefix_len:] for d in dir_paths
+        )
+        for new_dir in remapped_dirs:
+            for tree in self._shards:
+                tree.mkdirs(new_dir)
+        for old_path, file_entry in files:
+            new_path = dst_norm + old_path[prefix_len:]
+            self._tree_for(new_path).attach_entry(new_path, file_entry)
+        return True
+
+    def _walk_dirs(self, tree: NamespaceTree[PayloadT], base: str) -> Iterator[str]:
+        try:
+            children = tree.list_dir(base)
+        except (NoSuchPathError, NotADirectoryError):
+            return
+        for child_path, child in children:
+            if child.is_dir:
+                yield child_path
+                yield from self._walk_dirs(tree, child_path)
+
+    # -- leases -----------------------------------------------------------------------
+    def acquire_lease(self, path: str, holder: str) -> None:
+        """Grant the single-writer lease of ``path`` to ``holder``."""
+        norm = fspath.normalize(path)
+        try:
+            self._tree_for(norm).acquire_lease(norm, holder)
+        except (NoSuchPathError, NotADirectoryError):
+            self._raise_missing(norm, report=path)
+
+    def release_lease(self, path: str, holder: str) -> None:
+        """Release the lease of ``path`` if held by ``holder``."""
+        norm = fspath.normalize(path)
+        try:
+            self._tree_for(norm).release_lease(norm, holder)
+        except (NoSuchPathError, NotADirectoryError):
+            self._raise_missing(norm, report=path)
+
+    def lease_holder(self, path: str) -> str | None:
+        """Current lease holder of ``path`` (``None`` when not being written)."""
+        norm = fspath.normalize(path)
+        try:
+            return self._tree_for(norm).lease_holder(norm)
+        except (NoSuchPathError, NotADirectoryError):
+            self._raise_missing(norm, report=path)
+            raise AssertionError("unreachable")
+
+    # -- bookkeeping ------------------------------------------------------------------
+    def update_file(
+        self,
+        path: str,
+        *,
+        size: int | None = None,
+        payload: PayloadT | None = None,
+    ) -> None:
+        """Update a file entry's size and/or payload after data was written."""
+        norm = fspath.normalize(path)
+        try:
+            self._tree_for(norm).update_file(norm, size=size, payload=payload)
+        except (NoSuchPathError, NotADirectoryError):
+            self._raise_missing(norm, report=path)
+
+    def update_file_size_monotonic(self, path: str, size: int) -> int:
+        """Raise a file's recorded size to ``size``, never lowering it."""
+        norm = fspath.normalize(path)
+        try:
+            return self._tree_for(norm).update_file_size_monotonic(norm, size)
+        except (NoSuchPathError, NotADirectoryError):
+            self._raise_missing(norm, report=path)
+            raise AssertionError("unreachable")
+
+
+def make_namespace_tree(
+    shards: int = 1, *, virtual_nodes: int = _VIRTUAL_NODES
+) -> NamespaceTree | ShardedNamespaceTree:
+    """Build a namespace tree with ``shards`` partitions.
+
+    ``shards <= 1`` returns the plain single-lock :class:`NamespaceTree` —
+    the true ablation baseline used by BENCH_metadata's sharded-vs-single
+    comparison, not a sharded tree with one shard (which would still pay the
+    ring lookup and mirroring bookkeeping).
+    """
+    if shards <= 1:
+        return NamespaceTree()
+    return ShardedNamespaceTree(shards, virtual_nodes=virtual_nodes)

@@ -18,6 +18,7 @@ from ..fs import path as fspath
 from ..fs.errors import InvalidRangeError, NoSuchPathError, UnsupportedOperationError
 from ..fs.interface import BlockLocation, FileStatus
 from ..fs.namespace import DirectoryEntry, FileEntry, NamespaceTree
+from ..fs.sharded import ShardedNamespaceTree, make_namespace_tree
 from .block_placement import BlockPlacementPolicy, DefaultPlacementPolicy
 from .datanode import DataNode
 
@@ -51,8 +52,11 @@ class NameNode:
         placement_policy: BlockPlacementPolicy | None = None,
         default_block_size: int = 64 * 1024 * 1024,
         default_replication: int = 1,
+        namespace_shards: int = 4,
     ) -> None:
-        self._tree: NamespaceTree[HDFSFilePayload] = NamespaceTree()
+        self._tree: NamespaceTree[HDFSFilePayload] | ShardedNamespaceTree[
+            HDFSFilePayload
+        ] = make_namespace_tree(namespace_shards)
         self._datanodes: dict[int, DataNode] = {d.node_id: d for d in datanodes}
         self._blocks: dict[int, BlockMeta] = {}
         self._block_ids = itertools.count(1)
@@ -173,7 +177,7 @@ class NameNode:
 
     # -- namespace --------------------------------------------------------------------
     @property
-    def tree(self) -> NamespaceTree[HDFSFilePayload]:
+    def tree(self) -> NamespaceTree[HDFSFilePayload] | ShardedNamespaceTree[HDFSFilePayload]:
         """The namespace tree (shared semantics with BSFS)."""
         return self._tree
 

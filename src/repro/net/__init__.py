@@ -30,8 +30,10 @@ from .cluster import (
     NodeServer,
     RecoveryCoordinator,
     connect_datanode,
+    connect_metadata,
     connect_provider,
     loopback_datanode_stub,
+    loopback_metadata_stub,
     loopback_provider_stub,
 )
 from .errors import (
@@ -51,7 +53,7 @@ from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
 from .liveness import HeartbeatPump, LivenessMonitor, LivenessRegistry
 from .messages import Request, Response, decode_message, encode_message
 from .service import ServiceRegistry
-from .stubs import RemoteDataNode, RemoteDataProvider
+from .stubs import RemoteDataNode, RemoteDataProvider, RemoteMetadataProvider
 from .tcp import RpcServer, TcpTransport
 from .transport import LoopbackTransport, RetryPolicy, Transport
 
@@ -85,6 +87,7 @@ __all__ = [
     # stubs
     "RemoteDataProvider",
     "RemoteDataNode",
+    "RemoteMetadataProvider",
     # liveness
     "LivenessRegistry",
     "LivenessMonitor",
@@ -97,8 +100,10 @@ __all__ = [
     "RecoveryCoordinator",
     "loopback_provider_stub",
     "loopback_datanode_stub",
+    "loopback_metadata_stub",
     "connect_provider",
     "connect_datanode",
+    "connect_metadata",
     # faults
     "NetworkFaultPlan",
 ]

@@ -34,9 +34,11 @@ from .liveness import HeartbeatPump, LivenessMonitor, LivenessRegistry
 from .service import ServiceRegistry
 from .stubs import (
     DATANODE_SERVICE,
+    METADATA_SERVICE,
     PROVIDER_SERVICE,
     RemoteDataNode,
     RemoteDataProvider,
+    RemoteMetadataProvider,
 )
 from .tcp import RpcServer, TcpTransport
 from .transport import LoopbackTransport, RetryPolicy, Transport
@@ -52,8 +54,10 @@ __all__ = [
     "RecoveryCoordinator",
     "loopback_provider_stub",
     "loopback_datanode_stub",
+    "loopback_metadata_stub",
     "connect_provider",
     "connect_datanode",
+    "connect_metadata",
 ]
 
 #: Name the control-plane service is registered under.
@@ -160,9 +164,12 @@ class ControlService:
 class NodeServer:
     """Worker-process harness: RPC server + heartbeat pump for one node.
 
-    ``node`` is duck-typed: anything with a ``provider_id`` serves as a
+    ``node`` is duck-typed: anything with ``put_page`` serves as a data
     provider (service name ``"provider"``), anything with a ``node_id``
-    as an HDFS datanode (service name ``"datanode"``).
+    as an HDFS datanode (service name ``"datanode"``), and anything else
+    with a ``provider_id`` as a metadata provider (service name
+    ``"metadata"``) — so the sharded metadata plane runs over the same
+    RPC/heartbeat harness as the data plane.
     """
 
     def __init__(
@@ -178,18 +185,24 @@ class NodeServer:
     ) -> None:
         self.node = node
         self.config = config if config is not None else ClusterConfig()
-        if hasattr(node, "provider_id"):
+        if hasattr(node, "put_page"):
             self.kind, self.numeric_id = "provider", node.provider_id
             self.service_name = PROVIDER_SERVICE
         elif hasattr(node, "node_id"):
             self.kind, self.numeric_id = "datanode", node.node_id
             self.service_name = DATANODE_SERVICE
+        elif hasattr(node, "provider_id"):
+            self.kind, self.numeric_id = "metadata", node.provider_id
+            self.service_name = METADATA_SERVICE
         else:
             raise TypeError(
-                "node must expose provider_id (provider) or node_id (datanode)"
+                "node must expose put_page (provider), node_id (datanode) "
+                "or provider_id (metadata provider)"
             )
         self.node_name = (
-            node_name if node_name is not None else getattr(node, "host")
+            node_name
+            if node_name is not None
+            else getattr(node, "host", f"{self.kind}-{self.numeric_id}")
         )
         self.registry = ServiceRegistry()
         self.registry.register(self.service_name, node)
@@ -217,6 +230,8 @@ class NodeServer:
         """What this node stores, in control-plane terms."""
         if self.kind == "provider":
             return self.node.page_keys()
+        if self.kind == "metadata":
+            return self.node.keys()
         return self.node.block_ids()
 
     # -- lifecycle ------------------------------------------------------------------
@@ -391,6 +406,32 @@ def loopback_datanode_stub(
     return RemoteDataNode.connect(transport)
 
 
+def loopback_metadata_stub(
+    provider: Any,
+    *,
+    faults: NetworkFaultPlan | None = None,
+    local: str = "client",
+    timeout: float = 5.0,
+    retry: RetryPolicy | None = None,
+) -> RemoteMetadataProvider:
+    """Wrap a metadata provider in the loopback stub/codec path.
+
+    Metadata providers carry no ``host`` field, so the stub is
+    addressable in the fault plan as ``metadata-<provider_id>``.
+    """
+    registry = ServiceRegistry()
+    registry.register(METADATA_SERVICE, provider)
+    transport = LoopbackTransport(
+        registry,
+        peer=f"metadata-{provider.provider_id}",
+        local=local,
+        timeout=timeout,
+        retry=retry,
+        faults=faults,
+    )
+    return RemoteMetadataProvider.connect(transport)
+
+
 def connect_provider(
     host: str,
     port: int,
@@ -429,3 +470,23 @@ def connect_datanode(
         pool_size=config.pool_size,
     )
     return RemoteDataNode.connect(transport)
+
+
+def connect_metadata(
+    host: str,
+    port: int,
+    *,
+    config: ClusterConfig | None = None,
+    faults: NetworkFaultPlan | None = None,
+) -> RemoteMetadataProvider:
+    """Connect a metadata-provider stub to a :class:`NodeServer` over TCP."""
+    config = config if config is not None else ClusterConfig()
+    transport = TcpTransport(
+        host,
+        port,
+        timeout=config.rpc_timeout,
+        retry=config.retry_policy(),
+        faults=faults,
+        pool_size=config.pool_size,
+    )
+    return RemoteMetadataProvider.connect(transport)

@@ -38,11 +38,12 @@ from ..hdfs.datanode import DataNodeStats
 from .errors import NetError
 from .transport import Transport
 
-__all__ = ["RemoteDataProvider", "RemoteDataNode"]
+__all__ = ["RemoteDataProvider", "RemoteDataNode", "RemoteMetadataProvider"]
 
 #: Service names a node process exposes its storage object under.
 PROVIDER_SERVICE = "provider"
 DATANODE_SERVICE = "datanode"
+METADATA_SERVICE = "metadata"
 
 
 class _Stub:
@@ -148,6 +149,81 @@ class RemoteDataProvider(_Stub):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RemoteDataProvider(id={self.provider_id}, host={self.host!r}, "
+            f"peer={self._transport.peer!r})"
+        )
+
+
+class RemoteMetadataProvider(_Stub):
+    """A :class:`~repro.core.dht.MetadataProvider` in another process.
+
+    Mirrors the metadata node's key-value surface closely enough that a
+    :class:`~repro.core.dht.MetadataDHT` (and therefore the sharded
+    metadata plane built on it) runs over remote nodes unchanged.
+    ``stats`` stays a property to match the in-process class, and
+    ``len(stub)`` reads the remote entry count through it — the DHT's
+    ``distribution()`` relies on ``__len__``, and dunder names are not
+    dispatchable over the wire.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        provider_id: int,
+        service: str = METADATA_SERVICE,
+    ) -> None:
+        super().__init__(transport, service)
+        self.provider_id = provider_id
+
+    @classmethod
+    def connect(
+        cls, transport: Transport, *, service: str = METADATA_SERVICE
+    ) -> "RemoteMetadataProvider":
+        """Build a stub by fetching the node's identity over the wire."""
+        return cls(
+            transport,
+            provider_id=transport.call(service, "provider_id"),
+            service=service,
+        )
+
+    # -- availability -------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        return bool(self._probe("available"))
+
+    def fail(self) -> None:
+        self._call("fail")
+
+    def recover(self) -> None:
+        self._call("recover")
+
+    # -- key-value operations -----------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        self._call("put", key, value)
+
+    def get(self, key: str) -> Any:
+        return self._call("get", key)
+
+    def contains(self, key: str) -> bool:
+        return bool(self._call("contains", key))
+
+    def delete(self, key: str) -> None:
+        self._call("delete", key)
+
+    def keys(self) -> list[str]:
+        return self._call("keys")
+
+    def __len__(self) -> int:
+        return int(self.stats["entries"])
+
+    # -- statistics ---------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        return self._call("stats")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RemoteMetadataProvider(id={self.provider_id}, "
             f"peer={self._transport.peer!r})"
         )
 

@@ -243,8 +243,12 @@ class VersionGC:
             if not candidate.dead_versions or self.pins.guard_sweep(
                 blob_id,
                 candidate.dead_versions,
+                # Group-commit retire: the whole dead set drops from the
+                # catalogue under one per-blob lock hold.
                 lambda: retired.extend(
-                    vm.retire_versions(blob_id, candidate.dead_versions)  # noqa: B023
+                    vm.retire_batch(  # noqa: B023
+                        [(blob_id, candidate.dead_versions)]  # noqa: B023
+                    ).get(blob_id, [])
                 ),
             ):
                 plan = candidate

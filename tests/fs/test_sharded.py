@@ -1,0 +1,382 @@
+"""The sharded namespace: placement invariants, lock isolation, equivalence.
+
+Three layers of assurance for :class:`repro.fs.sharded.ShardedNamespaceTree`:
+
+* unit tests for the placement invariants (directories mirrored on every
+  shard, files homed on their ring owner) and the public-API parity with
+  :class:`~repro.fs.namespace.NamespaceTree`;
+* a *barrier proof*: holding one shard's lock must not stop operations on
+  other shards — the whole point of partitioning the namespace;
+* a Hypothesis property: any random operation sequence leaves the sharded
+  tree observably identical (entries *and* raised error types) to a plain
+  single-lock tree receiving the same sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fs import path as fspath
+from repro.fs.errors import (
+    DirectoryNotEmptyError,
+    IsADirectoryError,
+    LeaseConflictError,
+    NoSuchPathError,
+    NotADirectoryError,
+    PathExistsError,
+)
+from repro.fs.namespace import NamespaceTree
+from repro.fs.sharded import ShardedNamespaceTree, make_namespace_tree
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture
+def tree() -> ShardedNamespaceTree[int]:
+    return ShardedNamespaceTree(4)
+
+
+def create(tree, path: str, payload: int = 0, **kwargs):
+    return tree.create_file(
+        path,
+        payload_factory=lambda: payload,
+        block_size=1024,
+        replication=1,
+        **kwargs,
+    )
+
+
+def paths_on_distinct_shards(tree: ShardedNamespaceTree, count: int = 2) -> list[str]:
+    """File paths under /iso whose owner shards are pairwise distinct."""
+    chosen: dict[int, str] = {}
+    for i in range(1000):
+        path = f"/iso/file-{i}"
+        shard = tree.shard_of(path)
+        if shard not in chosen:
+            chosen[shard] = path
+            if len(chosen) == count:
+                return list(chosen.values())
+    raise AssertionError(f"could not find {count} paths on distinct shards")
+
+
+class TestFactory:
+    def test_single_shard_is_plain_tree(self):
+        assert isinstance(make_namespace_tree(1), NamespaceTree)
+        assert isinstance(make_namespace_tree(0), NamespaceTree)
+
+    def test_multi_shard_is_sharded(self):
+        tree = make_namespace_tree(8)
+        assert isinstance(tree, ShardedNamespaceTree)
+        assert tree.num_shards == 8
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedNamespaceTree(0)
+
+
+class TestPlacementInvariants:
+    def test_directories_mirror_on_every_shard(self, tree):
+        tree.mkdirs("/a/b/c")
+        for index in range(tree.num_shards):
+            assert tree._shards[index].is_dir("/a/b/c")
+
+    def test_files_live_only_on_their_owner_shard(self, tree):
+        create(tree, "/data/f.bin", payload=7)
+        owner = tree.shard_of("/data/f.bin")
+        for index in range(tree.num_shards):
+            on_shard = tree._shards[index].exists("/data/f.bin")
+            assert on_shard == (index == owner)
+
+    def test_file_counts_partition_the_namespace(self, tree):
+        for i in range(32):
+            create(tree, f"/spread/file-{i}")
+        counts = tree.shard_file_counts()
+        assert sum(counts.values()) == 32 == tree.count_files()
+        # With 32 files over 4 shards the ring should use more than one.
+        assert sum(1 for c in counts.values() if c > 0) > 1
+
+
+class TestApiParity:
+    def test_create_get_and_payload(self, tree):
+        create(tree, "/d/file", payload=42)
+        assert tree.get_file("/d/file").payload == 42
+        assert tree.exists("/d/file")
+        assert not tree.is_dir("/d/file")
+
+    def test_create_into_existing_dir_uses_fast_path(self, tree):
+        tree.mkdirs("/fast")
+        entry = create(tree, "/fast/f", payload=1)
+        assert entry.payload == 1
+
+    def test_create_through_file_raises_not_a_directory(self, tree):
+        create(tree, "/a/file")
+        with pytest.raises(NotADirectoryError):
+            create(tree, "/a/file/sub")
+
+    def test_duplicate_create_raises_path_exists(self, tree):
+        create(tree, "/f")
+        with pytest.raises(PathExistsError):
+            create(tree, "/f")
+
+    def test_get_file_on_directory_raises_is_a_directory(self, tree):
+        tree.mkdirs("/d")
+        with pytest.raises(IsADirectoryError):
+            tree.get_file("/d")
+
+    def test_missing_paths_raise_no_such_path(self, tree):
+        with pytest.raises(NoSuchPathError):
+            tree.get_file("/missing")
+        with pytest.raises(NoSuchPathError):
+            tree.list_dir("/missing")
+        with pytest.raises(NoSuchPathError):
+            tree.delete("/missing")
+
+    def test_list_dir_merges_shards_sorted(self, tree):
+        create(tree, "/dir/b")
+        create(tree, "/dir/a")
+        tree.mkdirs("/dir/z")
+        names = [p for p, _ in tree.list_dir("/dir")]
+        assert names == ["/dir/a", "/dir/b", "/dir/z"]
+        # The mirrored directory appears exactly once despite N shard copies.
+        assert sum(1 for p, e in tree.list_dir("/dir") if e.is_dir) == 1
+
+    def test_walk_files_is_sorted_and_complete(self, tree):
+        expected = sorted(
+            [f"/w/sub-{i % 3}/file-{i}" for i in range(12)],
+            key=fspath.components,
+        )
+        for p in expected:
+            create(tree, p)
+        assert [p for p, _ in tree.walk_files("/w")] == expected
+
+    def test_delete_file_fires_callback(self, tree):
+        create(tree, "/del/f", payload=9)
+        removed = []
+        tree.delete("/del/f", on_delete_file=lambda p, e: removed.append((p, e.payload)))
+        assert removed == [("/del/f", 9)]
+        assert not tree.exists("/del/f")
+
+    def test_delete_non_empty_dir_requires_recursive(self, tree):
+        create(tree, "/d/f")
+        with pytest.raises(DirectoryNotEmptyError):
+            tree.delete("/d")
+        removed = []
+        tree.delete("/d", recursive=True, on_delete_file=lambda p, e: removed.append(p))
+        assert removed == ["/d/f"]
+        assert not tree.exists("/d")
+
+    def test_recursive_delete_with_leased_file_leaves_tree_intact(self, tree):
+        create(tree, "/keep/a")
+        create(tree, "/keep/b")
+        tree.acquire_lease("/keep/b", "writer-1")
+        with pytest.raises(LeaseConflictError):
+            tree.delete("/keep", recursive=True)
+        assert tree.exists("/keep/a") and tree.exists("/keep/b")
+
+    def test_delete_root_rejected(self, tree):
+        with pytest.raises(DirectoryNotEmptyError):
+            tree.delete("/")
+
+    def test_rename_file_across_shards(self, tree):
+        # /iso paths land on distinct shards: moving between them exercises
+        # the two-lock detach/attach path.
+        src, dst = paths_on_distinct_shards(tree, 2)
+        create(tree, src, payload=5)
+        tree.rename(src, dst)
+        assert not tree.exists(src)
+        assert tree.get_file(dst).payload == 5
+        assert tree._shards[tree.shard_of(dst)].exists(dst)
+
+    def test_rename_file_creates_destination_parents(self, tree):
+        create(tree, "/from/f", payload=3)
+        tree.rename("/from/f", "/to/deep/f")
+        assert tree.get_file("/to/deep/f").payload == 3
+        assert tree.is_dir("/to/deep")
+
+    def test_rename_directory_moves_subtree(self, tree):
+        create(tree, "/src/x/one", payload=1)
+        create(tree, "/src/y/two", payload=2)
+        tree.mkdirs("/src/empty")
+        tree.rename("/src", "/dst")
+        assert not tree.exists("/src")
+        assert tree.get_file("/dst/x/one").payload == 1
+        assert tree.get_file("/dst/y/two").payload == 2
+        assert tree.is_dir("/dst/empty")
+        # Invariants survive the move: files homed on their new owner shard.
+        assert tree._shards[tree.shard_of("/dst/x/one")].exists("/dst/x/one")
+
+    def test_rename_onto_existing_raises(self, tree):
+        create(tree, "/a1")
+        create(tree, "/a2")
+        with pytest.raises(PathExistsError):
+            tree.rename("/a1", "/a2")
+
+    def test_rename_under_itself_rejected(self, tree):
+        tree.mkdirs("/d")
+        with pytest.raises(PathExistsError):
+            tree.rename("/d", "/d/sub")
+
+    def test_lease_round_trip_and_conflict(self, tree):
+        create(tree, "/lease/f")
+        tree.acquire_lease("/lease/f", "w1")
+        assert tree.lease_holder("/lease/f") == "w1"
+        with pytest.raises(LeaseConflictError):
+            tree.acquire_lease("/lease/f", "w2")
+        tree.release_lease("/lease/f", "w1")
+        assert tree.lease_holder("/lease/f") is None
+
+    def test_update_file_size_monotonic(self, tree):
+        create(tree, "/size/f")
+        assert tree.update_file_size_monotonic("/size/f", 100) == 100
+        assert tree.update_file_size_monotonic("/size/f", 50) == 100
+        tree.update_file(path="/size/f", payload=77)
+        assert tree.get_file("/size/f").payload == 77
+
+
+class TestShardIsolation:
+    """The barrier proof: one held shard lock must not serialise the plane."""
+
+    def test_other_shards_progress_while_one_lock_is_held(self, tree):
+        victim_path, free_path = paths_on_distinct_shards(tree, 2)
+        tree.mkdirs("/iso")  # parents exist: creates take the fast path
+        victim_shard = tree.shard_of(victim_path)
+
+        free_done = threading.Event()
+        victim_started = threading.Event()
+        victim_done = threading.Event()
+
+        def create_free():
+            create(tree, free_path)
+            free_done.set()
+
+        def create_victim():
+            victim_started.set()
+            create(tree, victim_path)
+            victim_done.set()
+
+        with tree.shard_lock(victim_shard):
+            t_free = threading.Thread(target=create_free)
+            t_victim = threading.Thread(target=create_victim)
+            t_free.start()
+            t_victim.start()
+            # The shard not being held makes progress...
+            assert free_done.wait(timeout=5.0), (
+                "operation on an unrelated shard stalled behind a held lock"
+            )
+            # ...while the held shard's writer is provably blocked.
+            assert victim_started.wait(timeout=5.0)
+            assert not victim_done.wait(timeout=0.05)
+        t_free.join(timeout=5.0)
+        t_victim.join(timeout=5.0)
+        assert victim_done.is_set()
+        assert tree.exists(victim_path) and tree.exists(free_path)
+
+    def test_concurrent_writers_converge(self, tree):
+        tree.mkdirs("/load")
+        errors: list[Exception] = []
+
+        def writer(worker: int):
+            try:
+                for i in range(25):
+                    create(tree, f"/load/w{worker}-f{i}", payload=worker)
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors == []
+        assert tree.count_files() == 8 * 25
+        assert len(list(tree.walk_files("/load"))) == 8 * 25
+
+
+# -- Hypothesis equivalence ------------------------------------------------------------
+
+name_strategy = st.sampled_from(["a", "b", "c"])
+path_strategy = st.builds(
+    lambda parts: "/" + "/".join(parts),
+    st.lists(name_strategy, min_size=1, max_size=3),
+)
+
+operation_strategy = st.one_of(
+    st.tuples(st.just("mkdirs"), path_strategy),
+    st.tuples(st.just("create"), path_strategy, st.integers(0, 99)),
+    st.tuples(st.just("delete"), path_strategy, st.booleans()),
+    st.tuples(st.just("rename"), path_strategy, path_strategy),
+    st.tuples(st.just("lease"), path_strategy, st.sampled_from(["w1", "w2"])),
+    st.tuples(st.just("release"), path_strategy, st.sampled_from(["w1", "w2"])),
+    st.tuples(st.just("grow"), path_strategy, st.integers(0, 4096)),
+)
+
+
+def apply_op(tree, op) -> tuple[str, ...] | None:
+    """Run one operation; return (error type name, str(error)) on failure."""
+    try:
+        kind = op[0]
+        if kind == "mkdirs":
+            tree.mkdirs(op[1])
+        elif kind == "create":
+            tree.create_file(
+                op[1],
+                payload_factory=lambda: op[2],
+                block_size=256,
+                replication=1,
+            )
+        elif kind == "delete":
+            tree.delete(op[1], recursive=op[2])
+        elif kind == "rename":
+            tree.rename(op[1], op[2])
+        elif kind == "lease":
+            tree.acquire_lease(op[1], op[2])
+        elif kind == "release":
+            tree.release_lease(op[1], op[2])
+        elif kind == "grow":
+            tree.update_file_size_monotonic(op[1], op[2])
+        return None
+    except Exception as exc:
+        return (type(exc).__name__,)
+
+
+def snapshot(tree) -> tuple:
+    """Observable state: every entry path, its kind, and file attributes."""
+    files = [
+        (p, e.size, e.payload, e.lease_holder) for p, e in tree.walk_files("/")
+    ]
+    dirs: list[str] = []
+
+    def walk_dirs(base: str) -> None:
+        for child_path, entry in tree.list_dir(base):
+            if entry.is_dir:
+                dirs.append(child_path)
+                walk_dirs(child_path)
+
+    walk_dirs("/")
+    return (files, sorted(dirs))
+
+
+class TestShardedEqualsSingleTree:
+    @SETTINGS
+    @given(
+        ops=st.lists(operation_strategy, min_size=1, max_size=20),
+        shards=st.sampled_from([2, 3, 4, 8]),
+    )
+    def test_random_op_sequences_match_reference(self, ops, shards):
+        reference: NamespaceTree[int] = NamespaceTree()
+        sharded: ShardedNamespaceTree[int] = ShardedNamespaceTree(shards)
+        for op in ops:
+            expected = apply_op(reference, op)
+            actual = apply_op(sharded, op)
+            assert actual == expected, (
+                f"op {op!r}: sharded raised {actual}, reference raised {expected}"
+            )
+            assert snapshot(sharded) == snapshot(reference), f"diverged after {op!r}"
