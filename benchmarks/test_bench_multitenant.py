@@ -1,0 +1,154 @@
+"""F6 — multi-tenant serving: fair-share throughput under a mixed workload.
+
+Four tenants share one :class:`~repro.mapreduce.service.JobService`
+deployment and submit bursts of mixed jobs (wordcount and distributed
+grep) concurrently while hot readers hammer the shared inputs — the
+many-clients-one-deployment regime the paper's Grid'5000 experiments put
+BlobSeer under, here applied to the job-serving plane instead of raw
+storage.
+
+The fairness claim under test: with equal weights, the weighted-stride
+queue must keep every tenant's completion throughput within 2x of its
+fair share — no tenant is starved by the others' identical demand.  The
+committed baseline ``benchmarks/baselines/BENCH_multitenant.json`` gates
+``jobs_per_s`` per tenant in CI.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from conftest import run_once
+
+from repro.analysis import ExperimentReport
+from repro.fs import LocalFS
+from repro.mapreduce import JobService
+from repro.mapreduce.applications import (
+    make_distributed_grep_job,
+    make_wordcount_job,
+)
+from repro.workloads import write_text_file
+
+EXPERIMENT = "F6"
+
+TENANTS = ("tenant-a", "tenant-b", "tenant-c", "tenant-d")
+JOBS_PER_TENANT = 6
+LINES_PER_INPUT = 120
+HOT_READERS = 2
+NUM_TRACKERS = 4
+SLOTS_PER_TRACKER = 2
+MAX_CONCURRENT_JOBS = 4
+
+
+def _tenant_job(tenant: str, index: int):
+    """Alternate wordcount and grep so the mix exercises both shapes."""
+    input_path = f"/in/{tenant}.txt"
+    output_dir = f"/out/{tenant}/{index}"
+    if index % 2 == 0:
+        return make_wordcount_job(
+            [input_path], output_dir=output_dir, num_reduce_tasks=2
+        )
+    return make_distributed_grep_job(
+        r"[a-z]{5,}", [input_path], output_dir=output_dir, num_reduce_tasks=2
+    )
+
+
+def _run():
+    fs = LocalFS()
+    service = JobService.local(
+        fs,
+        num_trackers=NUM_TRACKERS,
+        slots_per_tracker=SLOTS_PER_TRACKER,
+        max_concurrent_jobs=MAX_CONCURRENT_JOBS,
+    )
+    for seed, tenant in enumerate(TENANTS):
+        service.register_tenant(tenant, weight=1.0)
+        write_text_file(fs, f"/in/{tenant}.txt", LINES_PER_INPUT, seed=seed)
+
+    # Hot readers: a constant read load on the shared inputs for the whole
+    # contended window, the storage-side half of the mixed workload.
+    stop_readers = threading.Event()
+    reads = [0] * HOT_READERS
+
+    def hot_reader(slot: int) -> None:
+        while not stop_readers.is_set():
+            for tenant in TENANTS:
+                with fs.open(f"/in/{tenant}.txt") as stream:
+                    stream.read()
+                reads[slot] += 1
+
+    readers = [
+        threading.Thread(target=hot_reader, args=(i,), daemon=True)
+        for i in range(HOT_READERS)
+    ]
+
+    barrier = threading.Barrier(len(TENANTS) + 1)
+    elapsed: dict[str, float] = {}
+
+    def tenant_burst(tenant: str) -> None:
+        jobs = [_tenant_job(tenant, i) for i in range(JOBS_PER_TENANT)]
+        barrier.wait()
+        started = time.perf_counter()
+        handles = [service.submit(job, tenant=tenant) for job in jobs]
+        for handle in handles:
+            result = handle.wait()
+            assert result.succeeded, f"{tenant} job failed: {result.summary()}"
+        elapsed[tenant] = time.perf_counter() - started
+
+    workers = [
+        threading.Thread(target=tenant_burst, args=(t,)) for t in TENANTS
+    ]
+    for thread in readers + workers:
+        thread.start()
+    barrier.wait()
+    wall_started = time.perf_counter()
+    for thread in workers:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    stop_readers.set()
+    for thread in readers:
+        thread.join()
+
+    report = ExperimentReport(
+        EXPERIMENT,
+        f"Multi-tenant serving: {len(TENANTS)} tenants x {JOBS_PER_TENANT} "
+        f"mixed jobs (wordcount/grep) + {HOT_READERS} hot readers, "
+        f"{NUM_TRACKERS}x{SLOTS_PER_TRACKER} slots, "
+        f"{MAX_CONCURRENT_JOBS} concurrent jobs",
+    )
+    rates: dict[str, float] = {}
+    for tenant in TENANTS:
+        rate = JOBS_PER_TENANT / elapsed[tenant]
+        rates[tenant] = rate
+        report.add_row(
+            {
+                "tenant": tenant,
+                "jobs": JOBS_PER_TENANT,
+                "elapsed_s": round(elapsed[tenant], 3),
+                "jobs_per_s": round(rate, 3),
+            }
+        )
+    fair_share = (len(TENANTS) * JOBS_PER_TENANT / wall) / len(TENANTS)
+    report.add_row(
+        {
+            "tenant": "fair-share",
+            "jobs": len(TENANTS) * JOBS_PER_TENANT,
+            "elapsed_s": round(wall, 3),
+            "jobs_per_s": round(fair_share, 3),
+        }
+    )
+    report.note(
+        "fair-share is aggregate throughput divided by the tenant count; "
+        f"hot readers completed {sum(reads)} full passes over the inputs "
+        "during the contended window."
+    )
+    return report, rates, fair_share
+
+
+def test_bench_multitenant(benchmark):
+    report, rates, fair_share = run_once(benchmark, _run)
+    report.print()
+    # The fairness claim: equal weights, equal demand — the slowest tenant
+    # must keep at least half its fair share of completion throughput.
+    assert min(rates.values()) >= 0.5 * fair_share

@@ -15,16 +15,20 @@ The script walks through the storage stack bottom-up:
    caching) and do the same through file paths;
 4. contrast with the HDFS baseline: no append, no overwrite, single writer;
 5. address all backends uniformly through ``scheme://authority/path`` URIs
-   and the pluggable scheme registry — the one-string backend swap.
+   and the pluggable scheme registry — the one-string backend swap;
+6. wrap it all in the session facade — ``repro.connect`` bundles the
+   storage handle, the deployment's job service and a tenant identity
+   into one object, the recommended application entry point.
 """
 
 from __future__ import annotations
 
-from repro import KB, MB, BlobSeer, BlobSeerConfig
+from repro import KB, MB, BlobSeer, BlobSeerConfig, connect
 from repro.bsfs import BSFS
 from repro.fs import copy_uri, get_filesystem, open_fs, registered_schemes
 from repro.fs.errors import UnsupportedOperationError
 from repro.hdfs import HDFS
+from repro.mapreduce.applications import make_wordcount_job
 
 
 def blobseer_tour() -> None:
@@ -106,11 +110,34 @@ def registry_tour() -> None:
     print(f"  copy_uri moved {copied} bytes across backends: {fs.read_file(path)!r}")
 
 
+def session_tour() -> None:
+    print("\n=== 6. Session facade: connect once, use everything ===")
+    # One call resolves the backend, builds (or joins) the deployment's
+    # job service and binds a tenant identity for quota attribution.
+    session = connect("bsfs://quickstart-session", tenant="alice")
+    session.service.register_tenant("alice", max_bytes=16 * MB)
+    session.write("/in/words.txt", b"to be or not to be that is the question\n" * 200)
+    print(f"  usage after write: {session.usage()}")
+
+    snapshot = session.snapshot("/in/words.txt")
+    with session.append("/in/words.txt") as out:
+        out.write(b"appended after the snapshot\n")
+    as_of = session.read(f"/in/words.txt@v{snapshot}")
+    print(f"  AS-OF read sees {len(as_of)} bytes (now {session.fs.size('/in/words.txt')})")
+
+    job = make_wordcount_job(["/in/words.txt"], output_dir="/out/wc")
+    handle = session.submit(job)  # alice's fair-share queue
+    result = handle.wait()
+    top = result.counters.as_dict().get("wordcount.words", "?")
+    print(f"  wordcount as tenant {handle.tenant!r}: {handle.status()}, {top} words")
+
+
 def main() -> None:
     blobseer_tour()
     bsfs_tour()
     hdfs_tour()
     registry_tour()
+    session_tour()
     print("\nQuickstart finished.")
 
 

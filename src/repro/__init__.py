@@ -37,4 +37,16 @@ __all__ = [
     "KB",
     "MB",
     "GB",
+    "Session",
+    "connect",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: the session facade pulls in the whole MapReduce stack, which
+    # pure-storage users of the package should not pay for at import time.
+    if name in ("Session", "connect"):
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

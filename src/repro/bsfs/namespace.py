@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..fs import path as fspath
 from ..fs.interface import FileStatus
 from ..fs.namespace import DirectoryEntry, FileEntry, NamespaceTree
+from ..fs.quota import QuotaManager
 from ..fs.sharded import ShardedNamespaceTree, make_namespace_tree
 
 __all__ = ["BSFSFileRecord", "NamespaceManager"]
@@ -33,10 +34,17 @@ class BSFSFileRecord:
 class NamespaceManager:
     """Centralized file-to-BLOB namespace service of BSFS."""
 
-    def __init__(self, *, namespace_shards: int = 1) -> None:
+    def __init__(
+        self,
+        *,
+        namespace_shards: int = 1,
+        quotas: QuotaManager | None = None,
+    ) -> None:
         self._tree: NamespaceTree[int] | ShardedNamespaceTree[int] = make_namespace_tree(
             namespace_shards
         )
+        self._tree.set_quota_manager(quotas)
+        self.quotas = quotas
 
     @property
     def tree(self) -> NamespaceTree[int] | ShardedNamespaceTree[int]:

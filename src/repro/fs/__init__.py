@@ -11,6 +11,7 @@ from .errors import (
     NoSuchPathError,
     NotADirectoryError,
     PathExistsError,
+    QuotaExceededError,
     StreamClosedError,
     UnsupportedOperationError,
 )
@@ -23,6 +24,14 @@ from .interface import (
     copy_path,
 )
 from .local import LocalFS
+from .quota import (
+    QuotaManager,
+    TenantQuota,
+    TenantUsage,
+    attach_quota_manager,
+    current_tenant,
+    tenant_scope,
+)
 from .sharded import ShardedNamespaceTree, make_namespace_tree
 from .registry import (
     UnknownSchemeError,
@@ -72,4 +81,11 @@ __all__ = [
     "LeaseConflictError",
     "StreamClosedError",
     "UnsupportedOperationError",
+    "QuotaExceededError",
+    "QuotaManager",
+    "TenantQuota",
+    "TenantUsage",
+    "attach_quota_manager",
+    "current_tenant",
+    "tenant_scope",
 ]

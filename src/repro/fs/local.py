@@ -32,6 +32,7 @@ from . import path as fspath
 from .errors import InvalidRangeError, IsADirectoryError
 from .interface import BlockLocation, FileStatus, FileSystem, InputStream, OutputStream
 from .namespace import DirectoryEntry, FileEntry, NamespaceTree
+from .quota import QuotaManager
 from .sharded import ShardedNamespaceTree, make_namespace_tree
 
 __all__ = ["LocalFS", "DEFAULT_BLOCK_SIZE", "LocalFSInputStream", "LocalFSOutputStream"]
@@ -92,6 +93,7 @@ class LocalFS(FileSystem):
         default_block_size: int = DEFAULT_BLOCK_SIZE,
         default_replication: int = 1,
         namespace_shards: int = 4,
+        quotas: QuotaManager | None = None,
     ) -> None:
         """Create a LocalFS over a sandboxed root directory.
 
@@ -109,6 +111,9 @@ class LocalFS(FileSystem):
         namespace_shards:
             Namespace partitions (see :mod:`repro.fs.sharded`); ``1`` keeps
             the single-lock tree.
+        quotas:
+            Optional per-tenant :class:`~repro.fs.quota.QuotaManager`
+            enforcing file/byte budgets on namespace writes.
         """
         self._owns_root = root is None
         if root is None:
@@ -125,6 +130,8 @@ class LocalFS(FileSystem):
         self._tree: NamespaceTree[str] | ShardedNamespaceTree[str] = make_namespace_tree(
             namespace_shards
         )
+        self._tree.set_quota_manager(quotas)
+        self.quotas = quotas
         self._lock = threading.Lock()
         self._object_ids = iter(range(1, 2**62))
         self._client_ids = iter(range(1, 2**62))
@@ -179,8 +186,13 @@ class LocalFS(FileSystem):
         backing = entry.payload
 
         def _on_close() -> None:
-            self._tree.update_file(norm, size=os.path.getsize(backing))
-            self._tree.release_lease(norm, holder)
+            # Release the lease even when the size update is rejected (a
+            # tenant over its byte quota): the failed write must leave the
+            # file deletable, not leased forever.
+            try:
+                self._tree.update_file(norm, size=os.path.getsize(backing))
+            finally:
+                self._tree.release_lease(norm, holder)
 
         return LocalFSOutputStream(backing, mode="wb", on_close=_on_close)
 
@@ -194,8 +206,10 @@ class LocalFS(FileSystem):
         self._tree.acquire_lease(norm, holder)
 
         def _on_close() -> None:
-            self._tree.update_file(norm, size=os.path.getsize(entry.payload))
-            self._tree.release_lease(norm, holder)
+            try:
+                self._tree.update_file(norm, size=os.path.getsize(entry.payload))
+            finally:
+                self._tree.release_lease(norm, holder)
 
         return LocalFSOutputStream(entry.payload, mode="ab", on_close=_on_close)
 
@@ -208,11 +222,22 @@ class LocalFS(FileSystem):
         """
         norm = fspath.normalize(path)
         entry = self._tree.get_file(norm)
-        with self._lock:
-            offset = os.path.getsize(entry.payload)
-            with open(entry.payload, "ab") as backing:
-                backing.write(data)
-            self._tree.update_file(norm, size=offset + len(data))
+        # Reserve against the owner's byte budget before touching storage, so
+        # an over-quota append is rejected without landing a single byte.  On
+        # success the namespace size update consumes the reservation; it is
+        # handed back only when the write never reached the namespace.
+        if self.quotas is not None:
+            self.quotas.reserve_bytes(entry.owner_tenant, len(data))
+        try:
+            with self._lock:
+                offset = os.path.getsize(entry.payload)
+                with open(entry.payload, "ab") as backing:
+                    backing.write(data)
+                self._tree.update_file(norm, size=offset + len(data))
+        except BaseException:
+            if self.quotas is not None:
+                self.quotas.unreserve_bytes(entry.owner_tenant, len(data))
+            raise
         return offset
 
     # -- read path -------------------------------------------------------------------

@@ -1,0 +1,295 @@
+"""Per-tenant namespace quotas: file-count and byte budgets with reservations.
+
+Multi-tenant serving means many tenants writing into one shared namespace;
+a quota bounds how much of it each tenant may hold.  The design has three
+pieces:
+
+* a **tenant context** — writes are attributed to the tenant named by
+  :func:`tenant_scope`, a context-variable scope the job layer enters
+  around task execution.  Files remember their owner
+  (:attr:`~repro.fs.namespace.FileEntry.owner_tenant`), so later growth,
+  deletion and rename charge the *owner* regardless of who performs them;
+* a **:class:`QuotaManager`** — thread-safe per-tenant usage counters
+  (files, bytes, reserved bytes) with optional limits.  One manager is
+  shared by every shard of a namespace (and may be shared across file
+  systems), so accounting is global however the metadata is partitioned;
+* **reservations** — concurrent appenders reserve their byte count
+  *before* touching storage (:meth:`QuotaManager.reserve_bytes` raises
+  :class:`~repro.fs.errors.QuotaExceededError` when the budget is full),
+  then the namespace size update converts the reservation into usage.
+  Two appends racing a quota boundary therefore resolve deterministically:
+  one is admitted, the other is rejected before writing a byte, and usage
+  never overshoots the limit.
+
+Accounting tracks the *namespace* view — recorded file sizes — so deleting
+a file releases its quota immediately even when the backing storage is
+reclaimed later (e.g. a pinned blob whose delete is deferred until the
+version GC's pin drains).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import QuotaExceededError
+
+__all__ = [
+    "QuotaManager",
+    "TenantQuota",
+    "TenantUsage",
+    "attach_quota_manager",
+    "current_tenant",
+    "tenant_scope",
+]
+
+#: The tenant charged for namespace writes performed by the current task.
+_current_tenant: ContextVar[str | None] = ContextVar("repro_fs_tenant", default=None)
+
+
+def current_tenant() -> str | None:
+    """The tenant the calling thread's writes are attributed to (or ``None``)."""
+    return _current_tenant.get()
+
+
+@contextmanager
+def tenant_scope(tenant: str | None) -> Iterator[None]:
+    """Attribute namespace writes inside the block to ``tenant``.
+
+    Scopes nest; ``None`` restores anonymous (untracked) writes.  The scope
+    is per-thread (a context variable), so each task-executor thread enters
+    its own scope without interfering with concurrent tasks.
+    """
+    token = _current_tenant.set(tenant)
+    try:
+        yield
+    finally:
+        _current_tenant.reset(token)
+
+
+@dataclass(frozen=True, slots=True)
+class TenantQuota:
+    """Limits of one tenant (``None`` means unlimited)."""
+
+    max_files: int | None = None
+    max_bytes: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TenantUsage:
+    """Snapshot of one tenant's consumption."""
+
+    files: int = 0
+    bytes: int = 0
+    #: Bytes admitted for in-flight appends but not yet recorded as usage.
+    reserved: int = 0
+
+
+class QuotaManager:
+    """Thread-safe per-tenant files/bytes accounting with optional limits.
+
+    Usage is tracked for every named tenant that writes; limits apply only
+    to tenants with a quota set (:meth:`set_quota`).  Anonymous writes
+    (no :func:`tenant_scope` active) are neither tracked nor limited.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._quotas: dict[str, TenantQuota] = {}
+        self._files: dict[str, int] = {}
+        self._bytes: dict[str, int] = {}
+        self._reserved: dict[str, int] = {}
+
+    # -- configuration ----------------------------------------------------------------
+    def set_quota(
+        self,
+        tenant: str,
+        *,
+        max_files: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        """Set (or replace) the limits of ``tenant``."""
+        with self._lock:
+            self._quotas[tenant] = TenantQuota(
+                max_files=max_files, max_bytes=max_bytes
+            )
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The limits configured for ``tenant`` (unlimited when unset)."""
+        with self._lock:
+            return self._quotas.get(tenant, TenantQuota())
+
+    def usage(self, tenant: str) -> TenantUsage:
+        """Snapshot of ``tenant``'s current consumption."""
+        with self._lock:
+            return TenantUsage(
+                files=self._files.get(tenant, 0),
+                bytes=self._bytes.get(tenant, 0),
+                reserved=self._reserved.get(tenant, 0),
+            )
+
+    def tenants(self) -> list[str]:
+        """Every tenant with recorded usage or a configured quota."""
+        with self._lock:
+            return sorted(set(self._quotas) | set(self._files) | set(self._bytes))
+
+    # -- file-count accounting ---------------------------------------------------------
+    def charge_create(
+        self,
+        tenant: str | None,
+        *,
+        replacing_owner: str | None = None,
+        replacing_bytes: int = 0,
+    ) -> None:
+        """Admit one file creation by ``tenant`` (enforced).
+
+        ``replacing_owner``/``replacing_bytes`` describe an entry being
+        overwritten in the same operation: its account is released
+        atomically with the new charge, so overwriting your own file at the
+        file-count limit succeeds while a fresh create is rejected.
+        """
+        with self._lock:
+            if replacing_owner is not None:
+                self._release_locked(replacing_owner, files=1, nbytes=replacing_bytes)
+            if tenant is None:
+                return
+            files = self._files.get(tenant, 0)
+            quota = self._quotas.get(tenant)
+            if (
+                quota is not None
+                and quota.max_files is not None
+                and files + 1 > quota.max_files
+            ):
+                raise QuotaExceededError(
+                    tenant,
+                    "files",
+                    requested=1,
+                    used=files,
+                    limit=quota.max_files,
+                )
+            self._files[tenant] = files + 1
+
+    def release_entry(self, tenant: str | None, nbytes: int) -> None:
+        """Release one deleted file (and its recorded bytes) of ``tenant``."""
+        if tenant is None:
+            return
+        with self._lock:
+            self._release_locked(tenant, files=1, nbytes=nbytes)
+
+    def _release_locked(self, tenant: str, *, files: int, nbytes: int) -> None:
+        self._files[tenant] = max(self._files.get(tenant, 0) - files, 0)
+        self._bytes[tenant] = max(self._bytes.get(tenant, 0) - nbytes, 0)
+
+    # -- byte accounting ---------------------------------------------------------------
+    def reserve_bytes(self, tenant: str | None, nbytes: int) -> None:
+        """Admit ``nbytes`` of in-flight append data for ``tenant`` (enforced).
+
+        Called *before* the storage write of a concurrent append; the later
+        namespace size update (:meth:`charge_bytes`) consumes the
+        reservation.  Raises :class:`QuotaExceededError` when usage plus
+        reservations would exceed the byte limit — before any byte lands.
+        """
+        if tenant is None or nbytes <= 0:
+            return
+        with self._lock:
+            used = self._bytes.get(tenant, 0)
+            reserved = self._reserved.get(tenant, 0)
+            quota = self._quotas.get(tenant)
+            if (
+                quota is not None
+                and quota.max_bytes is not None
+                and used + reserved + nbytes > quota.max_bytes
+            ):
+                raise QuotaExceededError(
+                    tenant,
+                    "bytes",
+                    requested=nbytes,
+                    used=used + reserved,
+                    limit=quota.max_bytes,
+                )
+            self._reserved[tenant] = reserved + nbytes
+
+    def unreserve_bytes(self, tenant: str | None, nbytes: int) -> None:
+        """Return an unconsumed reservation (never goes negative)."""
+        if tenant is None or nbytes <= 0:
+            return
+        with self._lock:
+            self._reserved[tenant] = max(
+                self._reserved.get(tenant, 0) - nbytes, 0
+            )
+
+    def charge_bytes(self, tenant: str | None, nbytes: int) -> None:
+        """Record ``nbytes`` of recorded-size growth for ``tenant`` (enforced).
+
+        Growth covered by an outstanding reservation was already admitted
+        and converts reservation → usage without a limit check; only the
+        excess beyond the reservation pool is enforced.  Raises (leaving
+        state unchanged) when the excess does not fit.
+        """
+        if tenant is None or nbytes <= 0:
+            return
+        with self._lock:
+            used = self._bytes.get(tenant, 0)
+            reserved = self._reserved.get(tenant, 0)
+            consumed = min(nbytes, reserved)
+            excess = nbytes - consumed
+            quota = self._quotas.get(tenant)
+            if (
+                excess > 0
+                and quota is not None
+                and quota.max_bytes is not None
+                and used + reserved - consumed + nbytes > quota.max_bytes
+            ):
+                raise QuotaExceededError(
+                    tenant,
+                    "bytes",
+                    requested=excess,
+                    used=used + reserved - consumed,
+                    limit=quota.max_bytes,
+                )
+            self._reserved[tenant] = reserved - consumed
+            self._bytes[tenant] = used + nbytes
+
+    def release_bytes(self, tenant: str | None, nbytes: int) -> None:
+        """Release ``nbytes`` of recorded usage (truncation, shrink)."""
+        if tenant is None or nbytes <= 0:
+            return
+        with self._lock:
+            self._bytes[tenant] = max(self._bytes.get(tenant, 0) - nbytes, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"QuotaManager(tenants={sorted(set(self._files) | set(self._quotas))})"
+            )
+
+
+def attach_quota_manager(fs: object, quotas: QuotaManager) -> None:
+    """Attach ``quotas`` to an already-built file system.
+
+    Every backend also accepts ``quotas=`` at construction; this retrofits
+    one onto an existing instance — the :class:`~repro.mapreduce.service
+    .JobService` uses it when a tenant with namespace limits registers
+    against a file system built without quota support.  Duck-typed over the
+    three backends: the manager is installed on the namespace tree (create/
+    delete/resize accounting) and on whichever component performs appends
+    outside the tree (the HDFS namenode's block commits, the backends'
+    ``concurrent_append`` reservations).
+    """
+    tree = None
+    namenode = getattr(fs, "namenode", None)
+    namespace = getattr(fs, "namespace", None)
+    if namenode is not None:  # HDFS
+        namenode.quotas = quotas
+        tree = namenode.tree
+    elif namespace is not None:  # BSFS
+        namespace.quotas = quotas
+        tree = namespace.tree
+    else:  # LocalFS
+        tree = getattr(fs, "_tree", None)
+    if tree is not None and hasattr(tree, "set_quota_manager"):
+        tree.set_quota_manager(quotas)
+    fs.quotas = quotas  # type: ignore[attr-defined]

@@ -49,6 +49,7 @@ from .errors import (
     PathExistsError,
 )
 from .namespace import DirectoryEntry, FileEntry, NamespaceTree
+from .quota import QuotaManager
 
 __all__ = ["ShardedNamespaceTree", "make_namespace_tree"]
 
@@ -82,6 +83,19 @@ class ShardedNamespaceTree(Generic[PayloadT]):
         self._ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
         for index in range(shards):
             self._ring.add_member(index)
+        self.quotas: QuotaManager | None = None
+
+    def set_quota_manager(self, quotas: QuotaManager | None) -> None:
+        """Attach one shared quota manager to every shard.
+
+        File mutations delegate to the owner shard's tree, so per-shard
+        attachment gives globally consistent accounting (the manager itself
+        is thread-safe); cross-shard moves use detach/attach, which are
+        quota-neutral because ownership travels with the entry.
+        """
+        self.quotas = quotas
+        for tree in self._shards:
+            tree.set_quota_manager(quotas)
 
     # -- shard topology ---------------------------------------------------------------
     @property

@@ -35,7 +35,21 @@ from .job import (
     identity_reducer,
 )
 from .jobtracker import JobResult, JobTracker, make_cluster
-from .scheduler import Assignment, LocalityAwareScheduler, LocalityStats
+from .scheduler import (
+    Assignment,
+    LocalityAwareScheduler,
+    LocalityStats,
+    NoHealthyTrackerError,
+    SlotLedger,
+)
+from .service import (
+    AdmissionError,
+    JobCancelledError,
+    JobHandle,
+    JobService,
+    JobServiceEndpoint,
+    TenantConfig,
+)
 from .shuffle import (
     MapOutputCollector,
     SingleFileOutputFormat,
@@ -60,6 +74,14 @@ __all__ = [
     "JobResult",
     "JobTracker",
     "make_cluster",
+    "JobService",
+    "JobHandle",
+    "JobServiceEndpoint",
+    "TenantConfig",
+    "AdmissionError",
+    "JobCancelledError",
+    "NoHealthyTrackerError",
+    "SlotLedger",
     "FaultInjectedError",
     "FaultPlan",
     "InjectedTaskFailure",

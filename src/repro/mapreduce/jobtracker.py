@@ -42,6 +42,7 @@ from __future__ import annotations
 import threading
 import time
 import traceback
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from functools import partial
@@ -50,17 +51,39 @@ from typing import Any, Callable, Iterator
 from ..core.transfer import TransferEngine
 from ..fs import path as fspath
 from ..fs.interface import FileSystem
+from ..fs.quota import tenant_scope
 from ..fs.registry import get_filesystem
 from ..net.liveness import HeartbeatPump, LivenessMonitor, LivenessRegistry
 from .faults import FaultPlan, TrackerDeadError
 from .job import Counters, Job
-from .scheduler import LocalityAwareScheduler, LocalityStats
+from .scheduler import (
+    LocalityAwareScheduler,
+    LocalityStats,
+    NoHealthyTrackerError,
+    SlotLedger,
+)
 from .shuffle import SingleFileOutputFormat, TextOutputFormat, merge_map_outputs
 from .shuffle_service import ShuffleAbortedError, ShuffleService
 from .splitter import SyntheticInputFormat, TextInputFormat
 from .tasktracker import TaskResult, TaskTracker
 
-__all__ = ["JobResult", "JobTracker", "make_cluster"]
+#: Job-conf property keys the :class:`~repro.mapreduce.service.JobService`
+#: uses to thread runtime controls into an execution without widening the
+#: ``JobConf`` schema (they are implementation detail, not user API).
+CANCEL_EVENT_PROPERTY = "__cancel_event"
+SPECULATION_GATE_PROPERTY = "__speculation_gate"
+INFLIGHT_BUDGET_PROPERTY = "__inflight_budget"
+PROGRESS_PROPERTY = "__progress"
+
+__all__ = [
+    "JobResult",
+    "JobTracker",
+    "make_cluster",
+    "CANCEL_EVENT_PROPERTY",
+    "SPECULATION_GATE_PROPERTY",
+    "INFLIGHT_BUDGET_PROPERTY",
+    "PROGRESS_PROPERTY",
+]
 
 #: How often the phase orchestrator wakes to look for stragglers.
 _SPECULATION_POLL_SECONDS = 0.02
@@ -272,6 +295,8 @@ class _RetryingPhase:
         on_winner: Callable[[TaskResult], None] | None = None,
         on_attempt_failed: Callable[[str, bool], None] | None = None,
         on_permanent_failure: Callable[[int, TaskResult], None] | None = None,
+        make_failure: Callable[[int, int, BaseException], TaskResult] | None = None,
+        speculation_gate: Callable[[], bool] | None = None,
     ) -> None:
         self._max_attempts = max_attempts
         self._execute = execute
@@ -282,6 +307,8 @@ class _RetryingPhase:
         self._on_winner = on_winner
         self._on_attempt_failed = on_attempt_failed
         self._on_permanent_failure = on_permanent_failure
+        self._make_failure = make_failure
+        self._speculation_gate = speculation_gate
         self._cond = threading.Condition()
         self._entries = [_TaskEntry(i) for i in range(total)]
         self._results: list[TaskResult] = []
@@ -322,12 +349,38 @@ class _RetryingPhase:
             return True
 
     # -- parallel orchestration --------------------------------------------------------
+    def _fail_no_tracker(
+        self, entry: _TaskEntry, attempt: int, exc: NoHealthyTrackerError
+    ) -> None:
+        """Record a permanent failure for a task that cannot be placed.
+
+        Every tracker host is dead/blacklisted, so the attempt fails without
+        ever launching; re-raised instead when no failure factory was given.
+        """
+        if self._make_failure is None:
+            raise exc
+        result = self._make_failure(entry.index, attempt, exc)
+        permanent: TaskResult | None = None
+        with self._cond:
+            self._results.append(result)
+            if entry.winner is None and not entry.done and entry.running == 0:
+                entry.permanent_failure = result
+                entry.done = True
+                permanent = result
+            self._cond.notify_all()
+        if permanent is not None and self._on_permanent_failure is not None:
+            self._on_permanent_failure(entry.index, permanent)
+
     def start(self, pool: ThreadPoolExecutor) -> None:
         """Submit attempt 0 of every task to ``pool`` and return immediately."""
         self._pool = pool
         with self._cond:
             for entry in self._entries:
-                tracker = self._pick_tracker(entry.index, 0, set())
+                try:
+                    tracker = self._pick_tracker(entry.index, 0, set())
+                except NoHealthyTrackerError as exc:
+                    self._fail_no_tracker(entry, 0, exc)
+                    continue
                 self._launch(entry, tracker, speculative=False)
 
     def finish(self) -> list[TaskResult]:
@@ -453,7 +506,15 @@ class _RetryingPhase:
             with self._cond:
                 banned = set(entry.banned_hosts)
                 next_attempt = entry.attempts_started
-            tracker = self._pick_tracker(entry.index, next_attempt, banned)
+            try:
+                tracker = self._pick_tracker(entry.index, next_attempt, banned)
+            except NoHealthyTrackerError as exc:
+                self._fail_no_tracker(entry, next_attempt, exc)
+                if entry.permanent_failure is not None:
+                    return
+                tracker = None
+            if tracker is None:
+                return
             with self._cond:
                 if entry.winner is None and self._fatal is None:
                     self._launch(entry, tracker, speculative=False)
@@ -474,6 +535,11 @@ class _RetryingPhase:
         successful attempt duration, and at most one backup per task.
         """
         if not self._speculative or not self._entries or self._pool is None:
+            return
+        if self._speculation_gate is not None and not self._speculation_gate():
+            # Cooperative preemption: the service closes the gate while a
+            # starved tenant waits, so backup attempts stop competing for
+            # slots the waiting tenant needs.
             return
         total = len(self._entries)
         remaining = sum(1 for e in self._entries if not e.done)
@@ -499,9 +565,12 @@ class _RetryingPhase:
             ):
                 continue
             exclude = entry.banned_hosts | set(entry.running_hosts)
-            tracker = self._pick_tracker(
-                entry.index, entry.attempts_started, exclude
-            )
+            try:
+                tracker = self._pick_tracker(
+                    entry.index, entry.attempts_started, exclude
+                )
+            except NoHealthyTrackerError:
+                continue  # no backup possible; the primary may still finish
             entry.speculated = True
             self._launch(entry, tracker, speculative=True)
 
@@ -513,9 +582,15 @@ class _RetryingPhase:
             while not entry.done:
                 attempt = entry.attempts_started
                 entry.attempts_started += 1
-                tracker = self._pick_tracker(
-                    entry.index, attempt, set(entry.banned_hosts)
-                )
+                try:
+                    tracker = self._pick_tracker(
+                        entry.index, attempt, set(entry.banned_hosts)
+                    )
+                except NoHealthyTrackerError as exc:
+                    self._fail_no_tracker(entry, attempt, exc)
+                    if not entry.done:
+                        entry.done = True
+                    break
                 entry.last_start = time.perf_counter()
                 result, retryable, fatal_host = self._execute(
                     entry.index, attempt, tracker, False
@@ -554,8 +629,18 @@ class JobTracker:
         trackers: list[TaskTracker],
         *,
         parallel: bool = True,
+        slot_ledger: SlotLedger | None = None,
+        _from_factory: bool = False,
     ) -> None:
         """Create a job tracker.
+
+        .. deprecated::
+            Direct construction is deprecated in favour of
+            :meth:`repro.mapreduce.service.JobService.local` (or
+            :func:`make_cluster` for a bare cluster): the service fronts
+            the same engine with concurrent submission, fair-share
+            scheduling and admission control.  Construction keeps working
+            — it only warns.
 
         Parameters
         ----------
@@ -570,7 +655,19 @@ class JobTracker:
             Execute tasks concurrently with one thread per tracker slot
             (default).  Sequential execution is available for debugging
             and deterministic tests.
+        slot_ledger:
+            Shared per-tenant slot accounting, injected by the
+            :class:`~repro.mapreduce.service.JobService` so concurrent
+            jobs report their slot usage to one ledger.
         """
+        if not _from_factory:
+            warnings.warn(
+                "constructing JobTracker(...) directly is deprecated; use "
+                "JobService.local(...) (multi-tenant submission) or "
+                "make_cluster(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if not trackers:
             raise ValueError("a job tracker needs at least one task tracker")
         if isinstance(fs, str):
@@ -578,10 +675,21 @@ class JobTracker:
         self.fs = fs
         self.trackers = list(trackers)
         self.parallel = parallel
+        self.slot_ledger = slot_ledger
+        # Re-entrant: JobService.__init__ registers itself under this lock
+        # while _embedded_service holds it during lazy construction.
+        self._service_lock = threading.RLock()
+        self._service = None
 
     # -- public API -----------------------------------------------------------------
     def run(self, job: Job, *, fault_plan: FaultPlan | None = None) -> JobResult:
         """Execute ``job`` to completion and return its result.
+
+        This is now a thin submit-and-wait wrapper over an embedded
+        single-tenant :class:`~repro.mapreduce.service.JobService` — the
+        blocking call every pre-service caller knows, with identical
+        semantics (exceptions included), while concurrent submitters go
+        through :meth:`~repro.mapreduce.service.JobService.submit`.
 
         Input paths and the output directory of the job configuration may
         be URIs; they are validated against this tracker's file system and
@@ -599,6 +707,25 @@ class JobTracker:
         tracker deaths and storage-node crashes — see
         :mod:`repro.mapreduce.faults`.
         """
+        handle = self._embedded_service().submit(job, fault_plan=fault_plan)
+        return handle.wait()
+
+    def _embedded_service(self):
+        """The lazily built single-tenant service backing :meth:`run`.
+
+        Unbounded concurrency and no admission limits: each blocking
+        ``run`` call occupies its own submitter thread, exactly as before
+        the service existed.
+        """
+        with self._service_lock:
+            if self._service is None:
+                from .service import JobService
+
+                self._service = JobService(self, max_concurrent_jobs=None)
+            return self._service
+
+    def _execute(self, job: Job, fault_plan: FaultPlan | None = None) -> JobResult:
+        """Run one job to completion on the calling thread (service internal)."""
         resolved_conf = job.conf.resolve_for(self.fs)
         if resolved_conf is not job.conf:
             job = replace(job, conf=resolved_conf)
@@ -606,7 +733,16 @@ class JobTracker:
             fault_plan = job.conf.get("fault_plan")
         started = time.perf_counter()
         counters = Counters()
-        scheduler = LocalityAwareScheduler(self.trackers)
+        scheduler = LocalityAwareScheduler(
+            self.trackers, tenant=job.conf.tenant, slot_ledger=self.slot_ledger
+        )
+        # Runtime controls threaded in by the JobService (absent for a
+        # direct blocking run): cooperative cancellation, the speculation
+        # gate, the tenant's inflight-byte budget and progress reporting.
+        cancel_event: threading.Event | None = job.conf.get(CANCEL_EVENT_PROPERTY)
+        speculation_gate = job.conf.get(SPECULATION_GATE_PROPERTY)
+        inflight_budget = job.conf.get(INFLIGHT_BUDGET_PROPERTY)
+        progress_callback = job.conf.get(PROGRESS_PROPERTY)
 
         # Tracker failure detection.  With tracker faults in play, a
         # killed tracker is no longer blacklisted synchronously from the
@@ -622,9 +758,11 @@ class JobTracker:
             tracker_liveness = LivenessRegistry(
                 heartbeat_interval=0.02, max_missed=2
             )
-            tracker_liveness.on_death(
-                lambda host: scheduler.report_task_failure(host, fatal=True)
-            )
+            # A death event blacklists the host unconditionally (even the
+            # last one): retrying against a dead process is futile, and a
+            # fully dead cluster surfaces as NoHealthyTrackerError-backed
+            # permanent task failures instead of burning every attempt.
+            tracker_liveness.on_death(scheduler.mark_dead)
             for tracker in self.trackers:
                 tracker_liveness.register(tracker.host)
                 pump = HeartbeatPump(
@@ -664,6 +802,7 @@ class JobTracker:
             # the benchmarks) share; it is shut down with the job.
             shuffle_transfer = TransferEngine(
                 max(2, min(2 * max(num_partitions, 1), 16)),
+                budget=inflight_budget,
                 name=f"shuffle-{job.name[:16]}",
             )
             shuffle_service = ShuffleService(
@@ -679,6 +818,34 @@ class JobTracker:
 
         def report_host_failure(host: str, fatal: bool) -> None:
             scheduler.report_task_failure(host, fatal=fatal)
+
+        def cancelled_result(
+            task_id: str, kind: str, attempt: int, speculative: bool
+        ) -> tuple[TaskResult, bool, bool]:
+            failed = _failed_result(
+                task_id,
+                "n/a",
+                kind,
+                RuntimeError("job cancelled before the attempt started"),
+                attempt=attempt,
+                speculative=speculative,
+            )
+            return failed, False, False  # not retryable: the job is going away
+
+        def make_map_placement_failure(
+            index: int, attempt: int, exc: BaseException
+        ) -> TaskResult:
+            split_id = assignments[index].split.split_id
+            return _failed_result(
+                f"map-{split_id:05d}", "n/a", "map", exc, attempt=attempt
+            )
+
+        def make_reduce_placement_failure(
+            index: int, attempt: int, exc: BaseException
+        ) -> TaskResult:
+            return _failed_result(
+                f"reduce-{index:05d}", "n/a", "reduce", exc, attempt=attempt
+            )
 
         # -- map phase ------------------------------------------------------------
         def pick_map_tracker(
@@ -705,28 +872,35 @@ class JobTracker:
                 locality = (
                     "node-local" if tracker.host in split.hosts else "remote"
                 )
+            if cancel_event is not None and cancel_event.is_set():
+                return cancelled_result(task_id, "map", attempt, speculative)
             commit_check = None
             if map_only:
                 commit_check = partial(map_phase.try_commit, index, attempt)
             # Each attempt gets its own counter set; only the winner's is
             # folded into the job counters (see merge_winner_counters).
             attempt_counters = Counters()
+            scheduler.task_started()
             try:
-                result = tracker.run_map_task(
-                    job,
-                    self.fs,
-                    split,
-                    num_partitions=num_partitions,
-                    reader_factory=input_format.create_reader,
-                    counters=attempt_counters,
-                    locality=locality,
-                    output_format=map_format,
-                    shuffle=shuffle_service,
-                    attempt=attempt,
-                    speculative=speculative,
-                    fault_plan=fault_plan,
-                    commit_check=commit_check,
-                )
+                # The tenant scope wraps the *attempt* (running in a pool
+                # thread): every namespace write the task performs is
+                # attributed to — and enforced against — the job's tenant.
+                with tenant_scope(job.conf.tenant):
+                    result = tracker.run_map_task(
+                        job,
+                        self.fs,
+                        split,
+                        num_partitions=num_partitions,
+                        reader_factory=input_format.create_reader,
+                        counters=attempt_counters,
+                        locality=locality,
+                        output_format=map_format,
+                        shuffle=shuffle_service,
+                        attempt=attempt,
+                        speculative=speculative,
+                        fault_plan=fault_plan,
+                        commit_check=commit_check,
+                    )
             except Exception as exc:
                 failed = _failed_result(
                     task_id,
@@ -740,6 +914,8 @@ class JobTracker:
                 return failed, True, (
                     isinstance(exc, TrackerDeadError) and tracker_liveness is None
                 )
+            finally:
+                scheduler.task_finished()
             return result, True, False
 
         def on_map_permanent_failure(index: int, result: TaskResult) -> None:
@@ -752,9 +928,24 @@ class JobTracker:
                     )
                 )
 
+        completed_tasks = {"map": 0, "reduce": 0}
+        progress_lock = threading.Lock()
+        phase_totals = {
+            "map": len(assignments),
+            "reduce": 0 if map_only else num_partitions,
+        }
+
         def merge_winner_counters(result: TaskResult) -> None:
             if result.attempt_counters is not None:
                 counters.merge(result.attempt_counters)
+            if progress_callback is not None:
+                with progress_lock:
+                    completed_tasks[result.kind] += 1
+                    done = completed_tasks[result.kind]
+                try:
+                    progress_callback(result.kind, done, phase_totals[result.kind])
+                except Exception:
+                    pass  # a broken observer must not fail the job
 
         map_phase = _RetryingPhase(
             total=len(assignments),
@@ -767,6 +958,8 @@ class JobTracker:
             on_winner=merge_winner_counters,
             on_attempt_failed=report_host_failure,
             on_permanent_failure=on_map_permanent_failure,
+            make_failure=make_map_placement_failure,
+            speculation_gate=speculation_gate,
         )
 
         # -- reduce phase ---------------------------------------------------------
@@ -783,7 +976,10 @@ class JobTracker:
             index: int, attempt: int, tracker: TaskTracker, speculative: bool
         ) -> tuple[TaskResult, bool, bool]:
             task_id = f"reduce-{index:05d}"
+            if cancel_event is not None and cancel_event.is_set():
+                return cancelled_result(task_id, "reduce", attempt, speculative)
             attempt_counters = Counters()
+            scheduler.task_started()
             try:
                 if shuffle_service is not None:
                     pairs: Any = _counted(
@@ -794,19 +990,20 @@ class JobTracker:
                     pairs = merge_map_outputs(map_outputs, index)
                     attempt_counters.increment("reduce_shuffle_records", len(pairs))
                     presorted = False
-                result = tracker.run_reduce_task(
-                    job,
-                    self.fs,
-                    index,
-                    pairs,
-                    counters=attempt_counters,
-                    output_format=reduce_format,
-                    presorted=presorted,
-                    attempt=attempt,
-                    speculative=speculative,
-                    fault_plan=fault_plan,
-                    commit_check=partial(reduce_phase.try_commit, index, attempt),
-                )
+                with tenant_scope(job.conf.tenant):
+                    result = tracker.run_reduce_task(
+                        job,
+                        self.fs,
+                        index,
+                        pairs,
+                        counters=attempt_counters,
+                        output_format=reduce_format,
+                        presorted=presorted,
+                        attempt=attempt,
+                        speculative=speculative,
+                        fault_plan=fault_plan,
+                        commit_check=partial(reduce_phase.try_commit, index, attempt),
+                    )
             except ShuffleAbortedError as exc:
                 # The shuffle is dead; retrying this reduce cannot succeed.
                 failed = _failed_result(
@@ -830,6 +1027,8 @@ class JobTracker:
                 return failed, True, (
                     isinstance(exc, TrackerDeadError) and tracker_liveness is None
                 )
+            finally:
+                scheduler.task_finished()
             return result, True, False
 
         reduce_phase = _RetryingPhase(
@@ -842,6 +1041,8 @@ class JobTracker:
             speculative_fraction=job.conf.speculative_fraction,
             on_winner=merge_winner_counters,
             on_attempt_failed=report_host_failure,
+            make_failure=make_reduce_placement_failure,
+            speculation_gate=speculation_gate,
         )
 
         # -- execution ------------------------------------------------------------
@@ -1031,4 +1232,4 @@ def make_cluster(
         if not hosts:
             hosts = [f"tracker-{i}" for i in range(num_trackers)]
     trackers = [TaskTracker(host, slots=slots_per_tracker) for host in hosts]
-    return JobTracker(fs, trackers, parallel=parallel)
+    return JobTracker(fs, trackers, parallel=parallel, _from_factory=True)

@@ -22,7 +22,71 @@ from dataclasses import dataclass
 from .splitter import InputSplit
 from .tasktracker import TaskTracker
 
-__all__ = ["Assignment", "LocalityStats", "LocalityAwareScheduler"]
+__all__ = [
+    "Assignment",
+    "LocalityStats",
+    "LocalityAwareScheduler",
+    "NoHealthyTrackerError",
+    "SlotLedger",
+]
+
+
+class NoHealthyTrackerError(RuntimeError):
+    """Raised when every tracker host is blacklisted/dead for a job.
+
+    Previously this surfaced as an opaque low-level error from the fallback
+    chain; the typed exception names the dead hosts so the job layer can
+    record a meaningful permanent task failure in
+    :attr:`~repro.mapreduce.jobtracker.JobResult.failed_tasks`.
+    """
+
+    def __init__(self, blacklisted: set[str]) -> None:
+        super().__init__(
+            "no healthy task tracker available: all hosts blacklisted "
+            f"({', '.join(sorted(blacklisted)) or 'none known'})"
+        )
+        self.blacklisted = frozenset(blacklisted)
+
+
+class SlotLedger:
+    """Thread-safe per-tenant running-task accounting shared across jobs.
+
+    The fair-share :class:`~repro.mapreduce.service.JobService` hands one
+    ledger to every per-job scheduler it creates; the job layer reports
+    attempt starts/finishes, giving the service a live view of how many
+    cluster slots each tenant is actually occupying.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._running: dict[str, int] = {}
+
+    def task_started(self, tenant: str | None) -> None:
+        """Record one task attempt entering a slot for ``tenant``."""
+        key = tenant or ""
+        with self._lock:
+            self._running[key] = self._running.get(key, 0) + 1
+
+    def task_finished(self, tenant: str | None) -> None:
+        """Record one task attempt leaving its slot."""
+        key = tenant or ""
+        with self._lock:
+            self._running[key] = max(self._running.get(key, 0) - 1, 0)
+
+    def running(self, tenant: str | None) -> int:
+        """Attempts currently occupying slots for ``tenant``."""
+        with self._lock:
+            return self._running.get(tenant or "", 0)
+
+    def total_running(self) -> int:
+        """Attempts currently occupying slots across all tenants."""
+        with self._lock:
+            return sum(self._running.values())
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the per-tenant running counts (monitoring)."""
+        with self._lock:
+            return dict(self._running)
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,9 +138,17 @@ class LocalityAwareScheduler:
     #: Task failures on one host before it is blacklisted for the job.
     BLACKLIST_AFTER_FAILURES = 3
 
-    def __init__(self, trackers: list[TaskTracker]) -> None:
+    def __init__(
+        self,
+        trackers: list[TaskTracker],
+        *,
+        tenant: str | None = None,
+        slot_ledger: SlotLedger | None = None,
+    ) -> None:
         if not trackers:
             raise ValueError("the scheduler needs at least one task tracker")
+        self.tenant = tenant
+        self.slot_ledger = slot_ledger
         self._trackers = list(trackers)
         self._by_host: dict[str, list[TaskTracker]] = {}
         for tracker in self._trackers:
@@ -131,21 +203,49 @@ class LocalityAwareScheduler:
             self._blacklisted.add(host)
             return True
 
+    def mark_dead(self, host: str) -> None:
+        """Blacklist ``host`` unconditionally (liveness declared it dead).
+
+        Unlike :meth:`report_task_failure`, this bypasses the
+        last-healthy-host guard: retrying against a dead process is futile,
+        so a fully dead cluster surfaces as
+        :class:`NoHealthyTrackerError` from the pickers instead of hanging.
+        """
+        with self._round_robin_lock:
+            self._failure_counts[host] = self._failure_counts.get(host, 0) + 1
+            self._blacklisted.add(host)
+
+    # -- slot accounting ---------------------------------------------------------------
+    def task_started(self) -> None:
+        """Report one attempt entering a slot (forwards to the shared ledger)."""
+        if self.slot_ledger is not None:
+            self.slot_ledger.task_started(self.tenant)
+
+    def task_finished(self) -> None:
+        """Report one attempt leaving its slot (forwards to the shared ledger)."""
+        if self.slot_ledger is not None:
+            self.slot_ledger.task_finished(self.tenant)
+
     def pick_tracker(self, *, exclude: set[str] = frozenset()) -> TaskTracker:
         """Least-loaded tracker avoiding ``exclude`` and blacklisted hosts.
 
         Used for task re-execution: a retried attempt must land on a
         *different* tracker than its failed predecessors whenever the
-        cluster has one.  If every host is excluded the constraint is
-        relaxed (better a repeat host than no retry at all).
+        cluster has one.  If every host is excluded (but some are healthy)
+        the exclusion is relaxed — better a repeat host than no retry at
+        all.  Raises :class:`NoHealthyTrackerError` when every host is
+        blacklisted (only :meth:`mark_dead` can reach that state).
         """
         with self._round_robin_lock:
-            banned = set(exclude) | self._blacklisted
+            blacklisted = set(self._blacklisted)
+        banned = set(exclude) | blacklisted
         candidates = [t for t in self._trackers if t.host not in banned]
         if not candidates:
-            candidates = [t for t in self._trackers if t.host not in exclude]
+            candidates = [
+                t for t in self._trackers if t.host not in blacklisted
+            ]
         if not candidates:
-            candidates = self._trackers
+            raise NoHealthyTrackerError(blacklisted)
         return min(
             candidates,
             key=lambda t: (t.running_tasks, t.tasks_executed),
@@ -207,11 +307,12 @@ class LocalityAwareScheduler:
 
         Thread-safe: reduce tasks are dispatched from a worker pool, so the
         shared iterator is advanced under a lock.  Blacklisted hosts are
-        skipped unless every host is blacklisted.
+        skipped; when every host is blacklisted (all trackers dead via
+        :meth:`mark_dead`) a :class:`NoHealthyTrackerError` is raised.
         """
         with self._round_robin_lock:
             for _ in range(len(self._trackers)):
                 tracker = next(self._round_robin)
                 if tracker.host not in self._blacklisted:
                     return tracker
-            return next(self._round_robin)
+            raise NoHealthyTrackerError(set(self._blacklisted))

@@ -30,9 +30,11 @@ from .cluster import (
     NodeServer,
     RecoveryCoordinator,
     connect_datanode,
+    connect_jobservice,
     connect_metadata,
     connect_provider,
     loopback_datanode_stub,
+    loopback_jobservice_stub,
     loopback_metadata_stub,
     loopback_provider_stub,
 )
@@ -53,7 +55,12 @@ from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
 from .liveness import HeartbeatPump, LivenessMonitor, LivenessRegistry
 from .messages import Request, Response, decode_message, encode_message
 from .service import ServiceRegistry
-from .stubs import RemoteDataNode, RemoteDataProvider, RemoteMetadataProvider
+from .stubs import (
+    RemoteDataNode,
+    RemoteDataProvider,
+    RemoteJobService,
+    RemoteMetadataProvider,
+)
 from .tcp import RpcServer, TcpTransport
 from .transport import LoopbackTransport, RetryPolicy, Transport
 
@@ -88,6 +95,7 @@ __all__ = [
     "RemoteDataProvider",
     "RemoteDataNode",
     "RemoteMetadataProvider",
+    "RemoteJobService",
     # liveness
     "LivenessRegistry",
     "LivenessMonitor",
@@ -101,9 +109,11 @@ __all__ = [
     "loopback_provider_stub",
     "loopback_datanode_stub",
     "loopback_metadata_stub",
+    "loopback_jobservice_stub",
     "connect_provider",
     "connect_datanode",
     "connect_metadata",
+    "connect_jobservice",
     # faults
     "NetworkFaultPlan",
 ]

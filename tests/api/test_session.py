@@ -1,0 +1,163 @@
+"""The session facade: connect() → Session wiring storage, jobs and tenancy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session, connect
+from repro.bsfs import BSFS
+from repro.core import KB, BlobSeerConfig
+from repro.fs import LocalFS, QuotaExceededError, clear_instance_cache
+from repro.mapreduce import JobService
+from repro.mapreduce.applications import make_wordcount_job
+from repro.workloads import write_text_file
+
+TEST_BLOCK_SIZE = 16 * KB
+
+
+def make_local(tmp_path, tag: str = "x") -> LocalFS:
+    return LocalFS(
+        root=str(tmp_path / f"localfs-{tag}"), default_block_size=TEST_BLOCK_SIZE
+    )
+
+
+def make_bsfs() -> BSFS:
+    return BSFS(
+        config=BlobSeerConfig(
+            page_size=4 * KB,
+            num_providers=4,
+            num_metadata_providers=2,
+            replication=1,
+            rng_seed=7,
+        ),
+        default_block_size=TEST_BLOCK_SIZE,
+    )
+
+
+class TestConnect:
+    def test_connect_accepts_filesystem_instance(self, tmp_path):
+        fs = make_local(tmp_path)
+        session = connect(fs, tenant="alice")
+        assert isinstance(session, Session)
+        assert session.fs is fs
+        assert session.tenant == "alice"
+
+    def test_sessions_share_one_service_per_deployment(self, tmp_path):
+        fs = make_local(tmp_path)
+        alice = connect(fs, tenant="alice")
+        bob = connect(fs, tenant="bob")
+        assert alice.service is bob.service
+        assert alice.tenant != bob.tenant
+
+    def test_connect_uri_builds_backend_through_registry(self, tmp_path):
+        try:
+            session = connect(
+                "file://session-uri-test",
+                tenant="alice",
+                root=str(tmp_path / "uri-root"),
+            )
+            session.write("/hello.txt", b"hi via uri")
+            assert session.read("/hello.txt") == b"hi via uri"
+        finally:
+            clear_instance_cache("file")
+
+    def test_explicit_service_is_not_replaced(self, tmp_path):
+        fs = make_local(tmp_path)
+        service = JobService.local(fs, num_trackers=1, slots_per_tracker=1)
+        session = connect(fs, tenant="alice", service=service)
+        assert session.service is service
+        # The explicit service is not cached onto the deployment.
+        other = connect(fs, tenant="bob")
+        assert other.service is not None
+
+
+class TestStoragePlane:
+    def test_write_read_roundtrip_and_helpers(self, tmp_path):
+        session = connect(make_local(tmp_path), tenant="alice")
+        session.mkdirs("/data")
+        session.write("/data/a.txt", b"alpha")
+        assert session.exists("/data/a.txt")
+        assert session.read("/data/a.txt") == b"alpha"
+        assert [s.path for s in session.list_dir("/data")] == ["/data/a.txt"]
+        session.delete("/data/a.txt")
+        assert not session.exists("/data/a.txt")
+
+    def test_as_of_read_over_snapshot(self, tmp_path):
+        session = connect(make_bsfs(), tenant="alice")
+        session.write("/log", b"first")
+        v1 = session.snapshot("/log")
+        with session.append("/log") as out:
+            out.write(b"-second")
+        assert session.read("/log") == b"first-second"
+        assert session.read("/log", version=v1) == b"first"
+        # The @vN path suffix addresses the same snapshot.
+        assert session.read(f"/log@v{v1}") == b"first"
+
+    def test_pin_owner_defaults_to_tenant(self, tmp_path):
+        session = connect(make_bsfs(), tenant="alice")
+        session.write("/keep", b"k" * 100)
+        pin = session.pin("/keep")
+        assert pin.owner == "alice"
+        pin.release()
+
+    def test_writes_are_attributed_to_the_tenant(self, tmp_path):
+        fs = make_local(tmp_path)
+        session = connect(fs, tenant="alice")
+        session.service.register_tenant("alice", max_files=1)
+        session.write("/one", b"1")
+        with pytest.raises(QuotaExceededError):
+            session.write("/two", b"2")
+        assert session.usage().files == 1
+
+    def test_scope_covers_raw_fs_writes(self, tmp_path):
+        fs = make_local(tmp_path)
+        session = connect(fs, tenant="alice")
+        session.service.register_tenant("alice", max_bytes=1000)
+        with session.scope():
+            with fs.create("/raw") as out:  # not via a session helper
+                out.write(b"r" * 64)
+        assert session.usage().bytes == 64
+
+    def test_anonymous_session_has_no_usage(self, tmp_path):
+        session = connect(make_local(tmp_path))
+        session.write("/f", b"x")
+        assert session.usage() is None
+
+
+class TestJobPlane:
+    def test_submit_defaults_to_session_tenant(self, tmp_path):
+        fs = make_local(tmp_path)
+        session = connect(fs, tenant="alice")
+        session.service.register_tenant("alice")
+        write_text_file(fs, "/in/words.txt", 30, seed=3)
+        job = make_wordcount_job(["/in/words.txt"], output_dir="/out/wc")
+        handle = session.submit(job)
+        assert handle.tenant == "alice"
+        result = handle.wait()
+        assert result.succeeded
+        assert session.exists("/out/wc/part-r-00000")
+
+    def test_run_is_submit_and_wait(self, tmp_path):
+        fs = make_local(tmp_path)
+        session = connect(fs, tenant="alice")
+        write_text_file(fs, "/in/words.txt", 30, seed=3)
+        result = session.run(make_wordcount_job(["/in/words.txt"], output_dir="/out"))
+        assert result.succeeded
+
+    def test_session_write_then_job_fits_the_quota_story(self, tmp_path):
+        """The quickstart narrative: a tenant writes input through the
+        session (charged to them), runs a job, and sees its usage."""
+        fs = make_local(tmp_path)
+        session = connect(fs, tenant="alice")
+        session.service.register_tenant("alice", max_bytes=512 * KB)
+        write_text_file(fs, "/in/words.txt", 20, seed=5)
+        before = session.usage().bytes
+        session.write("/in/extra.txt", b"more words here\n" * 4)
+        assert session.usage().bytes == before + 64
+        result = session.run(make_wordcount_job(["/in/words.txt"], output_dir="/o"))
+        assert result.succeeded
+
+    def test_context_manager_form(self, tmp_path):
+        with connect(make_local(tmp_path), tenant="alice") as session:
+            session.write("/f", b"x")
+            assert session.read("/f") == b"x"

@@ -1,0 +1,270 @@
+"""Per-tenant namespace quota tests: limits, releases, racing appends."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.core import KB, BlobSeerConfig
+from repro.fs import (
+    LocalFS,
+    QuotaExceededError,
+    QuotaManager,
+    attach_quota_manager,
+    tenant_scope,
+)
+from repro.hdfs import HDFS
+
+TEST_PAGE_SIZE = 4 * KB
+TEST_BLOCK_SIZE = 16 * KB
+
+
+def make_quota_fs(kind: str, tmp_path, quotas: QuotaManager):
+    if kind == "bsfs":
+        return BSFS(
+            config=BlobSeerConfig(
+                page_size=TEST_PAGE_SIZE,
+                num_providers=4,
+                num_metadata_providers=2,
+                replication=1,
+                rng_seed=7,
+            ),
+            default_block_size=TEST_BLOCK_SIZE,
+            quotas=quotas,
+        )
+    if kind == "hdfs":
+        return HDFS(
+            num_datanodes=4,
+            racks=2,
+            default_block_size=TEST_BLOCK_SIZE,
+            default_replication=1,
+            seed=7,
+            quotas=quotas,
+        )
+    return LocalFS(
+        root=str(tmp_path / "localfs"),
+        default_block_size=TEST_BLOCK_SIZE,
+        quotas=quotas,
+    )
+
+
+@pytest.fixture(params=["bsfs", "hdfs", "file"])
+def quota_fs(request, tmp_path):
+    quotas = QuotaManager()
+    return make_quota_fs(request.param, tmp_path, quotas), quotas
+
+
+class TestFileCountQuota:
+    def test_create_enforces_max_files(self, quota_fs):
+        fs, quotas = quota_fs
+        quotas.set_quota("alice", max_files=2)
+        with tenant_scope("alice"):
+            for name in ("a", "b"):
+                with fs.create(f"/{name}") as out:
+                    out.write(b"x")
+            with pytest.raises(QuotaExceededError) as excinfo:
+                fs.create("/c")
+        assert excinfo.value.tenant == "alice"
+        assert excinfo.value.resource == "files"
+        assert quotas.usage("alice").files == 2
+        assert not fs.exists("/c")
+
+    def test_overwrite_at_limit_is_allowed(self, quota_fs):
+        fs, quotas = quota_fs
+        quotas.set_quota("alice", max_files=1)
+        with tenant_scope("alice"):
+            with fs.create("/a") as out:
+                out.write(b"old-bytes")
+            # Replacing your own file is not a net new file.
+            with fs.create("/a", overwrite=True) as out:
+                out.write(b"new")
+        usage = quotas.usage("alice")
+        assert usage.files == 1
+        assert usage.bytes == 3
+
+    def test_anonymous_writes_are_untracked(self, quota_fs):
+        fs, quotas = quota_fs
+        quotas.set_quota("alice", max_files=1)
+        for name in ("a", "b", "c"):  # no tenant scope: no limit applies
+            with fs.create(f"/{name}") as out:
+                out.write(b"x")
+        assert quotas.usage("alice").files == 0
+
+
+class TestByteQuota:
+    def test_streaming_write_over_limit_raises(self, quota_fs):
+        fs, quotas = quota_fs
+        quotas.set_quota("alice", max_bytes=100)
+        with tenant_scope("alice"):
+            with pytest.raises(QuotaExceededError) as excinfo:
+                with fs.create("/big") as out:
+                    out.write(b"x" * 200)
+        assert excinfo.value.resource == "bytes"
+        assert quotas.usage("alice").bytes <= 100
+
+    def test_usage_tracks_written_bytes(self, quota_fs):
+        fs, quotas = quota_fs
+        with tenant_scope("alice"):
+            with fs.create("/f") as out:
+                out.write(b"x" * 150)
+        assert quotas.usage("alice").bytes == 150
+        assert quotas.usage("alice").reserved == 0
+
+    def test_growth_charges_owner_not_writer(self, quota_fs):
+        fs, quotas = quota_fs
+        quotas.set_quota("alice", max_bytes=10_000)
+        with tenant_scope("alice"):
+            with fs.create("/shared") as out:
+                out.write(b"a" * 10)
+        try:
+            with tenant_scope("bob"):
+                with fs.append("/shared") as out:
+                    out.write(b"b" * 20)
+        except Exception as exc:  # HDFS has no append
+            pytest.skip(f"append unsupported: {exc}")
+        assert quotas.usage("alice").bytes == 30
+        assert quotas.usage("bob").bytes == 0
+
+
+class TestQuotaRelease:
+    def test_delete_releases_files_and_bytes(self, quota_fs):
+        fs, quotas = quota_fs
+        with tenant_scope("alice"):
+            with fs.create("/d/f") as out:
+                out.write(b"x" * 64)
+        assert quotas.usage("alice").bytes == 64
+        fs.delete("/d/f")
+        usage = quotas.usage("alice")
+        assert usage.files == 0
+        assert usage.bytes == 0
+
+    def test_recursive_delete_releases_every_file(self, quota_fs):
+        fs, quotas = quota_fs
+        with tenant_scope("alice"):
+            for i in range(3):
+                with fs.create(f"/tree/sub/f{i}") as out:
+                    out.write(b"y" * 10)
+        fs.delete("/tree", recursive=True)
+        usage = quotas.usage("alice")
+        assert usage.files == 0
+        assert usage.bytes == 0
+
+    def test_rename_is_quota_neutral(self, quota_fs):
+        fs, quotas = quota_fs
+        with tenant_scope("alice"):
+            with fs.create("/src") as out:
+                out.write(b"z" * 32)
+        before = quotas.usage("alice")
+        fs.rename("/src", "/dst")
+        assert quotas.usage("alice") == before
+        fs.delete("/dst")  # ownership travelled with the rename
+        assert quotas.usage("alice").bytes == 0
+
+    def test_delete_with_pinned_version_releases_quota_immediately(self, tmp_path):
+        """Namespace accounting, not storage accounting: a pinned blob's
+        storage reclamation is deferred until the pin drains, but the
+        tenant's quota is released at delete time."""
+        quotas = QuotaManager()
+        fs = make_quota_fs("bsfs", tmp_path, quotas)
+        with tenant_scope("alice"):
+            with fs.create("/pinned") as out:
+                out.write(b"p" * 100)
+        pin = fs.pin("/pinned")
+        fs.delete("/pinned")
+        assert quotas.usage("alice").files == 0
+        assert quotas.usage("alice").bytes == 0
+        pin.release()
+        # Draining the pin (storage GC) must not double-release.
+        assert quotas.usage("alice").bytes == 0
+
+
+class TestConcurrentAppendQuota:
+    @pytest.mark.parametrize("kind", ["bsfs", "file"])
+    def test_appends_racing_the_boundary(self, kind, tmp_path):
+        """Two appends racing a nearly-full byte budget: exactly one is
+        admitted, the loser is rejected before writing, and usage never
+        overshoots the limit."""
+        quotas = QuotaManager()
+        fs = make_quota_fs(kind, tmp_path, quotas)
+        quotas.set_quota("alice", max_bytes=150)
+        with tenant_scope("alice"):
+            with fs.create("/log") as out:
+                out.write(b"s" * 50)
+
+        barrier = threading.Barrier(2)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def append_chunk() -> None:
+            barrier.wait()
+            try:
+                fs.concurrent_append("/log", b"c" * 80)
+            except QuotaExceededError:
+                with lock:
+                    outcomes.append("rejected")
+            else:
+                with lock:
+                    outcomes.append("admitted")
+
+        threads = [threading.Thread(target=append_chunk) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert sorted(outcomes) == ["admitted", "rejected"]
+        assert fs.size("/log") == 130
+        usage = quotas.usage("alice")
+        assert usage.bytes == 130
+        assert usage.reserved == 0
+
+    @pytest.mark.parametrize("kind", ["bsfs", "file"])
+    def test_many_appenders_never_overshoot(self, kind, tmp_path):
+        quotas = QuotaManager()
+        fs = make_quota_fs(kind, tmp_path, quotas)
+        quotas.set_quota("alice", max_bytes=500)
+        with tenant_scope("alice"):
+            with fs.create("/log") as out:
+                out.write(b"")
+
+        admitted = []
+        lock = threading.Lock()
+
+        def append_chunk(i: int) -> None:
+            try:
+                fs.concurrent_append("/log", bytes([65 + i]) * 90)
+            except QuotaExceededError:
+                pass
+            else:
+                with lock:
+                    admitted.append(i)
+
+        threads = [
+            threading.Thread(target=append_chunk, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # 8 × 90 = 720 requested against a 500-byte budget: five fit.
+        assert len(admitted) == 5
+        assert fs.size("/log") == 450
+        usage = quotas.usage("alice")
+        assert usage.bytes == 450
+        assert usage.reserved == 0
+
+
+class TestAttachQuotaManager:
+    def test_retrofit_on_built_filesystem(self, any_fs):
+        quotas = QuotaManager()
+        attach_quota_manager(any_fs, quotas)
+        quotas.set_quota("alice", max_files=1)
+        with tenant_scope("alice"):
+            with any_fs.create("/one") as out:
+                out.write(b"1")
+            with pytest.raises(QuotaExceededError):
+                any_fs.create("/two")
+        assert any_fs.quotas is quotas
