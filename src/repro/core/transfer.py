@@ -323,7 +323,7 @@ class ChunkBuffer:
     __slots__ = ("_chunks", "_length", "bytes_joined")
 
     def __init__(self) -> None:
-        self._chunks: deque[bytes] = deque()
+        self._chunks: deque[bytes | memoryview] = deque()
         self._length = 0
         #: Total bytes materialised by :meth:`take`/:meth:`take_all` joins —
         #: the copy-work metric the linearity regression test asserts on.
@@ -332,12 +332,25 @@ class ChunkBuffer:
     def __len__(self) -> int:
         return self._length
 
-    def append(self, data: bytes) -> None:
-        """Add ``data`` (bytes-like) to the end of the buffer, copy-free."""
+    def append(self, data) -> None:
+        """Add ``data`` (bytes-like) to the end of the buffer, copy-free.
+
+        Readonly buffers — a ``bytes`` chunk, or a readonly
+        ``memoryview`` over a received wire segment — are kept by
+        reference and only materialised when they leave through
+        :meth:`take`, so a sink fed from the zero-copy receive path
+        stays zero-copy until block assembly.  Writable buffers are
+        snapshotted immediately (their owner may mutate them after the
+        call returns).
+        """
         if not data:
             return
         if not isinstance(data, bytes):
-            data = bytes(data)
+            view = data if isinstance(data, memoryview) else memoryview(data)
+            if view.readonly and view.ndim == 1 and view.contiguous:
+                data = view if view.format == "B" else view.cast("B")
+            else:
+                data = bytes(view)
         self._chunks.append(data)
         self._length += len(data)
 
@@ -363,8 +376,10 @@ class ChunkBuffer:
                 remaining = 0
         self._length -= size
         self.bytes_joined += size
-        if len(parts) == 1:
+        if len(parts) == 1 and isinstance(parts[0], bytes):
             return parts[0]
+        # join() accepts memoryview parts, so chunks kept as readonly
+        # views are materialised exactly once, here.
         return b"".join(parts)
 
     def take_all(self) -> bytes:

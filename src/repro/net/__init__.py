@@ -5,8 +5,11 @@ objects; this package puts them behind a message protocol so a
 deployment can span processes without changing any caller:
 
 * :mod:`~repro.net.framing` / :mod:`~repro.net.messages` — the wire
-  format: length-prefixed frames carrying pickled request/response
-  messages with correlation ids.
+  formats: length-prefixed frames carrying pickled request/response
+  messages with correlation ids (protocol v1), and the scatter-gather
+  v2 layout whose segment table lets bulk payloads travel out-of-band,
+  small ops coalesce into batch frames, and fat segments compress above
+  a threshold.
 * :mod:`~repro.net.transport` / :mod:`~repro.net.tcp` — client channels:
   an in-process loopback (full codec fidelity, deterministic) and a real
   TCP transport with connection pooling and multiplexing, both with
@@ -51,9 +54,27 @@ from .errors import (
     UnknownServiceError,
 )
 from .faults import NetworkFaultPlan
-from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
+from .framing import (
+    DEFAULT_MAX_FRAME,
+    FLAG_BATCH,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    Frame,
+    FrameDecoder,
+    ScatterParser,
+    encode_frame,
+    encode_frame_v2,
+    register_segment_codec,
+)
 from .liveness import HeartbeatPump, LivenessMonitor, LivenessRegistry
-from .messages import Request, Response, decode_message, encode_message
+from .messages import (
+    Request,
+    Response,
+    decode_message,
+    decode_message_v2,
+    encode_message,
+    encode_message_v2,
+)
 from .service import ServiceRegistry
 from .stubs import (
     RemoteDataNode,
@@ -61,8 +82,8 @@ from .stubs import (
     RemoteJobService,
     RemoteMetadataProvider,
 )
-from .tcp import RpcServer, TcpTransport
-from .transport import LoopbackTransport, RetryPolicy, Transport
+from .tcp import WIRE_SERVICE, RpcServer, TcpTransport
+from .transport import LoopbackTransport, RetryPolicy, Transport, WireConfig
 
 __all__ = [
     # errors
@@ -78,19 +99,30 @@ __all__ = [
     "UnknownServiceError",
     # wire format
     "encode_frame",
+    "encode_frame_v2",
     "FrameDecoder",
+    "ScatterParser",
+    "Frame",
+    "FLAG_BATCH",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "register_segment_codec",
     "DEFAULT_MAX_FRAME",
     "Request",
     "Response",
     "encode_message",
     "decode_message",
+    "encode_message_v2",
+    "decode_message_v2",
     # transports and services
     "Transport",
     "LoopbackTransport",
     "TcpTransport",
+    "WireConfig",
     "RetryPolicy",
     "ServiceRegistry",
     "RpcServer",
+    "WIRE_SERVICE",
     # stubs
     "RemoteDataProvider",
     "RemoteDataNode",

@@ -43,7 +43,7 @@ from .stubs import (
     RemoteMetadataProvider,
 )
 from .tcp import RpcServer, TcpTransport
-from .transport import LoopbackTransport, RetryPolicy, Transport
+from .transport import LoopbackTransport, RetryPolicy, Transport, WireConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.client import BlobSeer
@@ -84,6 +84,15 @@ class ClusterConfig:
     rpc_retries: int = 2
     #: TCP connections pooled per peer.
     pool_size: int = 2
+    #: Preferred wire protocol (``None`` = honour ``REPRO_WIRE_PROTOCOL``,
+    #: defaulting to v2; negotiation still downgrades per connection).
+    wire_protocol: int | None = None
+    #: Coalesce sub-threshold metadata ops into batch frames.
+    metadata_batching: bool = True
+    #: Extra seconds a lone queued request waits for batch company.
+    batch_window: float = 0.0
+    #: Compress wire segments of at least this many bytes (None = never).
+    compress_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -98,10 +107,26 @@ class ClusterConfig:
             raise ValueError("rpc_retries must be non-negative")
         if self.pool_size < 1:
             raise ValueError("pool_size must be at least 1")
+        if self.wire_protocol not in (None, 1, 2):
+            raise ValueError("wire_protocol must be 1, 2 or None")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.compress_threshold is not None and self.compress_threshold < 1:
+            raise ValueError("compress_threshold must be positive")
 
     def retry_policy(self) -> RetryPolicy:
         """The retry policy RPC clients of this deployment use."""
         return RetryPolicy(retries=self.rpc_retries)
+
+    def wire_config(self) -> WireConfig:
+        """The wire-protocol knobs of this deployment."""
+        overrides: dict[str, Any] = {
+            "batch_window": self.batch_window,
+            "compress_threshold": self.compress_threshold,
+        }
+        if self.wire_protocol is not None:
+            overrides["protocol"] = self.wire_protocol
+        return WireConfig.from_env(**overrides)
 
     def make_registry(
         self, *, clock: Callable[[], float] | None = None
@@ -216,7 +241,9 @@ class NodeServer:
         self.registry = ServiceRegistry()
         self.registry.register(self.service_name, node)
         self.registry.register("node", self)
-        self.rpc = RpcServer(self.registry, host=host, port=port)
+        self.rpc = RpcServer(
+            self.registry, host=host, port=port, wire=self.config.wire_config()
+        )
         self._control = control
         self._should_beat = should_beat
         self._pump: HeartbeatPump | None = None
@@ -487,6 +514,7 @@ def connect_provider(
         retry=config.retry_policy(),
         faults=faults,
         pool_size=config.pool_size,
+        wire=config.wire_config(),
     )
     return RemoteDataProvider.connect(transport)
 
@@ -507,6 +535,7 @@ def connect_datanode(
         retry=config.retry_policy(),
         faults=faults,
         pool_size=config.pool_size,
+        wire=config.wire_config(),
     )
     return RemoteDataNode.connect(transport)
 
@@ -518,7 +547,13 @@ def connect_metadata(
     config: ClusterConfig | None = None,
     faults: NetworkFaultPlan | None = None,
 ) -> RemoteMetadataProvider:
-    """Connect a metadata-provider stub to a :class:`NodeServer` over TCP."""
+    """Connect a metadata-provider stub to a :class:`NodeServer` over TCP.
+
+    The metadata channel carries uniformly tiny, high-rate ops (lookup,
+    publish, ticket assignment), so it is where small-op batching pays:
+    ``config.metadata_batching`` turns coalescing on for this transport
+    (a no-op when negotiation settles on protocol v1).
+    """
     config = config if config is not None else ClusterConfig()
     transport = TcpTransport(
         host,
@@ -527,6 +562,8 @@ def connect_metadata(
         retry=config.retry_policy(),
         faults=faults,
         pool_size=config.pool_size,
+        wire=config.wire_config(),
+        batching=config.metadata_batching,
     )
     return RemoteMetadataProvider.connect(transport)
 
@@ -552,5 +589,6 @@ def connect_jobservice(
         retry=config.retry_policy(),
         faults=faults,
         pool_size=config.pool_size,
+        wire=config.wire_config(),
     )
     return RemoteJobService.connect(transport)

@@ -1,119 +1,746 @@
-"""Length-prefixed frame codec: the wire format of the service layer.
+"""Frame codecs: the wire formats of the service layer.
 
-Every message travels as one *frame*::
+Two frame layouts share one stream, distinguished by the version byte of
+a common fixed header::
 
     +-------+---------+------------------+-----------------+
     | magic | version | payload length   | payload bytes   |
     | 1 B   | 1 B     | 4 B big-endian   | <length> bytes  |
     +-------+---------+------------------+-----------------+
 
-The format follows the shuffle segment framing idiom
-(:mod:`repro.mapreduce.shuffle_service` uses bare ``4-byte length +
-payload`` records) but adds a magic byte and a protocol version so a
-stream that is not an RPC stream at all — a stray HTTP client, a
-truncated recording, garbage — is rejected at the first frame instead of
-being misread as a gigantic length.
+**Protocol v1** (:data:`PROTOCOL_V1`) is the original format: the whole
+payload is one opaque blob (a pickled message).  It follows the shuffle
+segment framing idiom but adds the magic byte and version so a stream
+that is not an RPC stream at all is rejected at the first frame.
 
-:class:`FrameDecoder` is an incremental decoder: feed it arbitrary chunk
-boundaries (as delivered by a socket) and it yields complete payloads,
-holding partial frames across calls.  It enforces a maximum payload size
-(:data:`DEFAULT_MAX_FRAME`) so a corrupted or hostile length field cannot
-make the receiver buffer gigabytes.
+**Protocol v2** (:data:`PROTOCOL_V2`) structures the payload as a
+*segment table* followed by the segments themselves::
+
+    payload := flags(1B)  nseg(2B BE)
+               nseg x [ stored_length(4B BE)  seg_flags(1B) ]
+               segment bytes, concatenated
+
+    frame flags:   bit 0 = FLAG_BATCH — every segment is one complete
+                   encoded message (small-op coalescing envelope)
+    segment flags: bits 0-3 = codec id of a compressed segment
+                   (0 = raw, 1 = zlib; see register_segment_codec)
+
+v2 exists for the data path: a message's bulk payloads (pages, blocks)
+travel as their *own* segments, so the sender can hand the original
+buffers to a scatter-gather write (``sendmsg`` / ``writelines``) without
+ever concatenating them into one heap-allocated frame, and the receiver
+can place each bulk segment into an exactly-sized buffer instead of
+re-slicing a grow-and-compact accumulation buffer.
+
+:class:`ScatterParser` is the incremental decoder both transports share.
+It accepts arbitrary chunk boundaries via :meth:`ScatterParser.feed`
+(small data is absorbed into an offset-drained buffer — amortized O(1)
+per byte, no per-frame prefix deletion) and, while a bulk segment is
+pending, exposes the exact remaining region of that segment's buffer via
+:meth:`ScatterParser.wants_direct` so the caller can ``recv_into`` it
+with no intermediate copy.  :class:`FrameDecoder` is the thin historical
+wrapper over it (feed chunks, get payloads) that tests and the loopback
+transport use.
 """
 
 from __future__ import annotations
 
+import socket
 import struct
+import zlib
+from typing import Callable, Sequence
 
 from .errors import FrameError, FrameTooLargeError, TruncatedFrameError
 
 __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
     "HEADER",
+    "V2_META",
+    "V2_SEGMENT",
+    "FLAG_BATCH",
     "DEFAULT_MAX_FRAME",
     "encode_frame",
+    "encode_frame_v2",
+    "register_segment_codec",
+    "recv_frame",
+    "Frame",
+    "ScatterParser",
     "FrameDecoder",
 ]
 
 #: First byte of every frame; anything else on the stream is garbage.
 MAGIC = 0xB5
-#: Wire protocol version carried in every frame header.
-PROTOCOL_VERSION = 1
+#: The original, single-blob wire protocol.
+PROTOCOL_V1 = 1
+#: The scatter-gather wire protocol (segment table + out-of-band bulk).
+PROTOCOL_V2 = 2
+#: Historical alias — the protocol every peer is guaranteed to speak.
+PROTOCOL_VERSION = PROTOCOL_V1
 #: Frame header: magic byte, protocol version, payload length.
 HEADER = struct.Struct(">BBI")
+#: v2 payload prelude: frame flags, segment count.
+V2_META = struct.Struct(">BH")
+#: One v2 segment-table entry: stored length, segment flags.
+V2_SEGMENT = struct.Struct(">IB")
+#: v2 frame flag: every segment is one complete encoded message.
+FLAG_BATCH = 0x01
+#: Low nibble of a segment's flags: codec id (0 = uncompressed).
+SEG_CODEC_MASK = 0x0F
 #: Default ceiling on a frame's payload (pages are <= a few MiB; 64 MiB
 #: leaves room for whole-block transfers plus pickling overhead).
 DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+#: Ceiling on a v2 frame's segment count (sanity bound on the table).
+MAX_SEGMENTS = 4096
+#: Segments at least this large are received straight into an
+#: exactly-sized buffer instead of through the chunk accumulation path.
+DIRECT_CUTOFF = 64 * 1024
+
+
+# -- segment codecs --------------------------------------------------------------------
+
+
+def _zlib_compress(data) -> bytes:
+    # Level 1: the wire codec trades ratio for speed — threshold
+    # compression exists to win on fat, compressible payloads, not to
+    # stall the event loop grinding incompressible pages.
+    return zlib.compress(data, 1)
+
+
+def _zlib_decompress(data, limit: int) -> bytes:
+    decomp = zlib.decompressobj()
+    try:
+        out = decomp.decompress(data, limit + 1)
+    except zlib.error as exc:
+        raise FrameError(f"corrupt compressed segment: {exc!r}") from exc
+    if len(out) > limit or not decomp.eof:
+        raise FrameError(
+            f"compressed segment inflates past the {limit}-byte frame limit"
+        )
+    return out
+
+
+#: codec id -> (name, compress(data) -> bytes, decompress(data, limit) -> bytes)
+_SEGMENT_CODECS: dict[int, tuple[str, Callable, Callable]] = {
+    1: ("zlib", _zlib_compress, _zlib_decompress),
+}
+_CODEC_IDS: dict[str, int] = {"zlib": 1}
+
+
+def register_segment_codec(
+    code: int,
+    name: str,
+    compress: Callable[[bytes], bytes],
+    decompress: Callable[[bytes, int], bytes],
+) -> None:
+    """Register a pluggable segment codec under ``code`` (1..15).
+
+    ``decompress(data, limit)`` must reject output above ``limit`` bytes
+    (decompression-bomb guard) by raising :class:`FrameError`.
+    """
+    if not 1 <= code <= SEG_CODEC_MASK:
+        raise ValueError(f"codec id must be 1..{SEG_CODEC_MASK}, got {code}")
+    _SEGMENT_CODECS[code] = (name, compress, decompress)
+    _CODEC_IDS[name] = code
+
+
+def codec_names() -> tuple[str, ...]:
+    """Names of every registered segment codec (negotiation payload)."""
+    return tuple(sorted(_CODEC_IDS))
+
+
+# -- encoding --------------------------------------------------------------------------
 
 
 def encode_frame(payload: bytes, *, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    """Wrap ``payload`` into one wire frame."""
+    """Wrap ``payload`` into one v1 wire frame."""
     if len(payload) > max_frame:
         raise FrameTooLargeError(len(payload), max_frame)
-    return HEADER.pack(MAGIC, PROTOCOL_VERSION, len(payload)) + payload
+    return HEADER.pack(MAGIC, PROTOCOL_V1, len(payload)) + payload
 
 
-class FrameDecoder:
-    """Incremental frame decoder over an arbitrary chunked byte stream.
+def _nbytes(segment) -> int:
+    return segment.nbytes if isinstance(segment, memoryview) else len(segment)
 
-    Not thread-safe: each connection owns exactly one decoder (frames of
-    one stream are sequential by construction; concurrency lives at the
-    message layer through correlation ids, not inside the codec).
+
+def encode_frame_v2(
+    segments: Sequence,
+    *,
+    flags: int = 0,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    compress_threshold: int | None = None,
+    codec: str = "zlib",
+) -> list:
+    """Encode one v2 frame as a scatter-gather list, copy-free.
+
+    Returns ``[head, seg0, seg1, ...]`` where ``head`` is the fixed
+    header plus the segment table and every other element is the
+    caller's buffer itself (bytes or memoryview) — hand the list to
+    ``socket.sendmsg`` / ``writer.writelines`` and the bulk payloads are
+    never concatenated or copied by this layer.
+
+    Segments of at least ``compress_threshold`` bytes are compressed
+    with ``codec`` and flagged, but only when that actually shrinks them
+    — incompressible pages travel raw.
+    """
+    if not segments:
+        raise ValueError("a v2 frame needs at least one segment")
+    if len(segments) > MAX_SEGMENTS:
+        raise ValueError(f"too many segments ({len(segments)} > {MAX_SEGMENTS})")
+    out: list = []
+    entries: list[tuple[int, int]] = []
+    total = V2_META.size + len(segments) * V2_SEGMENT.size
+    for segment in segments:
+        size = _nbytes(segment)
+        seg_flags = 0
+        if (
+            compress_threshold is not None
+            and codec
+            and size >= compress_threshold
+        ):
+            code = _CODEC_IDS.get(codec)
+            if code is None:
+                raise ValueError(f"unknown segment codec {codec!r}")
+            packed = _SEGMENT_CODECS[code][1](segment)
+            if len(packed) < size:
+                segment, size, seg_flags = packed, len(packed), code
+        entries.append((size, seg_flags))
+        out.append(segment)
+        total += size
+    if total > max_frame:
+        raise FrameTooLargeError(total, max_frame)
+    head = bytearray(HEADER.pack(MAGIC, PROTOCOL_V2, total))
+    head += V2_META.pack(flags, len(entries))
+    for size, seg_flags in entries:
+        head += V2_SEGMENT.pack(size, seg_flags)
+    out.insert(0, bytes(head))
+    return out
+
+
+# -- decoding --------------------------------------------------------------------------
+
+
+class Frame:
+    """One decoded frame: its protocol version, flags and segments."""
+
+    __slots__ = ("version", "flags", "segments")
+
+    def __init__(self, version: int, flags: int, segments: list[bytes]) -> None:
+        self.version = version
+        self.flags = flags
+        self.segments = segments
+
+    @property
+    def payload(self) -> bytes:
+        """The single payload of a v1 frame (first segment otherwise)."""
+        return self.segments[0]
+
+    @property
+    def is_batch(self) -> bool:
+        """True when every segment is one complete encoded message."""
+        return bool(self.flags & FLAG_BATCH)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [len(s) for s in self.segments]
+        return f"Frame(v{self.version}, flags=0x{self.flags:02X}, segments={sizes})"
+
+
+#: Parser stages, in stream order.
+_HEADER, _META, _TABLE, _SEGMENT = range(4)
+#: Compact the accumulation buffer once this many bytes are drained.
+_COMPACT_AT = 64 * 1024
+
+
+class ScatterParser:
+    """Incremental scatter-gather frame parser for both protocols.
+
+    Not thread-safe: each connection owns exactly one parser (frames of
+    one stream are sequential by construction).  Two input paths exist:
+
+    * :meth:`feed` — arbitrary chunks from any byte source.  Small data
+      (headers, tables, sub-cutoff segments) accumulates in an
+      offset-drained buffer: the read offset advances per frame and the
+      buffer is compacted only once a threshold of dead prefix builds
+      up, so decoding *n* small frames costs O(n), not O(n²).
+    * :meth:`wants_direct` / :meth:`advance_direct` — while a bulk
+      segment (>= ``direct_cutoff``) is incomplete, the parser exposes
+      the exact remaining region of that segment's preallocated buffer,
+      so a socket reader can ``recv_into`` it and the payload is written
+      in place with zero intermediate copies.
+
+    A malformed stream (bad magic, unknown version, oversized
+    announcement, inconsistent segment table) raises
+    :class:`FrameError`; the parser — and the connection feeding it —
+    is unusable afterwards.
     """
 
-    def __init__(self, *, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    __slots__ = (
+        "max_frame",
+        "direct_cutoff",
+        "_accept_v2",
+        "_buf",
+        "_off",
+        "_stage",
+        "_version",
+        "_length",
+        "_flags",
+        "_table",
+        "_segments",
+        "_seg_index",
+        "_direct",
+        "_direct_view",
+        "_direct_filled",
+        "_pending",
+        "_broken",
+        "frames_decoded",
+        "bytes_compacted",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        accept_v2: bool = True,
+        direct_cutoff: int = DIRECT_CUTOFF,
+    ) -> None:
         if max_frame < 1:
             raise ValueError("max_frame must be positive")
+        if direct_cutoff < 1:
+            raise ValueError("direct_cutoff must be positive")
         self.max_frame = max_frame
-        self._buffer = bytearray()
-        #: Total payloads decoded (monitoring/tests).
+        self.direct_cutoff = direct_cutoff
+        self._accept_v2 = accept_v2
+        self._buf = bytearray()
+        self._off = 0
+        self._stage = _HEADER
+        self._version = 0
+        self._length = 0
+        self._flags = 0
+        self._table: list[tuple[int, int]] = []
+        self._segments: list[bytes] = []
+        self._seg_index = 0
+        self._direct: bytearray | None = None
+        self._direct_view: memoryview | None = None
+        self._direct_filled = 0
+        #: Bytes absorbed towards the next, still-incomplete frame.
+        self._pending = 0
+        self._broken = False
+        #: Total frames decoded (monitoring/tests).
         self.frames_decoded = 0
+        #: Bytes moved by buffer compaction — the copy-work metric the
+        #: linearity regression test asserts on (the old decoder's
+        #: per-frame prefix deletion made this quadratic in a burst).
+        self.bytes_compacted = 0
 
+    # -- introspection -----------------------------------------------------------------
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered towards the next, still-incomplete frame."""
-        return len(self._buffer)
+        return self._pending
 
     @property
     def at_boundary(self) -> bool:
         """True when the stream may end here without truncating a frame."""
-        return not self._buffer
+        return self._pending == 0
 
-    def feed(self, data: bytes) -> list[bytes]:
-        """Absorb ``data`` and return every payload it completes.
+    # -- direct (scatter-receive) path -------------------------------------------------
+    def wants_direct(self) -> memoryview | None:
+        """The exact region a pending bulk segment still needs, if any.
 
-        Raises :class:`FrameError` on a malformed header and
-        :class:`FrameTooLargeError` on an oversized announcement; after
-        either, the stream is unusable and the connection must be closed.
+        When non-``None``, the caller should ``recv_into`` this view and
+        report progress through :meth:`advance_direct`.  Feeding through
+        :meth:`feed` remains correct meanwhile — mixed use is safe.
         """
-        self._buffer.extend(data)
-        payloads: list[bytes] = []
-        while len(self._buffer) >= HEADER.size:
-            magic, version, length = HEADER.unpack_from(self._buffer)
-            if magic != MAGIC:
-                raise FrameError(
-                    f"bad frame magic 0x{magic:02X} (expected 0x{MAGIC:02X}): "
-                    "not an RPC stream"
-                )
-            if version != PROTOCOL_VERSION:
-                raise FrameError(
-                    f"unsupported protocol version {version} "
-                    f"(expected {PROTOCOL_VERSION})"
-                )
-            if length > self.max_frame:
-                raise FrameTooLargeError(length, self.max_frame)
-            if len(self._buffer) < HEADER.size + length:
-                break
-            payloads.append(bytes(self._buffer[HEADER.size : HEADER.size + length]))
-            del self._buffer[: HEADER.size + length]
-            self.frames_decoded += 1
-        return payloads
+        if self._direct_view is None:
+            return None
+        return self._direct_view[self._direct_filled :]
+
+    def advance_direct(self, nbytes: int) -> list[Frame]:
+        """Record ``nbytes`` received into :meth:`wants_direct`'s view."""
+        if self._direct is None:
+            raise RuntimeError("no bulk segment is pending direct receive")
+        self._check_usable()
+        self._direct_filled += nbytes
+        self._pending += nbytes
+        frames: list[Frame] = []
+        if self._direct_filled >= len(self._direct):
+            self._finish_direct(frames)
+            self._run(frames)
+        return frames
+
+    # -- chunked path ------------------------------------------------------------------
+    def feed(self, data) -> list[Frame]:
+        """Absorb one chunk and return every frame it completes."""
+        self._check_usable()
+        frames: list[Frame] = []
+        view = memoryview(data)
+        if self._direct is not None:
+            # A bulk segment is mid-receive: route its remainder straight
+            # into the preallocated buffer, never through the small buffer.
+            need = len(self._direct) - self._direct_filled
+            take = min(need, view.nbytes)
+            self._direct_view[self._direct_filled : self._direct_filled + take] = (
+                view[:take]
+            )
+            self._direct_filled += take
+            self._pending += take
+            view = view[take:]
+            if self._direct_filled >= len(self._direct):
+                self._finish_direct(frames)
+            elif view.nbytes == 0:
+                return frames
+        if view.nbytes:
+            self._buf += view
+            self._pending += view.nbytes
+        self._run(frames)
+        return frames
 
     def eof(self) -> None:
         """Signal end of stream; raises if it ends inside a frame."""
-        if self._buffer:
+        if self._pending:
             raise TruncatedFrameError(
-                f"stream ended with {len(self._buffer)} bytes of an "
-                "incomplete frame"
+                f"stream ended with {self._pending} bytes of an incomplete frame"
             )
+
+    # -- internals ---------------------------------------------------------------------
+    def _check_usable(self) -> None:
+        if self._broken:
+            raise FrameError("parser is unusable after a protocol violation")
+
+    def _fail(self, error: FrameError) -> FrameError:
+        self._broken = True
+        return error
+
+    def _available(self) -> int:
+        return len(self._buf) - self._off
+
+    def _run(self, frames: list[Frame]) -> None:
+        try:
+            self._parse(frames)
+        except FrameError as exc:
+            raise self._fail(exc) from None
+        finally:
+            self._compact()
+
+    def _parse(self, frames: list[Frame]) -> None:
+        while True:
+            if self._stage == _HEADER:
+                if self._available() < HEADER.size:
+                    return
+                magic, version, length = HEADER.unpack_from(self._buf, self._off)
+                if magic != MAGIC:
+                    raise FrameError(
+                        f"bad frame magic 0x{magic:02X} (expected "
+                        f"0x{MAGIC:02X}): not an RPC stream"
+                    )
+                if version != PROTOCOL_V1 and not (
+                    version == PROTOCOL_V2 and self._accept_v2
+                ):
+                    raise FrameError(
+                        f"unsupported protocol version {version} "
+                        f"(expected {PROTOCOL_V1}"
+                        + (f" or {PROTOCOL_V2}" if self._accept_v2 else "")
+                        + ")"
+                    )
+                if length > self.max_frame:
+                    raise FrameTooLargeError(length, self.max_frame)
+                self._off += HEADER.size
+                self._version, self._length = version, length
+                self._segments = []
+                self._seg_index = 0
+                if version == PROTOCOL_V1:
+                    self._flags = 0
+                    self._table = [(length, 0)]
+                    self._stage = _SEGMENT
+                else:
+                    self._stage = _META
+            elif self._stage == _META:
+                if self._available() < V2_META.size:
+                    return
+                flags, nseg = V2_META.unpack_from(self._buf, self._off)
+                if not 1 <= nseg <= MAX_SEGMENTS:
+                    raise FrameError(f"v2 frame announces {nseg} segments")
+                if V2_META.size + nseg * V2_SEGMENT.size > self._length:
+                    raise FrameError("v2 segment table exceeds the frame length")
+                self._off += V2_META.size
+                self._flags = flags
+                self._table = []
+                self._stage = _TABLE
+                self._seg_index = nseg  # reuse as "entries still to read"
+            elif self._stage == _TABLE:
+                need = self._seg_index * V2_SEGMENT.size
+                if self._available() < need:
+                    return
+                for _ in range(self._seg_index):
+                    entry = V2_SEGMENT.unpack_from(self._buf, self._off)
+                    self._table.append(entry)
+                    self._off += V2_SEGMENT.size
+                body = sum(size for size, _ in self._table)
+                declared = (
+                    V2_META.size + len(self._table) * V2_SEGMENT.size + body
+                )
+                if declared != self._length:
+                    raise FrameError(
+                        f"v2 segment table sums to {declared} bytes but the "
+                        f"frame announces {self._length}"
+                    )
+                self._seg_index = 0
+                self._stage = _SEGMENT
+            else:  # _SEGMENT
+                if self._seg_index >= len(self._table):
+                    self._emit(frames)
+                    continue
+                size, seg_flags = self._table[self._seg_index]
+                available = self._available()
+                if available < size:
+                    if size >= self.direct_cutoff:
+                        # Bulk segment: preallocate its exact buffer, move
+                        # what already arrived, and let the caller receive
+                        # the remainder straight into it.
+                        self._direct = bytearray(size)
+                        self._direct_view = memoryview(self._direct)
+                        self._direct_view[:available] = memoryview(self._buf)[
+                            self._off : self._off + available
+                        ]
+                        self._direct_filled = available
+                        self._off += available
+                    return
+                segment = bytes(
+                    memoryview(self._buf)[self._off : self._off + size]
+                )
+                self._off += size
+                self._store_segment(segment, seg_flags)
+
+    def _finish_direct(self, frames: list[Frame]) -> None:
+        size, seg_flags = self._table[self._seg_index]
+        segment = bytes(self._direct)
+        self._direct = None
+        self._direct_view = None
+        self._direct_filled = 0
+        try:
+            self._store_segment(segment, seg_flags)
+            if self._seg_index >= len(self._table):
+                self._emit(frames)
+        except FrameError as exc:
+            raise self._fail(exc) from None
+
+    def _store_segment(self, segment: bytes, seg_flags: int) -> None:
+        self._segments.append(
+            _decode_stored(segment, seg_flags, self.max_frame)
+        )
+        self._seg_index += 1
+
+    def _emit(self, frames: list[Frame]) -> None:
+        frames.append(Frame(self._version, self._flags, self._segments))
+        self._pending -= HEADER.size + self._length
+        self._segments = []
+        self._stage = _HEADER
+        self.frames_decoded += 1
+
+    def _compact(self) -> None:
+        if self._off == len(self._buf):
+            if self._off:
+                self._buf.clear()
+                self._off = 0
+        elif self._off >= _COMPACT_AT:
+            self.bytes_compacted += len(self._buf) - self._off
+            del self._buf[: self._off]
+            self._off = 0
+
+
+def _decode_stored(segment: bytes, seg_flags: int, limit: int) -> bytes:
+    """Undo a segment's codec flag (bomb-guarded by ``limit``)."""
+    code = seg_flags & SEG_CODEC_MASK
+    if not code:
+        return segment
+    try:
+        decompress = _SEGMENT_CODECS[code][2]
+    except KeyError:
+        raise FrameError(f"unknown segment codec id {code}") from None
+    return decompress(segment, limit)
+
+
+# -- exact-framed socket reads ---------------------------------------------------------
+
+#: Frames no larger than this are read by :func:`recv_frame` in one gulp
+#: (two syscalls for a whole small-op or batch frame); larger frames get
+#: per-segment reads so every bulk segment lands in its own buffer.
+_GULP_CUTOFF = 64 * 1024
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Exactly ``count`` bytes from a blocking socket, as one ``bytes``.
+
+    ``MSG_WAITALL`` makes the kernel assemble the full run into a single
+    allocation — for a bulk segment this is the *only* user-space copy
+    of the payload, and the resulting immutable ``bytes`` is adopted
+    as-is by the pickle-5 out-of-band decode path.
+    """
+    data = sock.recv(count, socket.MSG_WAITALL)
+    if len(data) == count:
+        return data
+    if not data:
+        raise TruncatedFrameError("stream ended inside a frame")
+    # MSG_WAITALL can return short (signals, huge reads): finish by hand.
+    parts = [data]
+    got = len(data)
+    while got < count:
+        more = sock.recv(count - got, socket.MSG_WAITALL)
+        if not more:
+            raise TruncatedFrameError("stream ended inside a frame")
+        parts.append(more)
+        got += len(more)
+    return b"".join(parts)
+
+
+def _check_header(magic: int, version: int, length: int, max_frame: int, accept_v2: bool) -> None:
+    if magic != MAGIC:
+        raise FrameError(
+            f"bad frame magic 0x{magic:02X} (expected "
+            f"0x{MAGIC:02X}): not an RPC stream"
+        )
+    if version != PROTOCOL_V1 and not (version == PROTOCOL_V2 and accept_v2):
+        raise FrameError(
+            f"unsupported protocol version {version} "
+            f"(expected {PROTOCOL_V1}"
+            + (f" or {PROTOCOL_V2}" if accept_v2 else "")
+            + ")"
+        )
+    if length > max_frame:
+        raise FrameTooLargeError(length, max_frame)
+
+
+def _check_table(
+    entries: list[tuple[int, int]], nseg: int, length: int
+) -> None:
+    if not 1 <= nseg <= MAX_SEGMENTS:
+        raise FrameError(f"v2 frame announces {nseg} segments")
+    declared = V2_META.size + nseg * V2_SEGMENT.size + sum(
+        size for size, _ in entries
+    )
+    if declared != length:
+        raise FrameError(
+            f"v2 segment table sums to {declared} bytes but the "
+            f"frame announces {length}"
+        )
+
+
+def recv_frame(
+    sock: socket.socket,
+    *,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    accept_v2: bool = True,
+) -> Frame | None:
+    """Read one whole frame from a blocking socket, minimally copied.
+
+    The stream's self-describing layout makes exact reads possible: the
+    fixed header announces the frame length, the v2 segment table
+    announces every segment's size.  Small frames arrive in one gulp;
+    each bulk segment of a large v2 frame is read with ``MSG_WAITALL``
+    straight into its own immutable ``bytes`` — no accumulation buffer,
+    no re-slicing, no materialization copy.  This is the receive path of
+    the threaded client; the asyncio server uses :class:`ScatterParser`.
+
+    Returns ``None`` on a clean end-of-stream at a frame boundary.
+    Raises :class:`FrameError` (stream corrupt) or
+    :class:`TruncatedFrameError` (peer died mid-frame) otherwise.
+    """
+    header = sock.recv(HEADER.size, socket.MSG_WAITALL)
+    if not header:
+        return None
+    if len(header) < HEADER.size:
+        header += _recv_exact(sock, HEADER.size - len(header))
+    magic, version, length = HEADER.unpack(header)
+    _check_header(magic, version, length, max_frame, accept_v2)
+    if version == PROTOCOL_V1:
+        payload = _recv_exact(sock, length) if length else b""
+        return Frame(PROTOCOL_V1, 0, [payload])
+    if length < V2_META.size:
+        raise FrameError("v2 segment table exceeds the frame length")
+    if length <= _GULP_CUTOFF:
+        body = memoryview(_recv_exact(sock, length))
+        flags, nseg = V2_META.unpack_from(body, 0)
+        if V2_META.size + nseg * V2_SEGMENT.size > length:
+            raise FrameError("v2 segment table exceeds the frame length")
+        entries = [
+            V2_SEGMENT.unpack_from(body, V2_META.size + i * V2_SEGMENT.size)
+            for i in range(nseg)
+        ]
+        _check_table(entries, nseg, length)
+        segments: list[bytes] = []
+        offset = V2_META.size + nseg * V2_SEGMENT.size
+        for size, seg_flags in entries:
+            segments.append(
+                _decode_stored(
+                    bytes(body[offset : offset + size]), seg_flags, max_frame
+                )
+            )
+            offset += size
+        return Frame(PROTOCOL_V2, flags, segments)
+    flags, nseg = V2_META.unpack(_recv_exact(sock, V2_META.size))
+    if not 1 <= nseg <= MAX_SEGMENTS:
+        raise FrameError(f"v2 frame announces {nseg} segments")
+    if V2_META.size + nseg * V2_SEGMENT.size > length:
+        raise FrameError("v2 segment table exceeds the frame length")
+    table = _recv_exact(sock, nseg * V2_SEGMENT.size)
+    entries = list(V2_SEGMENT.iter_unpack(table))
+    _check_table(entries, nseg, length)
+    segments = []
+    for size, seg_flags in entries:
+        data = _recv_exact(sock, size) if size else b""
+        segments.append(_decode_stored(data, seg_flags, max_frame))
+    return Frame(PROTOCOL_V2, flags, segments)
+
+
+class FrameDecoder:
+    """Chunk-fed frame decoder: the historical feed/payload surface.
+
+    A thin wrapper over :class:`ScatterParser` for consumers that hold
+    complete chunks in hand (the loopback transport, tests).  With the
+    default ``accept_v2=False`` it is a strict v1 decoder — a v2 frame
+    raises :class:`FrameError` exactly like any other unknown version,
+    which is the behaviour protocol negotiation relies on.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        accept_v2: bool = False,
+    ) -> None:
+        self._parser = ScatterParser(max_frame=max_frame, accept_v2=accept_v2)
+        self.max_frame = max_frame
+
+    @property
+    def frames_decoded(self) -> int:
+        """Total frames decoded (monitoring/tests)."""
+        return self._parser.frames_decoded
+
+    @property
+    def bytes_compacted(self) -> int:
+        """Bytes moved by buffer compaction (linearity metric)."""
+        return self._parser.bytes_compacted
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next, still-incomplete frame."""
+        return self._parser.pending_bytes
+
+    @property
+    def at_boundary(self) -> bool:
+        """True when the stream may end here without truncating a frame."""
+        return self._parser.at_boundary
+
+    def feed(self, data) -> list[bytes]:
+        """Absorb ``data`` and return every v1 payload it completes."""
+        return [frame.payload for frame in self._parser.feed(data)]
+
+    def feed_frames(self, data) -> list[Frame]:
+        """Absorb ``data`` and return every frame (v1 or v2) it completes."""
+        return self._parser.feed(data)
+
+    def eof(self) -> None:
+        """Signal end of stream; raises if it ends inside a frame."""
+        self._parser.eof()

@@ -268,7 +268,10 @@ class RemoteJobService(_Stub):
         return self._call("job_status", job_id)
 
     def wait_job(self, job_id: int, timeout: float | None = None) -> dict:
-        return self._call("wait_job", job_id, timeout)
+        # Long poll: must never wait in (or hold up) a batch flush on a
+        # transport that coalesces small ops (no_batch is consumed by
+        # Transport.call, never forwarded to the remote method).
+        return self._call("wait_job", job_id, timeout, no_batch=True)
 
     def cancel_job(self, job_id: int) -> bool:
         return bool(self._call("cancel_job", job_id))

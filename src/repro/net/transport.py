@@ -24,6 +24,7 @@ Two implementations exist:
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from abc import ABC, abstractmethod
@@ -32,11 +33,83 @@ from typing import Any, Iterator
 
 from .errors import TransportError
 from .faults import NetworkFaultPlan
-from .framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
-from .messages import Request, Response, decode_message, encode_message
+from .framing import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    FrameDecoder,
+    encode_frame,
+    encode_frame_v2,
+)
+from .messages import (
+    DEFAULT_OOB_THRESHOLD,
+    Request,
+    Response,
+    decode_message,
+    decode_message_v2,
+    encode_message,
+    encode_message_v2,
+)
 from .service import ServiceRegistry
 
-__all__ = ["RetryPolicy", "Transport", "LoopbackTransport"]
+__all__ = ["RetryPolicy", "WireConfig", "Transport", "LoopbackTransport"]
+
+
+@dataclass(frozen=True, slots=True)
+class WireConfig:
+    """Wire-protocol knobs shared by both transports and the server.
+
+    The default protocol comes from ``REPRO_WIRE_PROTOCOL`` (``1`` or
+    ``2``, default ``2``) so the whole test matrix can be flipped from
+    the environment without touching call sites.
+    """
+
+    #: Preferred protocol version (negotiation may still settle on v1).
+    protocol: int = PROTOCOL_V2
+    #: Bytes payloads at least this large travel out-of-band under v2.
+    oob_threshold: int = DEFAULT_OOB_THRESHOLD
+    #: Extra seconds a lone queued request may wait for company before
+    #: its batch frame is flushed (0 = flush immediately; batching still
+    #: coalesces naturally while a previous flush is in flight).
+    batch_window: float = 0.0
+    #: Ceiling on requests coalesced into one batch frame.
+    batch_max_ops: int = 64
+    #: Ceiling on a batch frame's summed payload bytes.
+    batch_max_bytes: int = 128 * 1024
+    #: Only messages encoding below this many bytes are batched.
+    batch_threshold: int = 2048
+    #: Compress segments of at least this many bytes (None = never).
+    compress_threshold: int | None = None
+    #: Segment codec used when compression triggers.
+    compress_codec: str = "zlib"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in (PROTOCOL_V1, PROTOCOL_V2):
+            raise ValueError(f"unknown wire protocol {self.protocol}")
+        if self.oob_threshold < 1:
+            raise ValueError("oob_threshold must be positive")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.batch_max_ops < 1 or self.batch_max_bytes < 1:
+            raise ValueError("batch limits must be positive")
+        if self.batch_threshold < 1:
+            raise ValueError("batch_threshold must be positive")
+        if self.compress_threshold is not None and self.compress_threshold < 1:
+            raise ValueError("compress_threshold must be positive")
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "WireConfig":
+        """Build a config honouring ``REPRO_WIRE_PROTOCOL``."""
+        if "protocol" not in overrides:
+            raw = os.environ.get("REPRO_WIRE_PROTOCOL", "").strip()
+            if raw:
+                try:
+                    overrides["protocol"] = int(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_WIRE_PROTOCOL must be 1 or 2, got {raw!r}"
+                    ) from None
+        return cls(**overrides)
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,12 +180,16 @@ class Transport(ABC):
         method: str,
         *args: Any,
         timeout: float | None = None,
+        no_batch: bool = False,
         **kwargs: Any,
     ) -> Any:
         """Invoke ``service.method(*args, **kwargs)`` on the peer.
 
         Transient transport failures are retried per the policy; remote
         application exceptions are re-raised unchanged and never retried.
+        ``no_batch`` exempts this call from small-op coalescing on
+        transports that batch (long-poll calls must not delay a batch
+        flush, nor wait in one) — it is consumed here, never forwarded.
         """
         timeout = timeout if timeout is not None else self.timeout
         last: TransportError | None = None
@@ -123,7 +200,9 @@ class Transport(ABC):
                 self.calls_retried += attempt == 1
                 time.sleep(delay)
             try:
-                return self._call_once(service, method, args, kwargs, timeout)
+                return self._call_once(
+                    service, method, args, kwargs, timeout, no_batch=no_batch
+                )
             except TransportError as exc:
                 last = exc
         assert last is not None
@@ -148,6 +227,8 @@ class Transport(ABC):
         args: tuple,
         kwargs: dict,
         timeout: float,
+        *,
+        no_batch: bool = False,
     ) -> Any:
         """One request/response exchange; raises
         :class:`TransportError` on delivery failure."""
@@ -188,15 +269,50 @@ class LoopbackTransport(Transport):
         retry: RetryPolicy | None = None,
         faults: NetworkFaultPlan | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
+        wire: WireConfig | None = None,
+        protocol: int | None = None,
     ) -> None:
         super().__init__(
             peer=peer, local=local, timeout=timeout, retry=retry, faults=faults
         )
         self._registry = registry
         self._max_frame = max_frame
+        self._wire = wire if wire is not None else WireConfig.from_env()
+        self._protocol = protocol if protocol is not None else self._wire.protocol
         self._lock = threading.Lock()
+        # One decoder for the transport's lifetime (its state is always
+        # at a frame boundary between calls); serialized by ``_lock``.
+        self._decoder = FrameDecoder(max_frame=max_frame, accept_v2=True)
         #: Round-trips served (monitoring/tests).
         self.calls_served = 0
+
+    def _codec_round_trip(self, message: Request | Response):
+        """Encode ``message`` to wire bytes and decode them back.
+
+        The same codec path as TCP, minus the socket: v2 messages go
+        through out-of-band extraction, scatter-gather framing (the
+        parts are joined here — that join *is* the simulated wire) and
+        segment-table decode on the shared decoder.
+        """
+        if self._protocol >= PROTOCOL_V2:
+            head, buffers = encode_message_v2(
+                message, oob_threshold=self._wire.oob_threshold
+            )
+            parts = encode_frame_v2(
+                [head, *buffers],
+                max_frame=self._max_frame,
+                compress_threshold=self._wire.compress_threshold,
+                codec=self._wire.compress_codec,
+            )
+            with self._lock:
+                (frame,) = self._decoder.feed_frames(b"".join(parts))
+            return decode_message_v2(
+                frame.segments[0], list(frame.segments[1:])
+            )
+        wire = encode_frame(encode_message(message), max_frame=self._max_frame)
+        with self._lock:
+            (frame,) = self._decoder.feed_frames(wire)
+        return decode_message(frame.payload)
 
     def _call_once(
         self,
@@ -205,6 +321,8 @@ class LoopbackTransport(Transport):
         args: tuple,
         kwargs: dict,
         timeout: float,
+        *,
+        no_batch: bool = False,
     ) -> Any:
         with self._lock:
             msg_id = next(self._msg_ids)
@@ -212,18 +330,13 @@ class LoopbackTransport(Transport):
             msg_id=msg_id, service=service, method=method, args=args, kwargs=kwargs
         )
         # Request direction: encode, apply faults, decode, dispatch.
-        wire = encode_frame(encode_message(request), max_frame=self._max_frame)
         self._check_faults(self.local, self.peer, method)
-        decoder = FrameDecoder(max_frame=self._max_frame)
-        (payload,) = decoder.feed(wire)
-        decoded = decode_message(payload)
+        decoded = self._codec_round_trip(request)
         assert isinstance(decoded, Request)
         response = self._registry.dispatch(decoded)
         # Response direction: encode, apply faults, decode, unwrap.
-        wire = encode_frame(encode_message(response), max_frame=self._max_frame)
         self._check_faults(self.peer, self.local, method)
-        (payload,) = FrameDecoder(max_frame=self._max_frame).feed(wire)
-        returned = decode_message(payload)
+        returned = self._codec_round_trip(response)
         assert isinstance(returned, Response) and returned.msg_id == msg_id
         with self._lock:
             self.calls_served += 1

@@ -2,18 +2,35 @@
 
 from __future__ import annotations
 
+import socket
+import threading
+import tracemalloc
+import zlib
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.errors import FrameError, FrameTooLargeError, TruncatedFrameError
 from repro.net.framing import (
+    FLAG_BATCH,
     HEADER,
     MAGIC,
+    PROTOCOL_V2,
     PROTOCOL_VERSION,
     FrameDecoder,
+    ScatterParser,
     encode_frame,
+    encode_frame_v2,
+    recv_frame,
 )
+
+KB = 1024
+
+
+def v2_wire(segments, **kwargs) -> bytes:
+    """Join a v2 scatter list into contiguous wire bytes (test helper)."""
+    return b"".join(bytes(part) for part in encode_frame_v2(segments, **kwargs))
 
 
 class TestRoundTrip:
@@ -119,3 +136,300 @@ class TestRejection:
             assert magic == MAGIC and version == PROTOCOL_VERSION
             assert junk[position + HEADER.size : position + HEADER.size + length] == frame
             position += HEADER.size + length
+
+
+class TestV2RoundTrip:
+    def test_multi_segment_frame(self):
+        segments = [b"head", b"x" * 100, b"", b"tail"]
+        parser = ScatterParser()
+        (frame,) = parser.feed(v2_wire(segments))
+        assert frame.version == PROTOCOL_V2
+        assert frame.segments == segments
+        assert not frame.is_batch
+        assert parser.at_boundary and parser.pending_bytes == 0
+
+    def test_batch_flag_round_trips(self):
+        (frame,) = ScatterParser().feed(
+            v2_wire([b"msg-1", b"msg-2"], flags=FLAG_BATCH)
+        )
+        assert frame.is_batch
+        assert frame.segments == [b"msg-1", b"msg-2"]
+
+    def test_v1_and_v2_frames_interleave_on_one_stream(self):
+        wire = encode_frame(b"v1-a") + v2_wire([b"v2", b"bulk"]) + encode_frame(b"v1-b")
+        frames = ScatterParser().feed(wire)
+        assert [f.version for f in frames] == [1, PROTOCOL_V2, 1]
+        assert frames[0].payload == b"v1-a"
+        assert frames[1].segments == [b"v2", b"bulk"]
+        assert frames[2].payload == b"v1-b"
+
+    def test_v1_decoder_rejects_v2_frames(self):
+        # The negotiation story depends on a v1-only decoder treating v2
+        # exactly like any other unknown version.
+        with pytest.raises(FrameError, match="version"):
+            FrameDecoder().feed(v2_wire([b"head"]))
+
+    def test_encode_scatter_list_is_copy_free_for_bulk(self):
+        bulk = b"z" * (256 * KB)
+        parts = encode_frame_v2([b"head", bulk])
+        # The caller's buffer object itself rides in the scatter list.
+        assert any(part is bulk for part in parts)
+
+    @given(
+        segments=st.lists(
+            st.binary(max_size=2 * KB), min_size=1, max_size=8
+        ),
+        chunk=st.integers(min_value=1, max_value=23),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dribble_reassembles_exact_segments(self, segments, chunk):
+        wire = v2_wire(segments)
+        parser = ScatterParser()
+        frames = []
+        for start in range(0, len(wire), chunk):
+            frames.extend(parser.feed(wire[start : start + chunk]))
+        assert [f.segments for f in frames] == [segments]
+        parser.eof()
+
+    @given(
+        segments=st.lists(
+            st.binary(max_size=4 * KB), min_size=1, max_size=6
+        ),
+        compress_threshold=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=8 * KB)
+        ),
+        chunk=st.integers(min_value=1, max_value=4 * KB),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_compression_flag_round_trips(
+        self, segments, compress_threshold, chunk
+    ):
+        # Whatever subset of segments the threshold compresses, the
+        # receiver reconstructs the originals bit-for-bit.
+        wire = v2_wire(segments, compress_threshold=compress_threshold)
+        parser = ScatterParser()
+        frames = []
+        for start in range(0, len(wire), chunk):
+            frames.extend(parser.feed(wire[start : start + chunk]))
+        assert [f.segments for f in frames] == [segments]
+
+    def test_compression_shrinks_compressible_wire(self):
+        bulk = b"a" * (512 * KB)
+        compressed = v2_wire([b"head", bulk], compress_threshold=KB)
+        raw = v2_wire([b"head", bulk])
+        assert len(compressed) < len(raw) // 10
+
+    def test_incompressible_segments_travel_raw(self):
+        # Already-compressed bytes would *grow* under zlib: the encoder
+        # must keep them raw rather than flag a larger segment.
+        bulk = zlib.compress(b"b" * (64 * KB), 9)
+        wire = v2_wire([bulk], compress_threshold=16)
+        (frame,) = ScatterParser().feed(wire)
+        assert frame.segments == [bulk]
+        assert len(wire) < len(bulk) + 64  # header + table only
+
+    def test_direct_receive_path_matches_feed_path(self):
+        bulk = bytes(range(256)) * (4 * KB)  # 1 MiB, above direct cutoff
+        wire = v2_wire([b"head", bulk, b"tail"])
+        parser = ScatterParser()
+        frames = list(parser.feed(wire[: 4 * KB]))
+        position = 4 * KB
+        while position < len(wire):
+            target = parser.wants_direct()
+            if target is not None:
+                take = min(len(target), 100 * KB, len(wire) - position)
+                target[:take] = wire[position : position + take]
+                frames.extend(parser.advance_direct(take))
+            else:
+                take = min(KB, len(wire) - position)
+                frames.extend(parser.feed(wire[position : position + take]))
+            position += take
+        assert [f.segments for f in frames] == [[b"head", bulk, b"tail"]]
+        assert parser.at_boundary
+
+    @given(junk=st.binary(min_size=HEADER.size, max_size=128))
+    @settings(max_examples=50, deadline=None)
+    def test_random_junk_never_decodes_silently_v2(self, junk):
+        # Same property as v1, with the v2 path enabled: junk either
+        # raises, stays pending, or decodes only validly-headed frames.
+        parser = ScatterParser(max_frame=1 << 16)
+        try:
+            frames = parser.feed(junk)
+        except FrameError:
+            return
+        for frame in frames:
+            magic, version, _ = HEADER.unpack_from(junk, 0)
+            assert magic == MAGIC and version in (PROTOCOL_VERSION, PROTOCOL_V2)
+
+    def test_corrupt_compressed_segment_raises(self):
+        wire = bytearray(v2_wire([b"c" * (8 * KB)], compress_threshold=16))
+        wire[-1] ^= 0xFF  # flip a bit inside the zlib stream
+        with pytest.raises(FrameError):
+            ScatterParser().feed(bytes(wire))
+
+    def test_segment_table_must_sum_to_frame_length(self):
+        wire = bytearray(v2_wire([b"abc", b"defg"]))
+        wire[HEADER.size + 3 + 3] += 1  # inflate segment 0's table entry
+        with pytest.raises(FrameError, match="table"):
+            ScatterParser().feed(bytes(wire))
+
+
+class TestDecoderLinearity:
+    def test_small_frame_burst_compaction_is_linear(self):
+        # The old decoder deleted the buffer prefix per decoded frame, so
+        # a burst of n frames arriving in one read cost O(n^2) bytes of
+        # memmove.  Offset draining must keep total compaction work below
+        # the bytes that actually flowed through the buffer.
+        frames = 20_000
+        wire = b"".join(encode_frame(b"ping-%d" % i) for i in range(frames))
+        decoder = FrameDecoder()
+        out = decoder.feed(wire)  # the whole burst in one feed
+        assert len(out) == frames
+        assert decoder.bytes_compacted <= len(wire)
+
+    def test_chunked_burst_stays_linear_too(self):
+        frames = 20_000
+        wire = b"".join(encode_frame(b"op-%d" % i) for i in range(frames))
+        decoder = FrameDecoder()
+        count = 0
+        for start in range(0, len(wire), 4 * KB):
+            count += len(decoder.feed(wire[start : start + 4 * KB]))
+        assert count == frames
+        assert decoder.bytes_compacted <= len(wire)
+
+    def test_peak_memory_bounded_while_draining(self):
+        # Like the WriteAggregator linearity test: dribbling many small
+        # frames through one decoder must not accumulate memory beyond
+        # the frames in flight.
+        wire = b"".join(encode_frame(b"x" * 32) for _ in range(20_000))
+        decoder = FrameDecoder()
+        tracemalloc.start()
+        try:
+            for start in range(0, len(wire), 4 * KB):
+                decoder.feed(wire[start : start + 4 * KB])
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        assert decoder.frames_decoded == 20_000
+        assert peak < 2 * KB * KB, f"peak {peak} bytes suggests buffer pile-up"
+
+
+class TestRecvFrame:
+    """Exact-framed socket reads: the threaded client's receive path."""
+
+    @staticmethod
+    def _pair():
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        right.settimeout(5.0)
+        return left, right
+
+    @staticmethod
+    def _send(sock, wire: bytes):
+        sender = threading.Thread(target=sock.sendall, args=(wire,))
+        sender.start()
+        return sender
+
+    def test_v1_round_trip(self):
+        left, right = self._pair()
+        try:
+            left.sendall(encode_frame(b"hello") + encode_frame(b"world"))
+            first = recv_frame(right)
+            second = recv_frame(right)
+            assert first.version == PROTOCOL_VERSION
+            assert first.payload == b"hello"
+            assert second.payload == b"world"
+        finally:
+            left.close()
+            right.close()
+
+    def test_v2_small_frame_one_gulp(self):
+        left, right = self._pair()
+        try:
+            left.sendall(v2_wire([b"head", b"tail"]))
+            frame = recv_frame(right)
+            assert frame.version == PROTOCOL_V2
+            assert frame.segments == [b"head", b"tail"]
+        finally:
+            left.close()
+            right.close()
+
+    def test_v2_bulk_segments_land_as_exact_bytes(self):
+        # Above the gulp cutoff each segment is read straight into its
+        # own buffer: the returned bytes must match and be independent.
+        bulk = bytes(range(256)) * (512 * KB // 256)
+        left, right = self._pair()
+        try:
+            sender = self._send(left, v2_wire([b"head", bulk]))
+            frame = recv_frame(right)
+            sender.join()
+            assert frame.segments[0] == b"head"
+            assert frame.segments[1] == bulk
+            assert isinstance(frame.segments[1], bytes)
+        finally:
+            left.close()
+            right.close()
+
+    def test_compressed_segment_decodes_transparently(self):
+        payload = b"ab" * (64 * KB)
+        wire = v2_wire([b"head", payload], compress_threshold=KB)
+        assert len(wire) < len(payload)  # compression engaged on the wire
+        left, right = self._pair()
+        try:
+            sender = self._send(left, wire)
+            frame = recv_frame(right)
+            sender.join()
+            assert frame.segments == [b"head", payload]
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_at_boundary_returns_none(self):
+        left, right = self._pair()
+        try:
+            left.sendall(encode_frame(b"last"))
+            left.close()
+            assert recv_frame(right).payload == b"last"
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_frame_raises_truncated(self):
+        left, right = self._pair()
+        try:
+            left.sendall(encode_frame(b"x" * 1000)[:40])
+            left.close()
+            with pytest.raises(TruncatedFrameError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_junk_stream_raises_frame_error(self):
+        left, right = self._pair()
+        try:
+            left.sendall(b"GET / HTTP/1.1\r\n")
+            with pytest.raises(FrameError, match="magic"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_v2_rejected_when_not_accepted(self):
+        left, right = self._pair()
+        try:
+            left.sendall(v2_wire([b"seg"]))
+            with pytest.raises(FrameError, match="version"):
+                recv_frame(right, accept_v2=False)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_frame_rejected(self):
+        left, right = self._pair()
+        try:
+            left.sendall(encode_frame(b"y" * 2048))
+            with pytest.raises(FrameTooLargeError):
+                recv_frame(right, max_frame=KB)
+        finally:
+            left.close()
+            right.close()

@@ -1,0 +1,533 @@
+"""Protocol v2 end-to-end: negotiation, batching, compression, identity.
+
+The v2 wire path must be invisible to everything above the transport:
+whatever mix of protocol versions two peers negotiate, the filesystems
+and the metadata plane read back exactly the bytes they wrote.  These
+tests cover the interop matrix over real sockets, the out-of-band
+threshold, small-op batching semantics, and cross-backend differential
+byte-identity over both protocols — including mid-read replica failover
+and wire faults, where the degraded path must stay byte-identical too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bsfs import BSFS
+from repro.core import KB, BlobSeer, BlobSeerConfig, DataProvider
+from repro.core.dht import MetadataDHT, MetadataProvider
+from repro.hdfs import HDFS, DataNode
+from repro.net import (
+    NetworkFaultPlan,
+    NodeServer,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    RetryPolicy,
+    RpcServer,
+    ServiceRegistry,
+    TcpTransport,
+    WireConfig,
+    connect_datanode,
+    connect_metadata,
+    connect_provider,
+    loopback_datanode_stub,
+    loopback_metadata_stub,
+    loopback_provider_stub,
+)
+from repro.net.cluster import ClusterConfig
+from repro.net.messages import Request, encode_message_v2
+from repro.net.transport import LoopbackTransport
+
+BLOCK = 16 * KB
+BOTH_PROTOCOLS = pytest.mark.parametrize("protocol", [PROTOCOL_V1, PROTOCOL_V2])
+
+
+class EchoService:
+    def echo(self, value):
+        return value
+
+    def pair(self, a, b):
+        return (a, b)
+
+
+def echo_registry() -> ServiceRegistry:
+    registry = ServiceRegistry()
+    registry.register("echo", EchoService())
+    return registry
+
+
+@pytest.fixture
+def faults():
+    return NetworkFaultPlan(sleep=lambda _s: None)
+
+
+class TestWireConfig:
+    def test_env_selects_protocol(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", "1")
+        assert WireConfig.from_env().protocol == PROTOCOL_V1
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", "2")
+        assert WireConfig.from_env().protocol == PROTOCOL_V2
+        monkeypatch.delenv("REPRO_WIRE_PROTOCOL")
+        assert WireConfig.from_env().protocol == PROTOCOL_V2
+
+    def test_explicit_protocol_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", "1")
+        assert WireConfig.from_env(protocol=PROTOCOL_V2).protocol == PROTOCOL_V2
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            WireConfig(protocol=3)
+        with pytest.raises(ValueError):
+            WireConfig(batch_window=-0.1)
+        with pytest.raises(ValueError):
+            WireConfig(compress_threshold=0)
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", "two")
+        with pytest.raises(ValueError):
+            WireConfig.from_env()
+
+
+class TestOutOfBandThreshold:
+    def test_small_payloads_stay_in_band(self):
+        request = Request(1, "s", "m", (b"x" * 100,), {})
+        head, buffers = encode_message_v2(request, oob_threshold=KB)
+        assert buffers == []
+        assert b"x" * 100 in head
+
+    def test_large_payloads_leave_the_pickle_stream(self):
+        bulk = b"y" * (64 * KB)
+        request = Request(1, "s", "m", (bulk,), {"page": b"z" * (32 * KB)})
+        head, buffers = encode_message_v2(request, oob_threshold=KB)
+        assert len(buffers) == 2
+        assert len(head) < KB  # the head holds structure, not payload
+        assert sorted(len(memoryview(b)) for b in buffers) == [32 * KB, 64 * KB]
+
+    def test_memoryview_arguments_always_travel_out_of_band(self):
+        view = memoryview(b"view-payload")
+        head, buffers = encode_message_v2(
+            Request(1, "s", "m", (view,), {}), oob_threshold=KB
+        )
+        assert len(buffers) == 1  # even below threshold: v1 can't pickle views
+
+    def test_nested_containers_are_walked(self):
+        bulk = b"n" * (64 * KB)
+        head, buffers = encode_message_v2(
+            Request(1, "s", "m", ([{"chunk": bulk}],), {}), oob_threshold=KB
+        )
+        assert len(buffers) == 1
+
+
+class TestNegotiationMatrix:
+    @pytest.mark.parametrize("server_protocol", [PROTOCOL_V1, PROTOCOL_V2])
+    @pytest.mark.parametrize("client_protocol", [PROTOCOL_V1, PROTOCOL_V2])
+    def test_every_pairing_round_trips_bulk_bytes(
+        self, server_protocol, client_protocol
+    ):
+        # The connection settles on min(client, server) and the payload
+        # is byte-identical either way; no pairing produces a single
+        # protocol error.
+        payload = bytes(range(256)) * (8 * KB)  # 2 MiB
+        with RpcServer(echo_registry(), protocol=server_protocol) as server:
+            host, port = server.address
+            transport = TcpTransport(host, port, protocol=client_protocol)
+            try:
+                assert transport.call("echo", "echo", payload) == payload
+                assert transport.call("echo", "pair", 1, b"two") == (1, b"two")
+                expected = min(server_protocol, client_protocol)
+                assert transport.negotiated_protocols == [expected]
+            finally:
+                transport.close()
+            assert server.protocol_errors == 0
+
+    def test_v2_client_downgrades_without_breaking_the_connection(self):
+        # The probe travels as a v1 frame, so the v1 server answers it
+        # as an ordinary unknown-service call on the *same* connection
+        # the client then keeps using.
+        with RpcServer(echo_registry(), protocol=PROTOCOL_V1) as server:
+            host, port = server.address
+            transport = TcpTransport(host, port, protocol=PROTOCOL_V2)
+            try:
+                for i in range(10):
+                    assert transport.call("echo", "echo", i) == i
+                assert transport.negotiated_protocols == [PROTOCOL_V1]
+            finally:
+                transport.close()
+
+    def test_each_pooled_connection_negotiates(self):
+        with RpcServer(echo_registry(), protocol=PROTOCOL_V2) as server:
+            host, port = server.address
+            transport = TcpTransport(host, port, protocol=PROTOCOL_V2, pool_size=2)
+            try:
+                barrier = threading.Barrier(4)
+
+                def call():
+                    barrier.wait()
+                    transport.call("echo", "echo", "x")
+
+                threads = [threading.Thread(target=call) for _ in range(4)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert all(
+                    p == PROTOCOL_V2 for p in transport.negotiated_protocols
+                )
+            finally:
+                transport.close()
+
+
+class TestBatching:
+    def test_concurrent_small_ops_coalesce_and_stay_correct(self):
+        with RpcServer(echo_registry(), protocol=PROTOCOL_V2) as server:
+            host, port = server.address
+            transport = TcpTransport(
+                host, port, protocol=PROTOCOL_V2, batching=True, pool_size=1
+            )
+            try:
+                results: list = []
+                lock = threading.Lock()
+
+                def worker(worker_id):
+                    for i in range(40):
+                        value = transport.call("echo", "echo", (worker_id, i))
+                        with lock:
+                            results.append(value)
+
+                threads = [
+                    threading.Thread(target=worker, args=(w,)) for w in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert sorted(results) == sorted(
+                    (w, i) for w in range(8) for i in range(40)
+                )
+                # Coalescing actually happened, on both sides.
+                assert transport.batches_sent > 0
+                assert transport.requests_batched > transport.batches_sent
+                assert server.batched_requests == transport.requests_batched
+                # Group-commit bookkeeping drains once every response is
+                # in: nothing left outstanding to clock the next flush.
+                deadline = time.monotonic() + 2.0
+                while time.monotonic() < deadline:
+                    if all(
+                        connection._batched_in_flight == 0
+                        and not connection._batched_ids
+                        for connection in transport._pool
+                    ):
+                        break
+                    time.sleep(0.01)
+                for connection in transport._pool:
+                    assert connection._batched_in_flight == 0
+                    assert not connection._batched_ids
+            finally:
+                transport.close()
+
+    def test_lone_caller_is_never_batched(self):
+        with RpcServer(echo_registry(), protocol=PROTOCOL_V2) as server:
+            host, port = server.address
+            transport = TcpTransport(
+                host, port, protocol=PROTOCOL_V2, batching=True, pool_size=1
+            )
+            try:
+                for i in range(20):
+                    assert transport.call("echo", "echo", i) == i
+                # Sequential calls: no concurrency, so the fast path
+                # (direct send) must be taken every time.
+                assert transport.batches_sent == 0
+            finally:
+                transport.close()
+
+    def test_no_batch_calls_bypass_the_queue(self):
+        with RpcServer(echo_registry(), protocol=PROTOCOL_V2) as server:
+            host, port = server.address
+            transport = TcpTransport(
+                host, port, protocol=PROTOCOL_V2, batching=True, pool_size=1
+            )
+            try:
+                hold = threading.Event()
+
+                def background():
+                    hold.wait()
+                    for _ in range(10):
+                        transport.call("echo", "echo", "bg")
+
+                thread = threading.Thread(target=background)
+                thread.start()
+                hold.set()
+                for i in range(10):
+                    value = transport.call(
+                        "echo", "echo", ("fg", i), no_batch=True
+                    )
+                    assert value == ("fg", i)
+                thread.join()
+            finally:
+                transport.close()
+
+    def test_bulk_responses_escape_the_batch_envelope(self):
+        # Small requests may coalesce, but a response with a bulk
+        # payload must come back in its own scatter-gather frame.
+        class Mixed:
+            def small(self, i):
+                return i
+
+            def bulk(self, n):
+                return b"B" * n
+
+        registry = ServiceRegistry()
+        registry.register("mixed", Mixed())
+        with RpcServer(registry, protocol=PROTOCOL_V2) as server:
+            host, port = server.address
+            transport = TcpTransport(
+                host, port, protocol=PROTOCOL_V2, batching=True, pool_size=1
+            )
+            try:
+                results: dict[int, bytes] = {}
+
+                def worker(i):
+                    results[i] = transport.call("mixed", "bulk", 100_000 + i)
+
+                threads = [
+                    threading.Thread(target=worker, args=(i,)) for i in range(6)
+                ]
+                for thread in threads:
+                    thread.start()
+                # Interleave small calls so batching engages around them.
+                for i in range(30):
+                    assert transport.call("mixed", "small", i) == i
+                for thread in threads:
+                    thread.join()
+                for i in range(6):
+                    assert results[i] == b"B" * (100_000 + i)
+            finally:
+                transport.close()
+
+
+class TestCompression:
+    def test_compressed_connection_is_byte_identical(self):
+        wire = WireConfig(compress_threshold=KB)
+        with RpcServer(echo_registry(), wire=wire) as server:
+            host, port = server.address
+            transport = TcpTransport(host, port, wire=wire)
+            try:
+                compressible = b"c" * (1024 * KB)
+                random_ish = bytes(range(256)) * (4 * KB)
+                assert transport.call("echo", "echo", compressible) == compressible
+                assert transport.call("echo", "echo", random_ish) == random_ish
+            finally:
+                transport.close()
+
+    def test_compression_only_applies_when_peer_advertises_codec(self):
+        # A v1 peer never negotiated codecs, so the client must not send
+        # compressed segments at it — it stays on plain v1 frames.
+        wire = WireConfig(compress_threshold=KB)
+        with RpcServer(echo_registry(), protocol=PROTOCOL_V1) as server:
+            host, port = server.address
+            transport = TcpTransport(host, port, wire=wire)
+            try:
+                payload = b"c" * (256 * KB)
+                assert transport.call("echo", "echo", payload) == payload
+                assert transport.negotiated_protocols == [PROTOCOL_V1]
+            finally:
+                transport.close()
+            assert server.protocol_errors == 0
+
+
+class TestLoopbackProtocols:
+    @BOTH_PROTOCOLS
+    def test_loopback_round_trips_bulk_on_both_protocols(self, protocol):
+        transport = LoopbackTransport(echo_registry(), protocol=protocol)
+        payload = bytes(range(256)) * (4 * KB)
+        assert transport.call("echo", "echo", payload) == payload
+        assert transport.call("echo", "pair", "a", 1) == ("a", 1)
+
+    def test_loopback_reuses_one_decoder_across_calls(self):
+        # The per-call throwaway decoder is gone: the same decoder
+        # instance drains every frame of the transport's lifetime.
+        transport = LoopbackTransport(echo_registry())
+        decoder = transport._decoder
+        for i in range(5):
+            transport.call("echo", "echo", i)
+        assert transport._decoder is decoder
+        assert decoder.frames_decoded == 10  # request + response per call
+
+
+def make_blobseer(faults, *, replication=2):
+    config = BlobSeerConfig(
+        page_size=4 * KB,
+        num_providers=4,
+        num_metadata_providers=3,
+        replication=replication,
+        rng_seed=7,
+    )
+    backends = [
+        DataProvider(i, host=f"node-{i}", rack=f"rack-{i % 2}")
+        for i in range(config.num_providers)
+    ]
+    stubs = [
+        loopback_provider_stub(p, faults=faults, retry=RetryPolicy.no_retry())
+        for p in backends
+    ]
+    return BlobSeer(config, providers=stubs)
+
+
+class TestDifferentialByteIdentity:
+    """The same workload over v1 and v2 stubs must yield the same bytes."""
+
+    @BOTH_PROTOCOLS
+    def test_bsfs_write_read_identical(self, faults, protocol, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", str(protocol))
+        fs = BSFS(blobseer=make_blobseer(faults), default_block_size=BLOCK)
+        payload = bytes(range(256)) * 128  # 32 KiB, multi-page
+        fs.write_file("/wire.bin", payload)
+        assert fs.read_file("/wire.bin") == payload
+
+    @BOTH_PROTOCOLS
+    def test_bsfs_read_failover_identical(self, faults, protocol, monkeypatch):
+        # Mid-read replica failover: kill a node after the write; the
+        # degraded read must still return the exact original bytes.
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", str(protocol))
+        fs = BSFS(blobseer=make_blobseer(faults), default_block_size=BLOCK)
+        payload = b"f" * (2 * BLOCK)
+        fs.write_file("/failover.bin", payload)
+        faults.kill("node-1")
+        assert fs.read_file("/failover.bin") == payload
+
+    @BOTH_PROTOCOLS
+    def test_hdfs_failover_identical(self, faults, protocol, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", str(protocol))
+        backends = [
+            DataNode(i, host=f"node-{i}", rack=f"rack-{i % 3}") for i in range(4)
+        ]
+        stubs = [
+            loopback_datanode_stub(d, faults=faults, retry=RetryPolicy.no_retry())
+            for d in backends
+        ]
+        fs = HDFS(datanodes=stubs, default_block_size=BLOCK, default_replication=2)
+        payload = bytes(range(256)) * 256  # 64 KiB
+        fs.write_file("/wire.bin", payload)
+        meta = fs.namenode.file_blocks("/wire.bin")[0]
+        victim = fs.namenode.datanode(meta.locations[0])
+        faults.kill(victim.host)
+        assert fs.read_file("/wire.bin") == payload
+
+    @BOTH_PROTOCOLS
+    def test_wire_faults_identical(self, faults, protocol, monkeypatch):
+        # Dropped messages burn the transport retry, not the data: the
+        # payload survives lossy delivery identically on both protocols.
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", str(protocol))
+        backend = DataProvider(0, host="node-0")
+        stub = loopback_provider_stub(backend, faults=faults)
+        from repro.core.pages import PageKey
+
+        payload = bytes(range(256)) * (2 * KB)
+        faults.drop(src="client", dst="node-0", count=1)
+        stub.put_page(PageKey(1, 1, 0), payload)  # retried after the drop
+        faults.drop(src="node-0", dst="client", count=1)
+        assert stub.get_page(PageKey(1, 1, 0)) == payload
+
+    @BOTH_PROTOCOLS
+    def test_metadata_dht_matches_in_process(self, faults, protocol, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_PROTOCOL", str(protocol))
+        backends = [MetadataProvider(i) for i in range(3)]
+        stubs = [
+            loopback_metadata_stub(p, faults=faults, retry=RetryPolicy.no_retry())
+            for p in backends
+        ]
+        local_backends = [MetadataProvider(i) for i in range(3)]
+        remote = MetadataDHT(stubs, virtual_nodes=16)
+        local = MetadataDHT(local_backends, virtual_nodes=16)
+        for i in range(40):
+            remote.put(f"key-{i}", {"value": i, "blob": bytes([i]) * 64})
+            local.put(f"key-{i}", {"value": i, "blob": bytes([i]) * 64})
+        for i in range(40):
+            assert remote.get(f"key-{i}") == local.get(f"key-{i}")
+
+
+class TestTcpDifferential:
+    @pytest.mark.parametrize("server_protocol", [PROTOCOL_V1, PROTOCOL_V2])
+    def test_hdfs_over_tcp_identical_on_both_server_protocols(
+        self, server_protocol
+    ):
+        config = ClusterConfig(
+            wire_protocol=server_protocol, metadata_batching=False
+        )
+        backends = [DataNode(i, host=f"node-{i}", rack="r0") for i in range(3)]
+        servers = [
+            NodeServer(d, host="127.0.0.1", port=0, config=config)
+            for d in backends
+        ]
+        stubs = []
+        try:
+            for server in servers:
+                host, port = server.start()
+                # The client always prefers v2; negotiation settles it.
+                stubs.append(connect_datanode(host, port))
+            fs = HDFS(
+                datanodes=stubs, default_block_size=BLOCK, default_replication=2
+            )
+            payload = bytes(range(256)) * 256  # 64 KiB
+            fs.write_file("/tcp.bin", payload)
+            assert fs.read_file("/tcp.bin") == payload
+        finally:
+            for stub in stubs:
+                stub.close()
+            for server in servers:
+                server.stop()
+
+    def test_provider_bulk_pages_over_tcp_v2(self):
+        from repro.core.pages import PageKey
+
+        provider = DataProvider(5, host="node-5", rack="rack-0")
+        server = NodeServer(provider, host="127.0.0.1", port=0)
+        host, port = server.start()
+        try:
+            stub = connect_provider(
+                host, port, config=ClusterConfig(wire_protocol=PROTOCOL_V2)
+            )
+            payload = bytes(range(256)) * (4 * KB)  # 1 MiB page
+            stub.put_page(PageKey(9, 1, 0), payload)
+            assert stub.get_page(PageKey(9, 1, 0)) == payload
+            assert provider.get_page(PageKey(9, 1, 0)) == payload
+            stub.close()
+        finally:
+            server.stop()
+
+    def test_metadata_stub_with_batching_over_tcp(self):
+        # Pin v2 explicitly so the test holds even when the suite runs
+        # under REPRO_WIRE_PROTOCOL=1.
+        config = ClusterConfig(wire_protocol=PROTOCOL_V2)
+        backend = MetadataProvider(2)
+        server = NodeServer(backend, host="127.0.0.1", port=0, config=config)
+        host, port = server.start()
+        try:
+            stub = connect_metadata(host, port, config=config)
+            errors: list[BaseException] = []
+
+            def worker(worker_id):
+                try:
+                    for i in range(25):
+                        stub.put(f"w{worker_id}-k{i}", {"v": (worker_id, i)})
+                        assert stub.get(f"w{worker_id}-k{i}") == {
+                            "v": (worker_id, i)
+                        }
+                except BaseException as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(w,)) for w in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert len(backend.keys()) == 150
+            # The hot metadata path actually used the coalescing channel.
+            assert stub.transport.requests_batched > 0
+            stub.close()
+        finally:
+            server.stop()
